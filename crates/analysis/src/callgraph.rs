@@ -1,0 +1,216 @@
+//! Whole-module call graph.
+//!
+//! Enumerates every call instruction with its location and callee kind, the
+//! set of direct callers per function, and the set of address-taken
+//! functions (taken either by an [`Inst::FuncAddr`] instruction or by a
+//! relocated global initializer such as a handler table).
+
+use bastion_ir::{Callee, FuncId, Inst, InstLoc, Module};
+use bastion_ir::module::{GlobalInit, RelocEntry};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Whether a callsite is a direct or an indirect call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallsiteKind {
+    /// Direct call to the named function.
+    Direct(FuncId),
+    /// Indirect call through a code pointer.
+    Indirect,
+}
+
+/// One call instruction in the module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallsiteRec {
+    /// Where the call instruction lives.
+    pub loc: InstLoc,
+    /// Direct target or indirect.
+    pub kind: CallsiteKind,
+    /// Number of arguments passed.
+    pub argc: usize,
+}
+
+/// The module call graph.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Every call instruction, in function/block order.
+    pub callsites: Vec<CallsiteRec>,
+    /// Direct callers of each function: callee → callsites.
+    pub direct_callers: BTreeMap<FuncId, Vec<InstLoc>>,
+    /// Functions whose address is taken (possible indirect-call targets).
+    pub address_taken: BTreeSet<FuncId>,
+    /// All indirect callsites.
+    pub indirect_sites: Vec<InstLoc>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `module`.
+    pub fn build(module: &Module) -> Self {
+        let mut callsites = Vec::new();
+        let mut direct_callers: BTreeMap<FuncId, Vec<InstLoc>> = BTreeMap::new();
+        let mut address_taken = BTreeSet::new();
+        let mut indirect_sites = Vec::new();
+
+        for g in &module.globals {
+            if let GlobalInit::Relocated(entries) = &g.init {
+                for e in entries {
+                    if let RelocEntry::FuncAddr(f) = e {
+                        address_taken.insert(*f);
+                    }
+                }
+            }
+        }
+
+        for (fid, f) in module.iter_funcs() {
+            for (bid, b) in f.iter_blocks() {
+                for (i, inst) in b.insts.iter().enumerate() {
+                    let loc = InstLoc {
+                        func: fid,
+                        block: bid,
+                        inst: i,
+                    };
+                    match inst {
+                        Inst::Call { callee, args, .. } => {
+                            let kind = match callee {
+                                Callee::Direct(t) => {
+                                    direct_callers.entry(*t).or_default().push(loc);
+                                    CallsiteKind::Direct(*t)
+                                }
+                                Callee::Indirect(_) => {
+                                    indirect_sites.push(loc);
+                                    CallsiteKind::Indirect
+                                }
+                            };
+                            callsites.push(CallsiteRec {
+                                loc,
+                                kind,
+                                argc: args.len(),
+                            });
+                        }
+                        Inst::FuncAddr { func, .. } => {
+                            address_taken.insert(*func);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        CallGraph {
+            callsites,
+            direct_callers,
+            address_taken,
+            indirect_sites,
+        }
+    }
+
+    /// Direct callsites targeting `callee`.
+    pub fn callers_of(&self, callee: FuncId) -> &[InstLoc] {
+        self.direct_callers
+            .get(&callee)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Whether `f`'s address is taken anywhere in the module.
+    pub fn is_address_taken(&self, f: FuncId) -> bool {
+        self.address_taken.contains(&f)
+    }
+
+    /// Total number of callsites (Table 5 row 1).
+    pub fn total_callsites(&self) -> usize {
+        self.callsites.len()
+    }
+
+    /// Number of direct callsites (Table 5 row 2).
+    pub fn direct_callsites(&self) -> usize {
+        self.callsites
+            .iter()
+            .filter(|c| matches!(c.kind, CallsiteKind::Direct(_)))
+            .count()
+    }
+
+    /// Number of indirect callsites (Table 5 row 3).
+    pub fn indirect_callsites(&self) -> usize {
+        self.indirect_sites.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bastion_ir::build::ModuleBuilder;
+    use bastion_ir::module::GlobalInit;
+    use bastion_ir::{Operand, Ty};
+
+    fn sample() -> Module {
+        let mut mb = ModuleBuilder::new("cg");
+        let callee = mb.declare("callee", &[], Ty::I64);
+        let tbl = mb.global(
+            "handlers",
+            Ty::Array(Box::new(Ty::Func { arity: 0 }), 2),
+            GlobalInit::Relocated(vec![
+                RelocEntry::FuncAddr(callee),
+                RelocEntry::Word(0),
+            ]),
+        );
+        let mut f = mb.function("main", &[], Ty::I64);
+        let direct = f.call_direct(callee, &[]);
+        let t = f.global_addr(tbl);
+        let fp = f.load(t);
+        let indirect = f.call_indirect(fp, &[]);
+        let sum = f.bin(bastion_ir::BinOp::Add, direct, indirect);
+        f.ret(Some(Operand::Reg(sum)));
+        f.finish();
+        let mut g = mb.define(callee);
+        g.ret(Some(Operand::Imm(1)));
+        g.finish();
+        mb.finish()
+    }
+
+    #[test]
+    fn counts_and_kinds() {
+        let m = sample();
+        let cg = CallGraph::build(&m);
+        assert_eq!(cg.total_callsites(), 2);
+        assert_eq!(cg.direct_callsites(), 1);
+        assert_eq!(cg.indirect_callsites(), 1);
+    }
+
+    #[test]
+    fn reloc_tables_mark_address_taken() {
+        let m = sample();
+        let cg = CallGraph::build(&m);
+        let callee = m.func_by_name("callee").unwrap();
+        assert!(cg.is_address_taken(callee));
+        let main = m.func_by_name("main").unwrap();
+        assert!(!cg.is_address_taken(main));
+    }
+
+    #[test]
+    fn callers_of_tracks_direct_edges() {
+        let m = sample();
+        let cg = CallGraph::build(&m);
+        let callee = m.func_by_name("callee").unwrap();
+        assert_eq!(cg.callers_of(callee).len(), 1);
+        assert_eq!(
+            cg.callers_of(callee)[0].func,
+            m.func_by_name("main").unwrap()
+        );
+    }
+
+    #[test]
+    fn func_addr_instruction_marks_address_taken() {
+        let mut mb = ModuleBuilder::new("t");
+        let target = mb.declare("target", &[], Ty::Void);
+        let mut f = mb.function("main", &[], Ty::Void);
+        let _ = f.func_addr(target);
+        f.ret(None);
+        f.finish();
+        let mut g = mb.define(target);
+        g.ret(None);
+        g.finish();
+        let m = mb.finish();
+        let cg = CallGraph::build(&m);
+        assert!(cg.is_address_taken(target));
+    }
+}

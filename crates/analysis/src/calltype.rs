@@ -1,0 +1,187 @@
+//! Call-Type context analysis (paper §6.1).
+//!
+//! Classifies every system call a program image could reach into
+//! *not-callable*, *directly-callable*, *indirectly-callable*, or both:
+//!
+//! * a syscall stub that appears as the target of a direct call is
+//!   **directly-callable**;
+//! * a stub whose address is taken (by an instruction or a relocated global
+//!   initializer) can end up as an indirect-call target, so it is
+//!   **indirectly-callable**;
+//! * every other syscall — present in the linked libc image or not — is
+//!   **not-callable** and is disabled outright by the monitor's seccomp
+//!   filter.
+
+use crate::callgraph::CallGraph;
+use bastion_ir::{FuncId, InstLoc, Module};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The call-type class of one system call (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CallTypeClass {
+    /// Never used by the program: any invocation is an attack.
+    NotCallable,
+    /// Only ever invoked from direct callsites.
+    DirectOnly,
+    /// Only ever reachable through an indirect call (address taken but no
+    /// direct callsite — rare, but expressible).
+    IndirectOnly,
+    /// Both direct callsites exist and the address is taken.
+    Both,
+}
+
+impl CallTypeClass {
+    /// Whether a direct invocation is permitted.
+    pub fn allows_direct(self) -> bool {
+        matches!(self, CallTypeClass::DirectOnly | CallTypeClass::Both)
+    }
+
+    /// Whether an indirect invocation is permitted.
+    pub fn allows_indirect(self) -> bool {
+        matches!(self, CallTypeClass::IndirectOnly | CallTypeClass::Both)
+    }
+
+    /// Whether the syscall may be invoked at all.
+    pub fn callable(self) -> bool {
+        self != CallTypeClass::NotCallable
+    }
+}
+
+/// Result of call-type analysis over a module.
+#[derive(Debug, Clone)]
+pub struct CallTypeReport {
+    /// Classification per syscall number, for every stub in the image.
+    pub classes: BTreeMap<u32, CallTypeClass>,
+    /// Direct callsites of each syscall stub: nr → call locations.
+    pub direct_sites: BTreeMap<u32, Vec<InstLoc>>,
+    /// Stub function per syscall number.
+    pub stubs: BTreeMap<u32, FuncId>,
+}
+
+impl CallTypeReport {
+    /// Runs the analysis.
+    pub fn build(module: &Module, cg: &CallGraph) -> Self {
+        let mut classes = BTreeMap::new();
+        let mut direct_sites = BTreeMap::new();
+        let mut stubs = BTreeMap::new();
+        for (fid, f) in module.iter_funcs() {
+            let Some(nr) = f.syscall_nr() else { continue };
+            stubs.insert(nr, fid);
+            let direct: Vec<InstLoc> = cg.callers_of(fid).to_vec();
+            let taken = cg.is_address_taken(fid);
+            let class = match (!direct.is_empty(), taken) {
+                (false, false) => CallTypeClass::NotCallable,
+                (true, false) => CallTypeClass::DirectOnly,
+                (false, true) => CallTypeClass::IndirectOnly,
+                (true, true) => CallTypeClass::Both,
+            };
+            classes.insert(nr, class);
+            direct_sites.insert(nr, direct);
+        }
+        CallTypeReport {
+            classes,
+            direct_sites,
+            stubs,
+        }
+    }
+
+    /// The class for syscall `nr`; stubs absent from the image are
+    /// [`CallTypeClass::NotCallable`].
+    pub fn class_of(&self, nr: u32) -> CallTypeClass {
+        self.classes
+            .get(&nr)
+            .copied()
+            .unwrap_or(CallTypeClass::NotCallable)
+    }
+
+    /// Syscalls (sensitive or not) that can never be invoked.
+    pub fn not_callable(&self) -> impl Iterator<Item = u32> + '_ {
+        self.classes
+            .iter()
+            .filter(|(_, c)| !c.callable())
+            .map(|(nr, _)| *nr)
+    }
+
+    /// Number of *sensitive* syscalls that are callable indirectly
+    /// (Table 5 row 5 — zero for all three paper applications).
+    pub fn sensitive_indirect_count(&self) -> usize {
+        self.classes
+            .iter()
+            .filter(|(nr, c)| bastion_ir::sysno::is_sensitive(**nr) && c.allows_indirect())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bastion_ir::build::ModuleBuilder;
+    use bastion_ir::sysno;
+    use bastion_ir::{Operand, Ty};
+
+    /// Image with: execve called directly; write address-taken only;
+    /// mprotect present but unused; read called directly *and* taken.
+    fn sample() -> Module {
+        let mut mb = ModuleBuilder::new("ct");
+        let execve = mb.declare_syscall_stub("execve", sysno::EXECVE, 3);
+        let write = mb.declare_syscall_stub("write", sysno::WRITE, 3);
+        let _mprotect = mb.declare_syscall_stub("mprotect", sysno::MPROTECT, 3);
+        let read = mb.declare_syscall_stub("read", sysno::READ, 3);
+        let mut f = mb.function("main", &[], Ty::I64);
+        let z = Operand::Imm(0);
+        let _ = f.call_direct(execve, &[z, z, z]);
+        let wp = f.func_addr(write);
+        let rp = f.func_addr(read);
+        let _ = f.call_indirect(wp, &[z, z, z]);
+        let _ = f.call_indirect(rp, &[z, z, z]);
+        let r = f.call_direct(read, &[z, z, z]);
+        f.ret(Some(r.into()));
+        f.finish();
+        mb.finish()
+    }
+
+    #[test]
+    fn four_way_classification() {
+        let m = sample();
+        let cg = CallGraph::build(&m);
+        let ct = CallTypeReport::build(&m, &cg);
+        assert_eq!(ct.class_of(sysno::EXECVE), CallTypeClass::DirectOnly);
+        assert_eq!(ct.class_of(sysno::WRITE), CallTypeClass::IndirectOnly);
+        assert_eq!(ct.class_of(sysno::MPROTECT), CallTypeClass::NotCallable);
+        assert_eq!(ct.class_of(sysno::READ), CallTypeClass::Both);
+        // A syscall with no stub at all is not callable either.
+        assert_eq!(ct.class_of(sysno::PTRACE), CallTypeClass::NotCallable);
+    }
+
+    #[test]
+    fn permission_helpers() {
+        assert!(CallTypeClass::DirectOnly.allows_direct());
+        assert!(!CallTypeClass::DirectOnly.allows_indirect());
+        assert!(CallTypeClass::Both.allows_indirect());
+        assert!(!CallTypeClass::NotCallable.callable());
+        assert!(CallTypeClass::IndirectOnly.allows_indirect());
+        assert!(!CallTypeClass::IndirectOnly.allows_direct());
+    }
+
+    #[test]
+    fn not_callable_enumeration_and_sites() {
+        let m = sample();
+        let cg = CallGraph::build(&m);
+        let ct = CallTypeReport::build(&m, &cg);
+        let nc: Vec<u32> = ct.not_callable().collect();
+        assert_eq!(nc, vec![sysno::MPROTECT]);
+        assert_eq!(ct.direct_sites[&sysno::EXECVE].len(), 1);
+        assert!(ct.direct_sites[&sysno::WRITE].is_empty());
+    }
+
+    #[test]
+    fn sensitive_indirect_count_counts_only_sensitive() {
+        let m = sample();
+        let cg = CallGraph::build(&m);
+        let ct = CallTypeReport::build(&m, &cg);
+        // write/read are indirectly callable but not sensitive; execve is
+        // sensitive but direct-only.
+        assert_eq!(ct.sensitive_indirect_count(), 0);
+    }
+}

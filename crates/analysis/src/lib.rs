@@ -1,0 +1,31 @@
+//! # bastion-analysis
+//!
+//! The static analyses the BASTION compiler pass (paper §6) runs over a
+//! [`bastion_ir::Module`]:
+//!
+//! * [`callgraph`] — enumerates every callsite (direct and indirect) and
+//!   every address-taken function; the raw material for everything else.
+//! * [`calltype`] — §6.1: classifies each system call as *not-callable*,
+//!   *directly-callable*, and/or *indirectly-callable*.
+//! * [`paths`] — §6.2: for every sensitive system call callsite, records the
+//!   callee→caller relations along all control-flow paths that reach it,
+//!   stopping at `main` or at indirect callsites.
+//! * [`sensitive`] — §6.3: the field-sensitive, inter-procedural use-def
+//!   analysis that discovers *sensitive variables* (system call arguments
+//!   and everything that defines them) and decides where instrumentation
+//!   must be placed.
+//! * [`typesig`] — the equivalence classes coarse LLVM CFI would build
+//!   (address-taken functions grouped by type signature); used by the
+//!   `bastion-defenses` baseline.
+
+pub mod callgraph;
+pub mod calltype;
+pub mod paths;
+pub mod sensitive;
+pub mod typesig;
+
+pub use callgraph::{CallGraph, CallsiteKind, CallsiteRec};
+pub use calltype::{CallTypeClass, CallTypeReport};
+pub use paths::ControlFlowReport;
+pub use sensitive::{ArgSpec, Loc, PropSite, SensitiveReport, StoreSite, SyscallSite};
+pub use typesig::TypeSigReport;

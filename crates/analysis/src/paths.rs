@@ -1,0 +1,211 @@
+//! Control-Flow context analysis (paper §6.2).
+//!
+//! For each *sensitive* system call, BASTION records all function
+//! callee→caller relations along control-flow paths that can reach the
+//! syscall's callsites. The recursion stops at `main` or at a function that
+//! can be entered through an indirect call (its address is taken), because
+//! at runtime the monitor's stack walk terminates there and validates the
+//! partial trace it has seen so far.
+//!
+//! The report therefore contains, per function in the syscall-reaching
+//! subgraph:
+//! * the set of valid direct caller callsites, and
+//! * whether the function may legitimately sit at the top of a partial
+//!   trace (i.e. may be entered indirectly).
+
+use crate::callgraph::CallGraph;
+use bastion_ir::{FuncId, InstLoc, Module};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Result of the control-flow context analysis.
+#[derive(Debug, Clone)]
+pub struct ControlFlowReport {
+    /// Functions from which a sensitive syscall callsite is reachable
+    /// (the "syscall-reaching subgraph" the runtime walk must stay inside).
+    pub reaching: BTreeSet<FuncId>,
+    /// callee → valid direct caller callsites (paper: "pairs of callee and
+    /// caller addresses").
+    pub valid_callers: BTreeMap<FuncId, BTreeSet<InstLoc>>,
+    /// Functions in the subgraph that may be entered via an indirect call;
+    /// the runtime walk may legitimately terminate at these.
+    pub indirect_entries: BTreeSet<FuncId>,
+    /// The `main` function, where complete walks terminate.
+    pub main: Option<FuncId>,
+}
+
+impl ControlFlowReport {
+    /// Runs the analysis for the given set of sensitive syscall numbers.
+    pub fn build(module: &Module, cg: &CallGraph, sensitive: &BTreeSet<u32>) -> Self {
+        let main = module.func_by_name("main");
+        let mut reaching = BTreeSet::new();
+        let mut valid_callers: BTreeMap<FuncId, BTreeSet<InstLoc>> = BTreeMap::new();
+        let mut indirect_entries = BTreeSet::new();
+
+        // Seed: stubs of sensitive syscalls present in the image.
+        let mut queue: VecDeque<FuncId> = module
+            .iter_funcs()
+            .filter(|(_, f)| f.syscall_nr().is_some_and(|nr| sensitive.contains(&nr)))
+            .map(|(id, _)| id)
+            .collect();
+
+        // Reverse BFS over direct call edges, recording callee→caller pairs.
+        while let Some(callee) = queue.pop_front() {
+            if !reaching.insert(callee) {
+                continue;
+            }
+            if cg.is_address_taken(callee) {
+                indirect_entries.insert(callee);
+                // The paper's recursion stops at an indirect call: the walk
+                // ends here at runtime. Static analysis still records direct
+                // callers (a frame entered directly must match them), and
+                // keeps walking — a function can be reached both ways.
+            }
+            for &site in cg.callers_of(callee) {
+                valid_callers.entry(callee).or_default().insert(site);
+                if Some(site.func) != main {
+                    queue.push_back(site.func);
+                } else {
+                    reaching.insert(site.func);
+                }
+            }
+        }
+        if let Some(m) = main {
+            // main may always be the walk's bottom even if it calls nothing
+            // sensitive itself.
+            let _ = m;
+        }
+
+        ControlFlowReport {
+            reaching,
+            valid_callers,
+            indirect_entries,
+            main,
+        }
+    }
+
+    /// Whether `site` is a valid direct caller of `callee`.
+    pub fn is_valid_edge(&self, callee: FuncId, site: InstLoc) -> bool {
+        self.valid_callers
+            .get(&callee)
+            .is_some_and(|s| s.contains(&site))
+    }
+
+    /// Whether the runtime stack walk may legitimately terminate at `f`
+    /// (either `main` or an indirect entry).
+    pub fn may_terminate_at(&self, f: FuncId) -> bool {
+        Some(f) == self.main || self.indirect_entries.contains(&f)
+    }
+
+    /// Total number of recorded callee→caller pairs.
+    pub fn edge_count(&self) -> usize {
+        self.valid_callers.values().map(BTreeSet::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bastion_ir::build::ModuleBuilder;
+    use bastion_ir::sysno;
+    use bastion_ir::{Operand, Ty};
+
+    /// main -> a -> b -> execve ; main -> c (no syscall) ;
+    /// handler (address taken) -> b.
+    fn sample() -> Module {
+        let mut mb = ModuleBuilder::new("cf");
+        let execve = mb.declare_syscall_stub("execve", sysno::EXECVE, 3);
+        let b = mb.declare("b", &[], Ty::Void);
+        let a = mb.declare("a", &[], Ty::Void);
+        let c = mb.declare("c", &[], Ty::Void);
+        let handler = mb.declare("handler", &[], Ty::Void);
+
+        let mut f = mb.define(b);
+        let z = Operand::Imm(0);
+        let _ = f.call_direct(execve, &[z, z, z]);
+        f.ret(None);
+        f.finish();
+
+        let mut f = mb.define(a);
+        let _ = f.call_direct(b, &[]);
+        f.ret(None);
+        f.finish();
+
+        let mut f = mb.define(c);
+        f.ret(None);
+        f.finish();
+
+        let mut f = mb.define(handler);
+        let _ = f.call_direct(b, &[]);
+        f.ret(None);
+        f.finish();
+
+        let mut f = mb.function("main", &[], Ty::I64);
+        let _ = f.call_direct(a, &[]);
+        let _ = f.call_direct(c, &[]);
+        let hp = f.func_addr(handler);
+        let _ = f.call_indirect(hp, &[]);
+        f.ret(Some(Operand::Imm(0)));
+        f.finish();
+        mb.finish()
+    }
+
+    fn build(m: &Module) -> ControlFlowReport {
+        let cg = CallGraph::build(m);
+        ControlFlowReport::build(m, &cg, &sysno::sensitive_set())
+    }
+
+    #[test]
+    fn reaching_subgraph_excludes_unrelated_functions() {
+        let m = sample();
+        let r = build(&m);
+        let f = |n: &str| m.func_by_name(n).unwrap();
+        assert!(r.reaching.contains(&f("execve")));
+        assert!(r.reaching.contains(&f("b")));
+        assert!(r.reaching.contains(&f("a")));
+        assert!(r.reaching.contains(&f("handler")));
+        assert!(!r.reaching.contains(&f("c")));
+    }
+
+    #[test]
+    fn valid_edges_match_static_callsites() {
+        let m = sample();
+        let r = build(&m);
+        let f = |n: &str| m.func_by_name(n).unwrap();
+        // b has two valid callers: the callsite in a and in handler.
+        assert_eq!(r.valid_callers[&f("b")].len(), 2);
+        // execve's only valid caller is the callsite in b.
+        let sites = &r.valid_callers[&f("execve")];
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites.iter().next().unwrap().func, f("b"));
+    }
+
+    #[test]
+    fn termination_points() {
+        let m = sample();
+        let r = build(&m);
+        let f = |n: &str| m.func_by_name(n).unwrap();
+        assert!(r.may_terminate_at(f("main")));
+        assert!(r.may_terminate_at(f("handler"))); // address-taken
+        assert!(!r.may_terminate_at(f("a")));
+        assert!(!r.may_terminate_at(f("b")));
+    }
+
+    #[test]
+    fn edge_validity_queries() {
+        let m = sample();
+        let r = build(&m);
+        let f = |n: &str| m.func_by_name(n).unwrap();
+        let b_sites = r.valid_callers[&f("b")].clone();
+        for s in &b_sites {
+            assert!(r.is_valid_edge(f("b"), *s));
+        }
+        // A fabricated edge is invalid.
+        let bogus = InstLoc {
+            func: f("c"),
+            block: bastion_ir::BlockId(0),
+            inst: 0,
+        };
+        assert!(!r.is_valid_edge(f("b"), bogus));
+        assert!(r.edge_count() >= 4);
+    }
+}

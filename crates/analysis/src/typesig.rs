@@ -1,0 +1,105 @@
+//! Type-signature equivalence classes for the coarse LLVM-CFI baseline.
+//!
+//! Clang's `-fsanitize=cfi-icall` permits an indirect call when the target
+//! is an address-taken function whose *type signature* matches the callsite.
+//! In our word-oriented IR the signature reduces to the arity, which is
+//! exactly why the baseline is coarse: NGINX-sized programs put many
+//! unrelated functions (and, in the CsCFI/AOCR attacks, even libc syscall
+//! wrappers) into the same equivalence class, letting same-signature
+//! hijacks through — the behaviour the paper's §10 exploits rely on.
+
+use crate::callgraph::CallGraph;
+use bastion_ir::{FuncId, Module};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Equivalence classes of indirect-call targets, keyed by arity.
+#[derive(Debug, Clone)]
+pub struct TypeSigReport {
+    /// arity → address-taken functions with that arity.
+    pub classes: BTreeMap<u8, BTreeSet<FuncId>>,
+}
+
+impl TypeSigReport {
+    /// Builds the classes for `module`.
+    pub fn build(module: &Module, cg: &CallGraph) -> Self {
+        let mut classes: BTreeMap<u8, BTreeSet<FuncId>> = BTreeMap::new();
+        for &f in &cg.address_taken {
+            let arity = module.func(f).params.len() as u8;
+            classes.entry(arity).or_default().insert(f);
+        }
+        TypeSigReport { classes }
+    }
+
+    /// Whether LLVM CFI would allow an indirect call with `argc` arguments
+    /// to land on `target`.
+    pub fn allows(&self, argc: usize, target: FuncId) -> bool {
+        self.classes
+            .get(&(argc as u8))
+            .is_some_and(|s| s.contains(&target))
+    }
+
+    /// Size of the equivalence class for a given arity.
+    pub fn class_size(&self, argc: usize) -> usize {
+        self.classes.get(&(argc as u8)).map_or(0, BTreeSet::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bastion_ir::build::ModuleBuilder;
+    use bastion_ir::{Operand, Ty};
+
+    fn sample() -> Module {
+        let mut mb = ModuleBuilder::new("ts");
+        let f1 = mb.declare("one_arg_a", &[("x", Ty::I64)], Ty::I64);
+        let f2 = mb.declare("one_arg_b", &[("x", Ty::I64)], Ty::I64);
+        let f3 = mb.declare("two_args", &[("x", Ty::I64), ("y", Ty::I64)], Ty::I64);
+        let f4 = mb.declare("not_taken", &[("x", Ty::I64)], Ty::I64);
+        for id in [f1, f2, f3, f4] {
+            let mut f = mb.define(id);
+            f.ret(Some(Operand::Imm(0)));
+            f.finish();
+        }
+        let mut f = mb.function("main", &[], Ty::I64);
+        for id in [f1, f2, f3] {
+            let _ = f.func_addr(id);
+        }
+        f.ret(Some(Operand::Imm(0)));
+        f.finish();
+        mb.finish()
+    }
+
+    #[test]
+    fn classes_group_by_arity() {
+        let m = sample();
+        let cg = CallGraph::build(&m);
+        let ts = TypeSigReport::build(&m, &cg);
+        assert_eq!(ts.class_size(1), 2);
+        assert_eq!(ts.class_size(2), 1);
+        assert_eq!(ts.class_size(0), 0);
+    }
+
+    #[test]
+    fn same_class_targets_are_interchangeable() {
+        // The coarse-CFI weakness: both one-arg functions are allowed at a
+        // one-arg indirect callsite.
+        let m = sample();
+        let cg = CallGraph::build(&m);
+        let ts = TypeSigReport::build(&m, &cg);
+        let a = m.func_by_name("one_arg_a").unwrap();
+        let b = m.func_by_name("one_arg_b").unwrap();
+        assert!(ts.allows(1, a));
+        assert!(ts.allows(1, b));
+        assert!(!ts.allows(2, a));
+    }
+
+    #[test]
+    fn non_address_taken_targets_are_rejected() {
+        let m = sample();
+        let cg = CallGraph::build(&m);
+        let ts = TypeSigReport::build(&m, &cg);
+        let nt = m.func_by_name("not_taken").unwrap();
+        assert!(!ts.allows(1, nt));
+    }
+}

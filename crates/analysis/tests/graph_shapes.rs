@@ -1,0 +1,182 @@
+//! Analysis behaviour on tricky call-graph shapes: recursion, diamonds,
+//! syscalls directly in main, and unreachable code.
+
+use bastion_analysis::{CallGraph, CallTypeReport, ControlFlowReport, SensitiveReport};
+use bastion_ir::build::ModuleBuilder;
+use bastion_ir::{sysno, Module, Operand, Ty};
+
+fn reports(m: &Module) -> (CallGraph, CallTypeReport, ControlFlowReport, SensitiveReport) {
+    let cg = CallGraph::build(m);
+    let ct = CallTypeReport::build(m, &cg);
+    let cf = ControlFlowReport::build(m, &cg, &sysno::sensitive_set());
+    let sr = SensitiveReport::build(m, &cg, &sysno::sensitive_set());
+    (cg, ct, cf, sr)
+}
+
+#[test]
+fn recursive_cycles_terminate_and_record_edges() {
+    // a -> b -> a (cycle), b -> execve.
+    let mut mb = ModuleBuilder::new("rec");
+    let execve = mb.declare_syscall_stub("execve", sysno::EXECVE, 3);
+    let a = mb.declare("a", &[("n", Ty::I64)], Ty::Void);
+    let b = mb.declare("b", &[("n", Ty::I64)], Ty::Void);
+    let mut f = mb.define(a);
+    let pa = f.frame_addr(f.param_slot(0));
+    let v = f.load(pa);
+    let _ = f.call_direct(b, &[v.into()]);
+    f.ret(None);
+    f.finish();
+    let mut f = mb.define(b);
+    let pa = f.frame_addr(f.param_slot(0));
+    let v = f.load(pa);
+    let _ = f.call_direct(a, &[v.into()]);
+    let z = Operand::Imm(0);
+    let _ = f.call_direct(execve, &[z, z, z]);
+    f.ret(None);
+    f.finish();
+    let mut f = mb.function("main", &[], Ty::I64);
+    let _ = f.call_direct(a, &[Operand::Imm(3)]);
+    f.ret(Some(Operand::Imm(0)));
+    f.finish();
+    let m = mb.finish();
+
+    let (_, ct, cf, _) = reports(&m);
+    assert!(ct.class_of(sysno::EXECVE).allows_direct());
+    // Both cycle members are in the reaching subgraph with both edges.
+    assert!(cf.reaching.contains(&a));
+    assert!(cf.reaching.contains(&b));
+    assert_eq!(cf.valid_callers[&a].len(), 2); // from main and from b
+    assert_eq!(cf.valid_callers[&b].len(), 1); // from a
+}
+
+#[test]
+fn diamond_reaching_paths_record_all_callers() {
+    // main -> {left, right} -> helper -> mprotect.
+    let mut mb = ModuleBuilder::new("diamond");
+    let mprotect = mb.declare_syscall_stub("mprotect", sysno::MPROTECT, 3);
+    let helper = mb.declare("helper", &[], Ty::Void);
+    let left = mb.declare("left", &[], Ty::Void);
+    let right = mb.declare("right", &[], Ty::Void);
+    let mut f = mb.define(helper);
+    let z = Operand::Imm(0);
+    let _ = f.call_direct(mprotect, &[z, z, Operand::Imm(1)]);
+    f.ret(None);
+    f.finish();
+    for id in [left, right] {
+        let mut f = mb.define(id);
+        let _ = f.call_direct(helper, &[]);
+        f.ret(None);
+        f.finish();
+    }
+    let mut f = mb.function("main", &[], Ty::I64);
+    let _ = f.call_direct(left, &[]);
+    let _ = f.call_direct(right, &[]);
+    f.ret(Some(Operand::Imm(0)));
+    f.finish();
+    let m = mb.finish();
+
+    let (_, _, cf, sr) = reports(&m);
+    // helper has two valid callers; each branch one.
+    assert_eq!(cf.valid_callers[&helper].len(), 2);
+    assert_eq!(cf.valid_callers[&left].len(), 1);
+    assert_eq!(cf.valid_callers[&right].len(), 1);
+    // The single mprotect site has two consts and a const prot.
+    assert_eq!(sr.syscall_sites.len(), 1);
+    assert!(sr.syscall_sites[0].args.iter().all(|a| a.is_const()));
+}
+
+#[test]
+fn syscall_directly_in_main_walks_to_bottom() {
+    let mut mb = ModuleBuilder::new("direct");
+    let setuid = mb.declare_syscall_stub("setuid", sysno::SETUID, 1);
+    let mut f = mb.function("main", &[], Ty::I64);
+    let _ = f.call_direct(setuid, &[Operand::Imm(99)]);
+    f.ret(Some(Operand::Imm(0)));
+    f.finish();
+    let m = mb.finish();
+    let (_, _, cf, _) = reports(&m);
+    let main = m.func_by_name("main").unwrap();
+    assert!(cf.may_terminate_at(main));
+    assert_eq!(cf.valid_callers[&setuid].len(), 1);
+}
+
+#[test]
+fn unreachable_sensitive_code_still_classified() {
+    // A function containing execve exists but nothing calls it: the
+    // *callsite* still makes execve directly-callable (whole-image
+    // analysis, like the paper's handling of libc), and the function is
+    // part of the reaching subgraph without valid callers.
+    let mut mb = ModuleBuilder::new("dead");
+    let execve = mb.declare_syscall_stub("execve", sysno::EXECVE, 3);
+    let mut f = mb.function("dead_code", &[], Ty::Void);
+    let z = Operand::Imm(0);
+    let _ = f.call_direct(execve, &[z, z, z]);
+    f.ret(None);
+    f.finish();
+    let mut f = mb.function("main", &[], Ty::I64);
+    f.ret(Some(Operand::Imm(0)));
+    f.finish();
+    let m = mb.finish();
+    let (_, ct, cf, _) = reports(&m);
+    assert!(ct.class_of(sysno::EXECVE).allows_direct());
+    let dead = m.func_by_name("dead_code").unwrap();
+    assert!(cf.reaching.contains(&dead));
+    // dead_code has no callers: a runtime frame claiming to be inside it
+    // can never validate.
+    assert!(!cf.valid_callers.contains_key(&dead));
+}
+
+#[test]
+fn indirect_only_chain_is_marked_terminable() {
+    // main -(indirect)-> handler -> socket.
+    let mut mb = ModuleBuilder::new("ind");
+    let socket = mb.declare_syscall_stub("socket", sysno::SOCKET, 3);
+    let handler = mb.declare("handler", &[], Ty::Void);
+    let mut f = mb.define(handler);
+    let z = Operand::Imm(0);
+    let _ = f.call_direct(socket, &[z, z, z]);
+    f.ret(None);
+    f.finish();
+    let mut f = mb.function("main", &[], Ty::I64);
+    let p = f.func_addr(handler);
+    let _ = f.call_indirect(p, &[]);
+    f.ret(Some(Operand::Imm(0)));
+    f.finish();
+    let m = mb.finish();
+    let (_, _, cf, _) = reports(&m);
+    assert!(cf.indirect_entries.contains(&handler));
+    assert!(cf.may_terminate_at(handler));
+    // handler has no *direct* callers recorded.
+    assert!(!cf.valid_callers.contains_key(&handler));
+}
+
+#[test]
+fn field_writes_through_distinct_objects_share_a_class() {
+    // Two globals of the same struct type; a syscall reads the field from
+    // one of them; writes to *either* are instrumented (type+field class).
+    let mut mb = ModuleBuilder::new("fields");
+    let st = mb.struct_def(bastion_ir::StructDef::new(
+        "cfg",
+        vec![("uid".into(), Ty::I64)],
+    ));
+    let setuid = mb.declare_syscall_stub("setuid", sysno::SETUID, 1);
+    let g1 = mb.global("cfg_a", Ty::Struct(st), bastion_ir::GlobalInit::Zero);
+    let g2 = mb.global("cfg_b", Ty::Struct(st), bastion_ir::GlobalInit::Zero);
+    let mut f = mb.function("main", &[], Ty::I64);
+    let a1 = f.global_addr(g1);
+    let f1 = f.field_addr(a1, st, 0);
+    f.store(f1, 33i64);
+    let a2 = f.global_addr(g2);
+    let f2 = f.field_addr(a2, st, 0);
+    f.store(f2, 44i64);
+    let a1b = f.global_addr(g1);
+    let f1b = f.field_addr(a1b, st, 0);
+    let v = f.load(f1b);
+    let _ = f.call_direct(setuid, &[v.into()]);
+    f.ret(Some(Operand::Imm(0)));
+    f.finish();
+    let m = mb.finish();
+    let (_, _, _, sr) = reports(&m);
+    // Both stores are instrumented, not just the one feeding the syscall.
+    assert_eq!(sr.store_sites.len(), 2);
+}

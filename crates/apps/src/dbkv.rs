@@ -1,0 +1,234 @@
+//! `dbkv` — the SQLite analogue: a transactional key-value / order engine
+//! driven by a DBT2-style new-order workload.
+//!
+//! SQLite-relevant structure (Table 4's SQLite column):
+//!
+//! * worker threads created with `clone` at startup (paper: 48);
+//! * a page-cache region whose pages are `mprotect`-toggled around
+//!   transaction commits (SQLite's dominant sensitive syscall: 501
+//!   mprotect vs 42 mmap);
+//! * a write-ahead log appended through `write` on every commit;
+//! * a single listener (`socket`/`bind`/`listen` once each, paper: 1/1/1)
+//!   accepting DBT2 client connections with plain `accept` (paper: 11).
+//!
+//! Protocol (text): `NEWORDER <warehouse> <item> <qty>\n` → `OK <total>\n`;
+//! `STOCK <item>\n` → `S <level>\n`; `QUIT\n` closes the session.
+
+/// Listener port.
+pub const PORT: u16 = 5432;
+
+/// Worker count (threads in SQLite's case; paper clone count 48).
+pub const WORKERS: u64 = 8;
+
+/// WAL file path.
+pub const WAL_PATH: &str = "/var/db/wal";
+
+/// The MiniC source.
+pub const SOURCE: &str = r#"
+// ---- dbkv: a transactional order engine (SQLite/DBT2 analogue) ----
+
+long stock[256];
+long orders[256];
+long order_count;
+long page_cache;
+long wal_fd;
+long tx_since_protect;
+
+// Pricing policies are dispatched through a code pointer per order line —
+// the vtable-hop-heavy shape that makes real SQLite the most expensive
+// application under LLVM CFI in Figure 3.
+fnptr tax_fn;
+
+long tax_standard(long amount) { return amount * 8 / 100; }
+long tax_reduced(long amount) { return amount * 2 / 100; }
+
+void db_init() {
+    long i;
+    tax_fn = tax_standard;
+    if (order_count > 1000000) { tax_fn = tax_reduced; }
+    for (i = 0; i < 256; i = i + 1) {
+        stock[i] = 1000;
+        orders[i] = 0;
+    }
+    order_count = 0;
+    tx_since_protect = 0;
+    // Page cache: SQLite maps only a couple of regions (Table 4: mmap is
+    // rare for SQLite; mprotect dominates).
+    page_cache = mmap(0, 262144, 3, 0x21, 0 - 1, 0);
+    mmap(0, 65536, 3, 0x21, 0 - 1, 0);
+    wal_fd = open("/var/db/wal", 0x41, 0600);
+}
+
+void wal_append(long warehouse, long item, long qty, long total) {
+    char rec[96];
+    char num[24];
+    strcpy(rec, "TX ");
+    itoa(warehouse, num);  strcat(rec, num); strcat(rec, " ");
+    itoa(item, num);       strcat(rec, num); strcat(rec, " ");
+    itoa(qty, num);        strcat(rec, num); strcat(rec, " ");
+    itoa(total, num);      strcat(rec, num); strcat(rec, "\n");
+    write(wal_fd, rec, strlen(rec));
+}
+
+// Commit path: every few transactions the page cache is write-protected
+// and re-opened, SQLite-style memory protection of clean pages.
+void protect_cycle() {
+    tx_since_protect = tx_since_protect + 1;
+    if (tx_since_protect >= 96) {
+        mprotect(page_cache, 4096, 1);
+        mprotect(page_cache, 4096, 3);
+        tx_since_protect = 0;
+    }
+}
+
+// The CPU-bound share of a new-order transaction: per-line pricing,
+// tax/discount arithmetic, and record checksumming (DBT2's transaction
+// logic between syscalls).
+long price_order(long warehouse, long item, long qty) {
+    long total;
+    long line;
+    long unit;
+    total = 0;
+    for (line = 0; line < 24; line = line + 1) {
+        unit = 10 + ((item + line * 17) & 63);
+        long disc;
+        disc = (warehouse + line) % 7;
+        long amount;
+        amount = qty * unit;
+        amount = amount - amount * disc / 100;
+        long tax;
+        tax = tax_fn(amount);
+        total = total + amount + tax;
+        total = total ^ (total >> 9);
+        total = total + stock[(item + line) & 255];
+    }
+    return total;
+}
+
+long new_order(long warehouse, long item, long qty) {
+    long idx;
+    long total;
+    idx = item & 255;
+    if (stock[idx] < qty) {
+        stock[idx] = stock[idx] + 500; // restock
+    }
+    stock[idx] = stock[idx] - qty;
+    orders[order_count & 255] = item * 1000 + qty;
+    order_count = order_count + 1;
+    total = price_order(warehouse, item, qty);
+    wal_append(warehouse, item, qty, total);
+    protect_cycle();
+    return total;
+}
+
+long parse_num(char *s, long *pos) {
+    long v;
+    long i;
+    i = *pos;
+    while (s[i] == ' ') { i = i + 1; }
+    v = 0;
+    while (s[i] >= '0' && s[i] <= '9') {
+        v = v * 10 + (s[i] - '0');
+        i = i + 1;
+    }
+    *pos = i;
+    return v;
+}
+
+long handle_command(long conn, char *buf) {
+    char out[64];
+    char num[24];
+    long pos;
+    if (starts_with(buf, "NEWORDER ")) {
+        long w;
+        long item;
+        long qty;
+        long total;
+        pos = 9;
+        w = parse_num(buf, &pos);
+        item = parse_num(buf, &pos);
+        qty = parse_num(buf, &pos);
+        total = new_order(w, item, qty);
+        strcpy(out, "OK ");
+        itoa(total, num);
+        strcat(out, num);
+        strcat(out, "\n");
+        write(conn, out, strlen(out));
+        return 1;
+    }
+    if (starts_with(buf, "STOCK ")) {
+        long item;
+        pos = 6;
+        item = parse_num(buf, &pos);
+        strcpy(out, "S ");
+        itoa(stock[item & 255], num);
+        strcat(out, num);
+        strcat(out, "\n");
+        write(conn, out, strlen(out));
+        return 1;
+    }
+    if (starts_with(buf, "QUIT")) { return 0; }
+    write(conn, "ERR\n", 4);
+    return 1;
+}
+
+void session_loop(long conn) {
+    char buf[128];
+    long n;
+    while (1) {
+        n = read(conn, buf, 127);
+        if (n <= 0) { return; }
+        buf[n] = 0;
+        if (!handle_command(conn, buf)) { return; }
+    }
+}
+
+void worker_loop(long listener) {
+    long conn;
+    while (1) {
+        conn = accept(listener, 0, 0);
+        if (conn < 0) { continue; }
+        session_loop(conn);
+        close(conn);
+    }
+}
+
+long main() {
+    long listener;
+    long sa[2];
+    long i;
+    long pid;
+    long status;
+
+    db_init();
+
+    listener = socket(2, 1, 0);
+    sa[0] = 2 | 5432 * 65536;
+    bind(listener, sa, 16);
+    listen(listener, 64);
+
+    for (i = 0; i < 8; i = i + 1) {
+        pid = clone(0, 0, 0, 0, 0);
+        if (pid == 0) {
+            worker_loop(listener);
+            exit(0);
+        }
+    }
+    while (1) {
+        wait4(0 - 1, &status, 0, 0);
+    }
+    return 0;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_compiles() {
+        let m = bastion_minic::compile_program("dbkv", &[SOURCE]).unwrap();
+        assert!(m.func_by_name("new_order").is_some());
+        assert!(m.func_by_name("protect_cycle").is_some());
+    }
+}

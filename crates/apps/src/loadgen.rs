@@ -1,0 +1,439 @@
+//! Workload generators — the `wrk`, `DBT2`, and `dkftpbench` analogues.
+//!
+//! Each driver pumps the world scheduler and plays the client side of the
+//! corresponding protocol through the external-connection API, measuring
+//! *virtual* time (deterministic) for the Figure 3 / Table 3 metrics.
+
+use bastion_kernel::{RunStatus, World};
+
+/// Scheduler slice between client pumps.
+const SLICE: u64 = 400_000;
+
+/// Progress guard: pump iterations without progress before giving up.
+const STALL_LIMIT: u32 = 10_000;
+
+/// wrk-style HTTP load results.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HttpStats {
+    /// Completed requests.
+    pub requests: u64,
+    /// Response bytes received (headers + body).
+    pub bytes: u64,
+    /// Virtual cycles elapsed during the measurement.
+    pub cycles: u64,
+}
+
+impl HttpStats {
+    /// Throughput in MB/s of virtual time (Table 3's NGINX metric).
+    pub fn throughput_mb_s(&self, cpu_hz: u64) -> f64 {
+        let secs = self.cycles as f64 / cpu_hz as f64;
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / 1_000_000.0 / secs
+        }
+    }
+}
+
+/// Requests served per keep-alive connection before the client reconnects
+/// (wrk reuses connections, which is why Table 4's accept4 count is far
+/// below the request count).
+pub const KEEPALIVE_REQUESTS: u64 = 29;
+
+struct HttpConn {
+    id: bastion_kernel::ExtConnId,
+    buf: Vec<u8>,
+    /// Requests this connection may still send.
+    remaining: u64,
+    /// A request is in flight awaiting its response.
+    outstanding: bool,
+}
+
+/// Drives `total` HTTP requests against `port` with `concurrency`
+/// keep-alive connections of [`KEEPALIVE_REQUESTS`] requests each.
+/// Responses are framed by their `Content-Length` header.
+///
+/// # Panics
+/// Panics if the server stops making progress (deadlock guard).
+pub fn http_load(world: &mut World, port: u16, concurrency: usize, total: u64) -> HttpStats {
+    let request: &[u8] = b"GET /index.html HTTP/1.1\r\nHost: bench\r\n\r\n";
+    let start = world.now();
+    let mut stats = HttpStats::default();
+    let mut conns: Vec<HttpConn> = Vec::new();
+    let mut issued = 0u64;
+    let mut stall = 0u32;
+
+    // Deterministic connection plan: every run of a given (total,
+    // concurrency) opens exactly the same connections with the same
+    // request quotas, so protected and baseline runs see identical
+    // workloads (conn-count jitter would otherwise mask sub-0.1%
+    // per-context overhead deltas).
+    let mut plan: Vec<u64> = Vec::new();
+    let mut left = total;
+    while left > 0 {
+        let q = KEEPALIVE_REQUESTS.min(left);
+        plan.push(q);
+        left -= q;
+    }
+    let mut next_conn = 0usize;
+
+    while stats.requests < total {
+        // Keep the pipe full: one outstanding request per connection.
+        while conns.len() < concurrency && next_conn < plan.len() {
+            let Some(id) = world.net_connect(port) else {
+                break; // backlog full; let the server drain
+            };
+            let quota = plan[next_conn];
+            next_conn += 1;
+            world.net_send(id, request);
+            issued += 1;
+            conns.push(HttpConn {
+                id,
+                buf: Vec::new(),
+                remaining: quota - 1,
+                outstanding: true,
+            });
+        }
+        let status = world.run(SLICE);
+        let mut progressed = false;
+        let mut i = 0;
+        while i < conns.len() {
+            let chunk = world.net_recv(conns[i].id);
+            if !chunk.is_empty() {
+                conns[i].buf.extend_from_slice(&chunk);
+                progressed = true;
+            }
+            // Consume the response if complete, then pipeline the next
+            // request on the same connection.
+            while let Some(len) = complete_response(&conns[i].buf) {
+                conns[i].buf.drain(..len);
+                conns[i].outstanding = false;
+                stats.requests += 1;
+                stats.bytes += len as u64;
+                progressed = true;
+                if conns[i].remaining > 0 && issued < total {
+                    world.net_send(conns[i].id, request);
+                    conns[i].remaining -= 1;
+                    conns[i].outstanding = true;
+                    issued += 1;
+                }
+            }
+            let exhausted = !conns[i].outstanding && (conns[i].remaining == 0 || issued >= total);
+            if exhausted || world.net_server_closed(conns[i].id) {
+                world.net_close(conns[i].id);
+                conns.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        if progressed || status == RunStatus::Budget {
+            stall = 0;
+        } else {
+            stall += 1;
+            assert!(
+                stall < STALL_LIMIT,
+                "http_load stalled: {}/{total} done ({} issued), {} conns, world {world:?}",
+                stats.requests,
+                issued,
+                conns.len()
+            );
+        }
+    }
+    // Drain: close any remaining connections and run the world until all
+    // workers have re-parked in accept4. This makes every measurement
+    // cover the identical logical workload (including per-connection
+    // close + re-accept costs), so per-context overhead deltas are not
+    // masked by window-boundary jitter.
+    for c in conns.drain(..) {
+        world.net_close(c.id);
+    }
+    for _ in 0..STALL_LIMIT {
+        match world.run(SLICE) {
+            RunStatus::Idle | RunStatus::AllExited => break,
+            RunStatus::Budget => {}
+        }
+    }
+    stats.cycles = world.now() - start;
+    stats
+}
+
+/// If `buf` starts with a complete HTTP response (headers + body per
+/// `Content-Length`), returns its total length.
+fn complete_response(buf: &[u8]) -> Option<usize> {
+    let hdr_end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let headers = &buf[..hdr_end];
+    let text = std::str::from_utf8(headers).ok()?;
+    let mut body_len = 0usize;
+    for line in text.split("\r\n") {
+        if let Some(v) = line.strip_prefix("Content-Length: ") {
+            body_len = v.trim().parse().ok()?;
+        }
+    }
+    (buf.len() >= hdr_end + body_len).then_some(hdr_end + body_len)
+}
+
+/// DBT2-style transaction results.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TpccStats {
+    /// Committed new-order transactions.
+    pub transactions: u64,
+    /// Virtual cycles elapsed.
+    pub cycles: u64,
+}
+
+impl TpccStats {
+    /// New-order transactions per virtual minute (Table 3's SQLite metric).
+    pub fn notpm(&self, cpu_hz: u64) -> f64 {
+        let mins = self.cycles as f64 / cpu_hz as f64 / 60.0;
+        if mins == 0.0 {
+            0.0
+        } else {
+            self.transactions as f64 / mins
+        }
+    }
+}
+
+/// Runs `total` NEWORDER transactions over `sessions` concurrent client
+/// sessions against the dbkv server.
+///
+/// # Panics
+/// Panics on a server stall.
+pub fn tpcc_load(world: &mut World, port: u16, sessions: usize, total: u64) -> TpccStats {
+    let start = world.now();
+    let mut stats = TpccStats::default();
+    let mut conns: Vec<(bastion_kernel::ExtConnId, u64)> = Vec::new();
+    // Open sessions up front (long-lived, like DBT2 terminals).
+    for _ in 0..sessions {
+        if let Some(c) = world.net_connect(port) {
+            conns.push((c, 0));
+        }
+    }
+    assert!(!conns.is_empty(), "dbkv server not listening");
+    let mut issued = 0u64;
+    // Seed one transaction per session.
+    for (i, (c, _)) in conns.iter().enumerate() {
+        world.net_send(*c, order_cmd(issued + i as u64).as_bytes());
+    }
+    issued += conns.len() as u64;
+    let mut stall = 0u32;
+
+    while stats.transactions < total {
+        let status = world.run(SLICE);
+        let mut progressed = false;
+        for (c, buffered) in &mut conns {
+            let chunk = world.net_recv(*c);
+            if chunk.is_empty() {
+                continue;
+            }
+            progressed = true;
+            *buffered += chunk.iter().filter(|&&b| b == b'\n').count() as u64;
+            while *buffered > 0 && stats.transactions < total {
+                *buffered -= 1;
+                stats.transactions += 1;
+                if issued < total {
+                    world.net_send(*c, order_cmd(issued).as_bytes());
+                    issued += 1;
+                }
+            }
+        }
+        if progressed || status == RunStatus::Budget {
+            stall = 0;
+        } else {
+            stall += 1;
+            assert!(
+                stall < STALL_LIMIT,
+                "tpcc_load stalled: {}/{total} done, world {world:?}",
+                stats.transactions
+            );
+        }
+    }
+    stats.cycles = world.now() - start;
+    stats
+}
+
+fn order_cmd(seq: u64) -> String {
+    format!(
+        "NEWORDER {} {} {}\n",
+        1 + seq % 4,
+        seq * 7 % 251,
+        1 + seq % 9
+    )
+}
+
+/// dkftpbench-style download results.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FtpStats {
+    /// Files downloaded.
+    pub files: u64,
+    /// Payload bytes received on data connections.
+    pub bytes: u64,
+    /// Virtual cycles elapsed.
+    pub cycles: u64,
+}
+
+impl FtpStats {
+    /// Virtual seconds to download `target_bytes` at the measured rate —
+    /// the Table 3 vsftpd metric ("seconds to download a 100 MB file"),
+    /// scaled from the simulator's smaller payload.
+    pub fn seconds_for(&self, target_bytes: u64, cpu_hz: u64) -> f64 {
+        if self.bytes == 0 {
+            return f64::INFINITY;
+        }
+        let secs = self.cycles as f64 / cpu_hz as f64;
+        secs * target_bytes as f64 / self.bytes as f64
+    }
+}
+
+/// Runs `downloads` sequential RETR sessions (one file each) against the
+/// ftpd server, like dkftpbench "launching clients one after another".
+///
+/// # Panics
+/// Panics on a server stall.
+pub fn ftp_load(world: &mut World, port: u16, downloads: u64, path: &str) -> FtpStats {
+    let start = world.now();
+    let mut stats = FtpStats::default();
+    for session in 0..downloads {
+        let ctrl = loop {
+            match world.net_connect(port) {
+                Some(c) => break c,
+                None => {
+                    world.run(SLICE);
+                }
+            }
+        };
+        expect_reply(world, ctrl, b"220", session);
+        world.net_send(ctrl, b"USER bench\n");
+        expect_reply(world, ctrl, b"331", session);
+        world.net_send(ctrl, b"PASS bench\n");
+        expect_reply(world, ctrl, b"230", session);
+        world.net_send(ctrl, format!("RETR {path}\n").as_bytes());
+        // Server announces the passive port: "227 <port>\n".
+        let pasv = expect_reply(world, ctrl, b"227", session);
+        let port_num: u16 = String::from_utf8_lossy(&pasv[4..])
+            .trim()
+            .parse()
+            .expect("pasv port");
+        // Connect the data channel so the server's accept completes.
+        let data = loop {
+            match world.net_connect(port_num) {
+                Some(c) => break c,
+                None => {
+                    world.run(SLICE);
+                }
+            }
+        };
+        // Drain data until the control channel reports 226.
+        let mut ctrl_buf = Vec::new();
+        let mut stall = 0u32;
+        loop {
+            world.run(SLICE);
+            let chunk = world.net_recv(data);
+            if !chunk.is_empty() {
+                stats.bytes += chunk.len() as u64;
+                stall = 0;
+            }
+            ctrl_buf.extend(world.net_recv(ctrl));
+            if ctrl_buf.windows(3).any(|w| w == b"226") {
+                break;
+            }
+            stall += 1;
+            assert!(stall < STALL_LIMIT, "ftp_load stalled mid-transfer");
+        }
+        // Drain any trailing data bytes.
+        let tail = world.net_recv(data);
+        stats.bytes += tail.len() as u64;
+        stats.files += 1;
+        world.net_send(ctrl, b"QUIT\n");
+        world.run(SLICE);
+        let _ = world.net_recv(ctrl);
+        world.net_close(data);
+        world.net_close(ctrl);
+        world.run(SLICE);
+    }
+    stats.cycles = world.now() - start;
+    stats
+}
+
+/// Waits for a control-channel reply starting with `code`; returns the
+/// full reply bytes.
+fn expect_reply(
+    world: &mut World,
+    ctrl: bastion_kernel::ExtConnId,
+    code: &[u8],
+    session: u64,
+) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for _ in 0..STALL_LIMIT {
+        world.run(SLICE);
+        buf.extend(world.net_recv(ctrl));
+        if buf.len() >= code.len() && buf.contains(&b'\n') {
+            // Find the line with the code.
+            for line in buf.split(|&b| b == b'\n') {
+                if line.starts_with(code) {
+                    return line.to_vec();
+                }
+            }
+        }
+    }
+    panic!(
+        "ftp session {session}: no `{}` reply (got {:?})",
+        String::from_utf8_lossy(code),
+        String::from_utf8_lossy(&buf)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn http_response_framing() {
+        let resp = b"HTTP/1.0 200 OK\r\nContent-Length: 5\r\n\r\nhello";
+        assert_eq!(complete_response(resp), Some(resp.len()));
+        // Incomplete body.
+        assert_eq!(complete_response(&resp[..resp.len() - 1]), None);
+        // Incomplete headers.
+        assert_eq!(complete_response(b"HTTP/1.0 200 OK\r\nContent-"), None);
+        // Zero-length body (404s).
+        let err = b"HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n";
+        assert_eq!(complete_response(err), Some(err.len()));
+        // Pipelined responses: only the first is consumed.
+        let mut two = resp.to_vec();
+        two.extend_from_slice(err);
+        assert_eq!(complete_response(&two), Some(resp.len()));
+    }
+
+    #[test]
+    fn metrics_convert_units() {
+        let h = HttpStats {
+            requests: 10,
+            bytes: 2_000_000,
+            cycles: 2_000_000_000,
+        };
+        assert!((h.throughput_mb_s(2_000_000_000) - 2.0).abs() < 1e-9);
+        let t = TpccStats {
+            transactions: 600,
+            cycles: 2_000_000_000 * 60,
+        };
+        assert!((t.notpm(2_000_000_000) - 600.0).abs() < 1e-9);
+        let f = FtpStats {
+            files: 1,
+            bytes: 1_000_000,
+            cycles: 2_000_000_000,
+        };
+        // 100x the bytes at the same rate = 100x the time.
+        assert!((f.seconds_for(100_000_000, 2_000_000_000) - 100.0).abs() < 1e-9);
+        let empty = FtpStats::default();
+        assert!(empty.seconds_for(1, 1).is_infinite());
+    }
+
+    #[test]
+    fn order_commands_are_well_formed() {
+        for i in 0..50 {
+            let c = order_cmd(i);
+            assert!(c.starts_with("NEWORDER "));
+            assert!(c.ends_with('\n'));
+            assert_eq!(c.split_whitespace().count(), 4);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Scenario types and common payload builders.
+
+use crate::env::{AttackEnv, Parked};
+use bastion_ir::CALL_SIZE;
+
+/// Which context(s) Table 6 expects to block a scenario (✓ = true).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expected {
+    /// Call-Type context blocks it.
+    pub ct: bool,
+    /// Control-Flow context blocks it.
+    pub cf: bool,
+    /// Argument-Integrity context blocks it.
+    pub ai: bool,
+}
+
+impl Expected {
+    /// All three contexts block (the ✓✓✓ rows).
+    pub const ALL: Expected = Expected {
+        ct: true,
+        cf: true,
+        ai: true,
+    };
+    /// CT bypassed, CF and AI block (the ROP rows).
+    pub const CF_AI: Expected = Expected {
+        ct: false,
+        cf: true,
+        ai: true,
+    };
+    /// Only AI blocks (legitimate-control-flow data attacks).
+    pub const AI_ONLY: Expected = Expected {
+        ct: false,
+        cf: false,
+        ai: true,
+    };
+}
+
+/// Table 6 category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Return-oriented programming payloads.
+    Rop,
+    /// Direct system call manipulation (incl. real-world CVEs).
+    Direct,
+    /// Indirect system call manipulation.
+    Indirect,
+}
+
+impl Category {
+    /// Section heading as printed in Table 6.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Rop => "Return-oriented programming (ROP)",
+            Category::Direct => "Direct system call manipulation",
+            Category::Indirect => "Indirect system call manipulation",
+        }
+    }
+}
+
+/// One Table 6 attack.
+pub struct Scenario {
+    /// Row number (1-based, in Table 6 order).
+    pub id: u32,
+    /// Human-readable name.
+    pub name: String,
+    /// The paper's citation markers for this row.
+    pub citation: &'static str,
+    /// Table 6 section.
+    pub category: Category,
+    /// Target program.
+    pub victim: crate::victim::Victim,
+    /// Whether the §11.2 extended sensitive set is required (AOCR-1 uses
+    /// filesystem syscalls).
+    pub extended_set: bool,
+    /// Expected per-context verdicts from Table 6.
+    pub expected: Expected,
+    /// The attack payload.
+    pub attack: Box<dyn Fn(&mut AttackEnv) + Send + Sync>,
+    /// The malicious-effect predicate (ground truth).
+    pub success: Box<dyn Fn(&AttackEnv) -> bool + Send + Sync>,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("expected", &self.expected)
+            .finish()
+    }
+}
+
+/// How a ret2stub payload provisions the stub's argument slots.
+pub enum StubArgs {
+    /// Fixed word values.
+    Words(Vec<u64>),
+    /// `execve(<planted string>, 0, 0)`.
+    ExecvePath(&'static str),
+    /// `mprotect(*<global holding a mapping>, 4096, PROT_RWX)`.
+    MprotectRwx {
+        /// Global variable holding the target mapping's address.
+        region_global: &'static str,
+    },
+    /// `mmap(addr, 4096, PROT_RWX, MAP_FIXED|ANON|SHARED, -1, 0)`.
+    MmapRwx {
+        /// Fixed address to map.
+        addr: u64,
+    },
+    /// `chmod(<planted path>, 0o777)`.
+    Chmod(&'static str),
+}
+
+/// The classic ret2libc/ROP vehicle (paper §10.1): a worker parked in a
+/// blocking `read` has the read stub's return address redirected to
+/// `stub`'s entry; the stub then reads its arguments from memory the
+/// attacker pre-seeded. Optionally the next return address is spoofed to
+/// sit right after a *legitimate* callsite of `(spoof_func, spoof_nr)`,
+/// which is how ROP payloads slip past the Call-Type check (Table 6: ×).
+pub fn ret2stub(
+    env: &mut AttackEnv,
+    stub: &'static str,
+    args: &StubArgs,
+    spoof: Option<(&'static str, u32)>,
+) {
+    let parked = env.park();
+    ret2stub_parked(env, parked, stub, args, spoof);
+    env.wake(parked);
+}
+
+/// Same payload against an already-parked victim (used by the root-shell
+/// scenario, which targets the accept-parked privileged listener).
+pub fn ret2stub_parked(
+    env: &mut AttackEnv,
+    parked: Parked,
+    stub: &'static str,
+    args: &StubArgs,
+    spoof: Option<(&'static str, u32)>,
+) {
+    let pid = parked.pid;
+    let fp0 = env.fp_of(pid);
+    let caller_fp = env.read_u64(pid, fp0);
+    let words: Vec<u64> = match args {
+        StubArgs::Words(w) => w.clone(),
+        StubArgs::ExecvePath(p) => {
+            let s = env.plant_string(pid, p);
+            vec![s, 0, 0]
+        }
+        StubArgs::MprotectRwx { region_global } => {
+            let region = env.read_u64(pid, env.sym(region_global));
+            vec![region, 4096, 7]
+        }
+        StubArgs::MmapRwx { addr } => vec![*addr, 4096, 7, 0x31, u64::MAX, 0],
+        StubArgs::Chmod(p) => {
+            let s = env.plant_string(pid, p);
+            vec![s, 0o777]
+        }
+    };
+    let slots = env.stub_slots(stub, caller_fp);
+    for (slot, v) in slots.iter().zip(words.iter()) {
+        env.write_u64(pid, *slot, *v);
+    }
+    if let Some((func, nr)) = spoof {
+        let site = env.syscall_site_in(func, nr);
+        env.write_u64(pid, caller_fp + 8, site + CALL_SIZE);
+    }
+    env.write_u64(pid, fp0 + 8, env.sym(stub));
+}
+
+/// ret2func vehicle: redirect the parked read's return straight at a
+/// whole function (full-function reuse) after corrupting the state it
+/// consumes.
+pub fn ret2func(env: &mut AttackEnv, func: &'static str, corrupt: impl Fn(&mut AttackEnv, Parked)) {
+    let parked = env.park();
+    corrupt(env, parked);
+    let fp0 = env.fp_of(parked.pid);
+    env.write_u64(parked.pid, fp0 + 8, env.sym(func));
+    env.wake(parked);
+}

@@ -1,0 +1,190 @@
+//! Victim programs the Table 6 attacks run against.
+//!
+//! Three are the evaluation applications themselves (webserve built with a
+//! reduced worker count so attack runs boot quickly); the fourth,
+//! [`APACHED`], is an Apache-shaped victim whose `exec` is legitimately
+//! reachable through an *indirect* call — the property the AOCR Apache
+//! attack needs and which none of the three paper applications has
+//! (Table 5 row 5).
+
+use bastion_apps::App;
+use bastion_ir::Module;
+use bastion_kernel::World;
+
+/// The Apache-shaped victim (AOCR Apache attack, §10.3).
+///
+/// `ap_get_exec_line` invokes `execve` through the `exec_fn` code pointer
+/// (so `execve` is *indirectly-callable* in this image), and requests are
+/// dispatched through the corruptible `handlers` table.
+pub const APACHED: &str = r#"
+// ---- apached: Apache-shaped victim with an indirect exec path ----
+
+char legit_cmd[32];
+fnptr exec_fn;
+struct req_handler { fnptr fn; };
+struct req_handler handlers[2];
+
+long ap_get_exec_line(long cmd, long unused) {
+    // Legitimate indirect invocation of execve through a code pointer.
+    return exec_fn(cmd, 0, 0);
+}
+
+long h_status(long a, long b) { return a + b; }
+long h_info(long a, long b) { return a - b; }
+
+long dispatch(long idx, char *arg) {
+    return handlers[idx & 1].fn(arg, 7);
+}
+
+void serve(long conn) {
+    char buf[128];
+    long n;
+    long r;
+    n = read(conn, buf, 127);
+    if (n <= 0) { return; }
+    buf[n] = 0;
+    r = dispatch(buf[0] - '0', buf + 2);
+    char out[32];
+    char num[24];
+    strcpy(out, "R ");
+    itoa(r, num);
+    strcat(out, num);
+    strcat(out, "\n");
+    write(conn, out, strlen(out));
+}
+
+long main() {
+    long listener;
+    long sa[2];
+    long conn;
+
+    strcpy(legit_cmd, "/usr/bin/uptime");
+    exec_fn = execve;
+    handlers[0].fn = h_status;
+    handlers[1].fn = h_info;
+
+    listener = socket(2, 1, 0);
+    sa[0] = 2 | 8088 * 65536;
+    bind(listener, sa, 16);
+    listen(listener, 16);
+    while (1) {
+        conn = accept(listener, 0, 0);
+        if (conn < 0) { continue; }
+        serve(conn);
+        close(conn);
+    }
+    return 0;
+}
+"#;
+
+/// Which program an attack scenario targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Victim {
+    /// The NGINX analogue (built with 2 workers for fast attack runs).
+    Webserve,
+    /// The SQLite analogue.
+    Dbkv,
+    /// The vsftpd analogue.
+    Ftpd,
+    /// The Apache-shaped victim above.
+    Apached,
+}
+
+impl Victim {
+    /// Compiles the victim's module (uninstrumented; the attack env runs
+    /// it through the BASTION compiler).
+    ///
+    /// # Panics
+    /// Panics if the shipped source fails to compile.
+    pub fn module(self) -> Module {
+        match self {
+            Victim::Webserve => {
+                // 2 workers keep attack-run boot fast; everything else is
+                // identical to the benchmark build.
+                let src = bastion_apps::webserve::SOURCE
+                    .replace("for (i = 0; i < 32; i = i + 1) {", "for (i = 0; i < 2; i = i + 1) {");
+                bastion_minic::compile_program("webserve", &[&src]).expect("webserve compiles")
+            }
+            Victim::Dbkv => App::Dbkv.module().expect("dbkv compiles"),
+            Victim::Ftpd => App::Ftpd.module().expect("ftpd compiles"),
+            Victim::Apached => {
+                bastion_minic::compile_program("apached", &[APACHED]).expect("apached compiles")
+            }
+        }
+    }
+
+    /// The listener port.
+    pub fn port(self) -> u16 {
+        match self {
+            Victim::Webserve => App::Webserve.port(),
+            Victim::Dbkv => App::Dbkv.port(),
+            Victim::Ftpd => App::Ftpd.port(),
+            Victim::Apached => 8088,
+        }
+    }
+
+    /// VFS fixtures, including the attacker's would-be payloads (so
+    /// ground-truth runs can actually "succeed").
+    pub fn setup(self, world: &mut World) {
+        match self {
+            Victim::Webserve => App::Webserve.setup_vfs(world),
+            Victim::Dbkv => App::Dbkv.setup_vfs(world),
+            Victim::Ftpd => App::Ftpd.setup_vfs(world),
+            Victim::Apached => {
+                world
+                    .kernel
+                    .vfs
+                    .put_file("/usr/bin/uptime", vec![0x7f], 0o755);
+            }
+        }
+        // Attacker payloads present on disk for every victim.
+        world.kernel.vfs.put_file("/bin/sh", vec![0x7f], 0o755);
+        world.kernel.vfs.put_file("/tmp/ev", vec![0x7f], 0o755);
+        world.kernel.vfs.put_file("/tmp/evil", vec![0x7f], 0o755);
+        world.kernel.vfs.put_file("/tmp/rootkit", vec![0x7f], 0o755);
+        world.kernel.vfs.put_file("/etc/shadow", b"secrets".to_vec(), 0o600);
+    }
+
+    /// A priming request that makes one worker serve us and then park in
+    /// a keep-alive read (`None` = connect alone is enough).
+    pub fn priming(self) -> Option<&'static [u8]> {
+        match self {
+            Victim::Webserve => Some(b"GET /index.html HTTP/1.1\r\nHost: pwn\r\n\r\n"),
+            Victim::Dbkv => Some(b"STOCK 1\n"),
+            // ftpd/apached park in read right after accept.
+            Victim::Ftpd | Victim::Apached => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_victims_compile() {
+        for v in [Victim::Webserve, Victim::Dbkv, Victim::Ftpd, Victim::Apached] {
+            let m = v.module();
+            assert!(m.func_by_name("main").is_some(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn apached_exec_is_indirectly_callable() {
+        use bastion_analysis::{CallGraph, CallTypeReport};
+        let m = Victim::Apached.module();
+        let cg = CallGraph::build(&m);
+        let ct = CallTypeReport::build(&m, &cg);
+        let class = ct.class_of(bastion_ir::sysno::EXECVE);
+        // Indirect via exec_fn; also direct via libc's system() — `Both`.
+        assert!(class.allows_indirect(), "{class:?}");
+    }
+
+    #[test]
+    fn webserve_victim_has_reduced_workers() {
+        let m = Victim::Webserve.module();
+        // Compiles identically except the worker loop bound.
+        assert!(m.func_by_name("ngx_execute_proc").is_some());
+        assert!(m.func_by_name("h_admin").is_some());
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 3 + Table 3: performance overhead of LLVM CFI, CET, and the
+//! three BASTION context configurations for all three applications,
+//! against the unprotected vanilla baseline.
+
+use bastion::apps::ALL_APPS;
+use bastion::harness::{run_figure3_row, WorkloadSize};
+use bastion::vm::CostModel;
+use bastion_bench::{fmt_metric, fmt_overhead, row, CPU_HZ};
+
+fn main() {
+    let size = WorkloadSize::standard();
+    let cost = CostModel::default();
+    let mut rows = Vec::new();
+    for app in ALL_APPS {
+        eprintln!("running {} ...", app.label());
+        rows.push((app, run_figure3_row(app, &size, cost)));
+    }
+
+    println!("Figure 3: Performance overhead vs. unprotected vanilla (virtual time)");
+    println!();
+    let headers = ["LLVM CFI", "CET", "CET+CT", "CET+CT+CF", "CET+CT+CF+AI"];
+    println!(
+        "{}",
+        row(
+            "Application",
+            &headers.iter().map(|h| (*h).to_string()).collect::<Vec<_>>()
+        )
+    );
+    for (app, (base, cols)) in &rows {
+        let cells: Vec<String> = cols.iter().map(|c| fmt_overhead(c, base)).collect();
+        println!("{}", row(app.label(), &cells));
+    }
+
+    println!();
+    println!("Table 3: Raw benchmark numbers behind Figure 3");
+    println!();
+    let mut headers3 = vec!["Vanilla".to_string()];
+    headers3.extend(headers.iter().map(|h| (*h).to_string()));
+    println!("{}", row("Application (metric)", &headers3));
+    for (app, (base, cols)) in &rows {
+        let mut cells = vec![fmt_metric(*app, base.metric)];
+        cells.extend(cols.iter().map(|c| fmt_metric(*app, c.metric)));
+        println!("{}", row(app.label(), &cells));
+    }
+    println!();
+    println!(
+        "(NGINX: throughput MB/s; SQLite: new-order transactions/min; vsftpd: \
+         seconds to download 100 MB — all in deterministic virtual time at {} GHz)",
+        CPU_HZ / 1_000_000_000
+    );
+}

@@ -1,0 +1,29 @@
+//! Table 1: classification of sensitive system calls commonly leveraged
+//! by attackers.
+
+use bastion::ir::sysno::{self, AttackVector};
+
+fn main() {
+    println!("Table 1: Classification of sensitive system calls");
+    println!();
+    println!("{:<26} Applicable System Calls", "Classification");
+    for vector in [
+        AttackVector::ArbitraryCodeExecution,
+        AttackVector::MemoryPermissions,
+        AttackVector::PrivilegeEscalation,
+        AttackVector::Networking,
+    ] {
+        let names: Vec<&str> = sysno::SENSITIVE
+            .iter()
+            .filter(|&&(_, v)| v == vector)
+            .map(|&(nr, _)| sysno::name(nr).expect("named"))
+            .collect();
+        println!("{:<26} {}", vector.label(), names.join(", "));
+    }
+    println!();
+    println!(
+        "{} sensitive system calls protected by default; seccomp KILLs every",
+        sysno::SENSITIVE.len()
+    );
+    println!("not-callable syscall and TRACEs the callable sensitive ones.");
+}

@@ -1,0 +1,55 @@
+//! Table 5: instrumentation statistics for all three applications.
+
+use bastion::apps::ALL_APPS;
+use bastion::compiler::BastionCompiler;
+
+fn main() {
+    let compiler = BastionCompiler::new();
+    let stats: Vec<_> = ALL_APPS
+        .iter()
+        .map(|app| {
+            let out = compiler
+                .compile(app.module().expect("app compiles"))
+                .expect("instrumentation succeeds");
+            out.metadata.stats
+        })
+        .collect();
+
+    println!("Table 5: Instrumentation statistics for BASTION");
+    println!();
+    print!("{:<46}", "");
+    for app in ALL_APPS {
+        print!(" {:>10}", app.id());
+    }
+    println!();
+    type StatFn = Box<dyn Fn(&bastion::compiler::InstrStats) -> usize>;
+    let rows: Vec<(&str, StatFn)> = vec![
+        ("Total # application callsites", Box::new(|s| s.total_callsites)),
+        ("Total # arbitrary direct callsites", Box::new(|s| s.direct_callsites)),
+        ("Total # arbitrary in-direct callsites", Box::new(|s| s.indirect_callsites)),
+        ("Total # sensitive callsites", Box::new(|s| s.sensitive_callsites)),
+        (
+            "Total # sensitive syscalls called indirectly",
+            Box::new(|s| s.sensitive_indirect),
+        ),
+        ("ctx_write_mem()", Box::new(|s| s.ctx_write_mem)),
+        ("ctx_bind_mem()", Box::new(|s| s.ctx_bind_mem)),
+        ("ctx_bind_const()", Box::new(|s| s.ctx_bind_const)),
+        (
+            "Total instrumentation sites",
+            Box::new(|s| s.total_instrumentation()),
+        ),
+    ];
+    for (label, f) in rows {
+        print!("{label:<46}");
+        for s in &stats {
+            print!(" {:>10}", f(s));
+        }
+        println!();
+    }
+    println!();
+    println!(
+        "Key finding (paper): sensitive system calls are never legitimately \
+         called indirectly in any of the three applications."
+    );
+}

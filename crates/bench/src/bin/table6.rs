@@ -1,0 +1,19 @@
+//! Table 6: the 32-attack security evaluation. Every attack is run live:
+//! first unprotected (it must succeed — ground truth), then under each
+//! context in isolation, then under full BASTION.
+
+fn main() {
+    eprintln!("evaluating 32 attacks x 5 configurations (this takes a minute)...");
+    let results = bastion::attacks::evaluate_all();
+    println!("{}", bastion::attacks::render(&results));
+    let mismatches: Vec<_> = results.iter().filter(|r| !r.matches_paper()).collect();
+    if !mismatches.is_empty() {
+        for m in mismatches {
+            eprintln!("MISMATCH #{}: {}", m.id, m.name);
+            for d in &m.details {
+                eprintln!("    {d}");
+            }
+        }
+        std::process::exit(1);
+    }
+}

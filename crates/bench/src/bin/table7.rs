@@ -1,0 +1,60 @@
+//! Table 7: overhead when filesystem-related syscalls (open/read/write/
+//! send/recv and variants) are protected too (§11.2), broken into the
+//! paper's three checkpoints: seccomp hook only, + fetching process state
+//! via ptrace, + full context checking.
+
+use bastion::apps::ALL_APPS;
+use bastion::harness::{run_table7_row, WorkloadSize};
+use bastion::vm::CostModel;
+use bastion_bench::{fmt_metric, row};
+
+fn main() {
+    let size = WorkloadSize::standard();
+    let cost = CostModel::default();
+
+    println!("Table 7: Overhead with file-system syscalls protected (§11.2)");
+    println!();
+    let labels = [
+        "seccomp hook only",
+        "fetch process state",
+        "full context checking",
+    ];
+    println!(
+        "{}",
+        row(
+            "Configuration",
+            &ALL_APPS.iter().map(|a| a.id().to_string()).collect::<Vec<_>>()
+        )
+    );
+    let mut grids = Vec::new();
+    for app in ALL_APPS {
+        eprintln!("running {} ...", app.label());
+        grids.push(run_table7_row(app, &size, cost));
+    }
+    // Baseline row for reference.
+    let base_cells: Vec<String> = ALL_APPS
+        .iter()
+        .zip(&grids)
+        .map(|(app, (base, _))| fmt_metric(*app, base.metric))
+        .collect();
+    println!("{}", row("Unprotected baseline", &base_cells));
+    for (i, label) in labels.iter().enumerate() {
+        let cells: Vec<String> = ALL_APPS
+            .iter()
+            .zip(&grids)
+            .map(|(app, (base, rows))| {
+                format!(
+                    "{} ({:+.2}%)",
+                    fmt_metric(*app, rows[i].metric).trim(),
+                    rows[i].overhead_vs(base)
+                )
+            })
+            .collect();
+        println!("{}", row(label, &cells));
+    }
+    println!();
+    println!(
+        "Expected shape (paper): fetching process state dominates — the jump \
+         between rows 1 and 2 dwarfs both the hook cost and the row-2→3 delta."
+    );
+}

@@ -1,0 +1,256 @@
+//! `bastion` — the reproduction's command-line front door.
+//!
+//! ```text
+//! bastion compile <file.mc>...  [--metadata out.json] [--ir] [--stats]
+//! bastion run     <file.mc>...  [--protect full|ct|ct-cf|hook|none] [--cet] [--verbose]
+//! bastion attack  [id]
+//! bastion inspect <file.mc>...  (call-type classes + control-flow edges)
+//! ```
+
+use bastion::compiler::BastionCompiler;
+use bastion::kernel::{ExitReason, World};
+use bastion::minic;
+use bastion::monitor::ContextConfig;
+use bastion::vm::{CostModel, Image, Machine};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "compile" => cmd_compile(rest),
+        "run" => cmd_run(rest),
+        "attack" => cmd_attack(rest),
+        "inspect" => cmd_inspect(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bastion: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+bastion — System Call Integrity (BASTION reproduction)
+
+USAGE:
+    bastion compile <file.mc>... [--metadata OUT.json] [--ir] [--stats]
+        Compile MiniC sources under the BASTION pass; optionally dump the
+        context metadata, the instrumented IR, or Table 5-style statistics.
+
+    bastion run <file.mc>... [--protect MODE] [--cet] [--verbose]
+        Compile and execute in the simulated world. MODE is one of
+        full (default), ct, ct-cf, hook, none.
+
+    bastion attack [ID]
+        Run the Table 6 security evaluation (one scenario or all 32).
+
+    bastion inspect <file.mc>...
+        Print call-type classes and control-flow edges for sensitive
+        system calls.
+";
+
+fn read_sources(paths: &[&str]) -> Result<Vec<String>, String> {
+    if paths.is_empty() {
+        return Err("no source files given".into());
+    }
+    paths
+        .iter()
+        .map(|p| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}")))
+        .collect()
+}
+
+fn split_flags(args: &[String]) -> (Vec<&str>, Vec<&str>) {
+    let mut files = Vec::new();
+    let mut flags = Vec::new();
+    for a in args {
+        if a.starts_with("--") {
+            flags.push(a.as_str());
+        } else {
+            files.push(a.as_str());
+        }
+    }
+    (files, flags)
+}
+
+fn flag_value<'a>(flags: &[&'a str], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find_map(|f| f.strip_prefix(&format!("--{name}=")))
+}
+
+fn compile(paths: &[&str]) -> Result<bastion::compiler::CompileOutput, String> {
+    let sources = read_sources(paths)?;
+    let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let module =
+        minic::compile_program("cli", &refs).map_err(|e| format!("compile error: {e}"))?;
+    BastionCompiler::new()
+        .compile(module)
+        .map_err(|e| format!("instrumentation error: {e}"))
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let (files, flags) = split_flags(args);
+    let out = compile(&files)?;
+    if flags.contains(&"--ir") {
+        println!("{}", bastion::ir::printer::print_module(&out.module));
+    }
+    if let Some(path) = flag_value(&flags, "metadata") {
+        let json = out
+            .metadata
+            .to_json()
+            .map_err(|e| format!("metadata serialization: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        println!("metadata written to {path}");
+    }
+    if flags.contains(&"--stats")
+        || flags.len() == usize::from(flag_value(&flags, "metadata").is_some())
+    {
+        let s = &out.metadata.stats;
+        println!("callsites: {} total ({} direct, {} indirect)", s.total_callsites, s.direct_callsites, s.indirect_callsites);
+        println!("sensitive callsites: {} ({} indirectly-callable sensitive syscalls)", s.sensitive_callsites, s.sensitive_indirect);
+        println!(
+            "instrumentation: {} ctx_write_mem, {} ctx_bind_mem, {} ctx_bind_const ({} total)",
+            s.ctx_write_mem,
+            s.ctx_bind_mem,
+            s.ctx_bind_const,
+            s.total_instrumentation()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (files, flags) = split_flags(args);
+    let mode = flag_value(&flags, "protect").unwrap_or("full");
+    let monitor_cfg = match mode {
+        "full" => Some(ContextConfig::full()),
+        "ct" => Some(ContextConfig::ct()),
+        "ct-cf" => Some(ContextConfig::ct_cf()),
+        "hook" => Some(ContextConfig::hook_only()),
+        "none" => None,
+        other => return Err(format!("unknown --protect mode `{other}`")),
+    };
+    let out = compile(&files)?;
+    let image = Arc::new(Image::load(out.module).map_err(|e| format!("load: {e}"))?);
+    let mut world = World::new(CostModel::default());
+    let mut machine = Machine::new(image.clone(), CostModel::default());
+    if flags.contains(&"--cet") {
+        machine.enable_cet();
+    }
+    let pid = world.spawn(machine);
+    if let Some(cfg) = monitor_cfg {
+        bastion::monitor::protect(&mut world, pid, &image, &out.metadata, cfg);
+    }
+    let status = world.run(10_000_000_000);
+    let console = String::from_utf8_lossy(&world.kernel.console).into_owned();
+    if !console.is_empty() {
+        print!("{console}");
+    }
+    let verbose = flags.contains(&"--verbose");
+    match world.proc(pid).and_then(|p| p.exit.clone()) {
+        Some(ExitReason::Exited(code)) => {
+            println!("[exited with status {code}; {} virtual cycles]", world.now());
+        }
+        Some(ExitReason::MonitorKill { nr, reason }) => {
+            println!(
+                "[KILLED by BASTION monitor at syscall {} ({}): {reason}]",
+                nr,
+                bastion::ir::sysno::name(nr).unwrap_or("?")
+            );
+        }
+        Some(ExitReason::SeccompKill { nr }) => {
+            println!(
+                "[KILLED by seccomp: not-callable syscall {} ({})]",
+                nr,
+                bastion::ir::sysno::name(nr).unwrap_or("?")
+            );
+        }
+        Some(ExitReason::Fault(f)) => println!("[crashed: {f}]"),
+        None => println!("[still running after budget; status {status:?}]"),
+    }
+    if verbose {
+        println!("traps: {}", world.trap_count);
+        for (nr, n) in &world.kernel.counts {
+            println!(
+                "  syscall {:<18} x{}",
+                bastion::ir::sysno::name(*nr).unwrap_or("?"),
+                n
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_attack(args: &[String]) -> Result<(), String> {
+    let id: Option<u32> = args.first().and_then(|a| a.parse().ok());
+    let catalog = bastion::attacks::catalog();
+    let mut all_ok = true;
+    for s in &catalog {
+        if let Some(id) = id {
+            if s.id != id {
+                continue;
+            }
+        }
+        let r = bastion::attacks::evaluate(s);
+        println!(
+            "#{:2} [{}] {}",
+            r.id,
+            if r.matches_paper() { "matches paper" } else { "MISMATCH" },
+            r.name
+        );
+        for d in &r.details {
+            println!("     {d}");
+        }
+        all_ok &= r.matches_paper();
+    }
+    if all_ok {
+        Ok(())
+    } else {
+        Err("some scenarios diverged from the paper's Table 6".into())
+    }
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let (files, _) = split_flags(args);
+    let out = compile(&files)?;
+    let md = &out.metadata;
+    println!("call-type classes:");
+    for (nr, class) in &md.syscall_classes {
+        let sensitive = if md.sensitive_nrs.contains(nr) { " [sensitive]" } else { "" };
+        println!(
+            "  {:<18} {:?}{sensitive}",
+            bastion::ir::sysno::name(*nr).unwrap_or("?"),
+            class
+        );
+    }
+    println!();
+    println!("control-flow context ({} callee→caller edge sets):", md.valid_callers.len());
+    for (callee, sites) in &md.valid_callers {
+        let name = md
+            .functions
+            .get(callee)
+            .map(|f| f.name.as_str())
+            .unwrap_or("?");
+        println!("  {name:<28} {} valid caller callsite(s)", sites.len());
+    }
+    println!();
+    println!(
+        "sensitive syscall callsites: {} | indirect entries: {}",
+        md.syscall_sites.len(),
+        md.indirect_entries.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,355 @@
+//! The instrumentation pass (paper §6.3.3).
+//!
+//! Rewrites a module's blocks, inserting the Table 2 runtime-library
+//! intrinsics:
+//!
+//! * `ctx_write_mem(p, size)` *after* every store to a sensitive location
+//!   (keeping the shadow copy up to date);
+//! * `ctx_bind_mem_X(p)` / `ctx_bind_const_X(c)` *before* every sensitive
+//!   syscall callsite and every propagation callsite, in argument-position
+//!   order.
+//!
+//! Insertion shifts instruction indices, so the pass also returns a full
+//! old-location → new-location map; the metadata generator translates all
+//! analysis results through it before assigning final addresses.
+
+use bastion_analysis::sensitive::{ArgSpec, SensitiveReport};
+use bastion_ir::{Block, Inst, InstLoc, IntrinsicOp, Module, Operand, Reg, Width};
+use std::collections::{HashMap, HashSet};
+
+/// Output of the instrumentation pass.
+#[derive(Debug)]
+pub struct Instrumented {
+    /// The rewritten module.
+    pub module: Module,
+    /// old `InstLoc` → new `InstLoc` for every original instruction.
+    pub loc_map: HashMap<InstLoc, InstLoc>,
+    /// `(old callsite, position)` pairs for which a memory binding was
+    /// actually placed (specs whose address could not be re-derived are
+    /// downgraded by the caller).
+    pub placed_mem_binds: HashSet<(InstLoc, u8)>,
+    /// Count of `ctx_bind_const` intrinsics inserted.
+    pub const_binds: usize,
+    /// Count of `ctx_write_mem` intrinsics inserted.
+    pub write_mems: usize,
+}
+
+/// Runs the pass with BASTION's sensitive-only store breadth.
+pub fn instrument(module: &Module, report: &SensitiveReport) -> Instrumented {
+    instrument_with_breadth(
+        module,
+        report,
+        crate::InstrumentationBreadth::SensitiveOnly,
+    )
+}
+
+/// Runs the pass with an explicit store-instrumentation breadth.
+pub fn instrument_with_breadth(
+    module: &Module,
+    report: &SensitiveReport,
+    breadth: crate::InstrumentationBreadth,
+) -> Instrumented {
+    // Index the plan by location.
+    let mut write_after: HashMap<InstLoc, Width> = HashMap::new();
+    if breadth == crate::InstrumentationBreadth::AllStores {
+        // DFI-style: shadow every store in the program.
+        for (fid, f) in module.iter_funcs() {
+            for (bid, b) in f.iter_blocks() {
+                for (i, inst) in b.insts.iter().enumerate() {
+                    if let Inst::Store { width, .. } = inst {
+                        write_after.insert(
+                            InstLoc {
+                                func: fid,
+                                block: bid,
+                                inst: i,
+                            },
+                            *width,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    for s in &report.store_sites {
+        write_after.insert(s.loc, s.width);
+    }
+    let mut bind_before: HashMap<InstLoc, Vec<(u8, ArgSpec)>> = HashMap::new();
+    for s in &report.syscall_sites {
+        let entry = bind_before.entry(s.callsite).or_default();
+        for (i, spec) in s.args.iter().enumerate() {
+            entry.push(((i + 1) as u8, spec.clone()));
+        }
+    }
+    for s in &report.prop_sites {
+        let entry = bind_before.entry(s.callsite).or_default();
+        for (pos, spec) in &s.args {
+            entry.push((*pos, spec.clone()));
+        }
+    }
+
+    let mut out = Instrumented {
+        module: module.clone(),
+        loc_map: HashMap::new(),
+        placed_mem_binds: HashSet::new(),
+        const_binds: 0,
+        write_mems: 0,
+    };
+
+    for (fid, f) in module.iter_funcs() {
+        // Single-assignment def map for re-deriving bind addresses.
+        let mut defs: HashMap<Reg, &Inst> = HashMap::new();
+        for b in &f.blocks {
+            for inst in &b.insts {
+                if let Some(d) = inst.def() {
+                    defs.insert(d, inst);
+                }
+            }
+        }
+
+        // Implicit parameter spills: refresh shadow copies of sensitive
+        // parameter slots at function entry (Figure 2, `ctx_write_mem(&b2)`
+        // at the top of `bar`). Uses fresh registers past reg_count.
+        let mut next_reg = f.reg_count;
+        let mut entry_prologue = Vec::new();
+        for &(pf, slot) in &report.param_spills {
+            if pf != fid {
+                continue;
+            }
+            let r = bastion_ir::Reg(next_reg);
+            next_reg += 1;
+            entry_prologue.push(Inst::FrameAddr { dst: r, slot });
+            entry_prologue.push(Inst::Intrinsic(IntrinsicOp::CtxWriteMem {
+                addr: Operand::Reg(r),
+                size: 8,
+            }));
+            out.write_mems += 1;
+        }
+        out.module.functions[fid.index()].reg_count = next_reg;
+
+        let mut new_blocks = Vec::with_capacity(f.blocks.len());
+        for (bid, b) in f.iter_blocks() {
+            let mut insts = Vec::with_capacity(b.insts.len());
+            if bid.index() == 0 {
+                insts.append(&mut entry_prologue);
+            }
+            for (i, inst) in b.insts.iter().enumerate() {
+                let old = InstLoc {
+                    func: fid,
+                    block: bid,
+                    inst: i,
+                };
+                // Bindings go in front of the call.
+                if let Some(binds) = bind_before.get(&old) {
+                    let mut binds = binds.clone();
+                    binds.sort_by_key(|(p, _)| *p);
+                    for (pos, spec) in binds {
+                        match spec {
+                            ArgSpec::Const(v) => {
+                                insts.push(Inst::Intrinsic(IntrinsicOp::CtxBindConst {
+                                    pos,
+                                    value: v,
+                                }));
+                                out.const_binds += 1;
+                            }
+                            ArgSpec::Mem(_) => {
+                                let arg = call_arg(inst, pos);
+                                if let Some(addr) =
+                                    arg.and_then(|a| derive_addr(&defs, a, 0))
+                                {
+                                    insts.push(Inst::Intrinsic(IntrinsicOp::CtxBindMem {
+                                        pos,
+                                        addr,
+                                    }));
+                                    out.placed_mem_binds.insert((old, pos));
+                                }
+                            }
+                            ArgSpec::GlobalAddr(_) | ArgSpec::StackAddr | ArgSpec::Opaque => {}
+                        }
+                    }
+                }
+                let new = InstLoc {
+                    func: fid,
+                    block: bid,
+                    inst: insts.len(),
+                };
+                out.loc_map.insert(old, new);
+                insts.push(inst.clone());
+                // Shadow refresh right after a sensitive store.
+                if let Some(width) = write_after.get(&old) {
+                    if let Inst::Store { addr, .. } = inst {
+                        insts.push(Inst::Intrinsic(IntrinsicOp::CtxWriteMem {
+                            addr: *addr,
+                            size: width.bytes() as u32,
+                        }));
+                        out.write_mems += 1;
+                    }
+                }
+            }
+            // The terminator keeps its (shifted) position; record it too.
+            let old_term = InstLoc {
+                func: fid,
+                block: bid,
+                inst: b.insts.len(),
+            };
+            let new_term = InstLoc {
+                func: fid,
+                block: bid,
+                inst: insts.len(),
+            };
+            out.loc_map.insert(old_term, new_term);
+            new_blocks.push(Block {
+                insts,
+                term: b.term,
+            });
+        }
+        out.module.functions[fid.index()].blocks = new_blocks;
+    }
+    out
+}
+
+/// The argument operand at 1-based `pos` of a call instruction.
+fn call_arg(inst: &Inst, pos: u8) -> Option<Operand> {
+    if let Inst::Call { args, .. } = inst {
+        args.get(pos as usize - 1).copied()
+    } else {
+        None
+    }
+}
+
+/// Re-derives the address operand behind a loaded argument value: the
+/// operand of the `load` that produced it (walking trivial moves).
+fn derive_addr(defs: &HashMap<Reg, &Inst>, arg: Operand, depth: u32) -> Option<Operand> {
+    if depth > 16 {
+        return None;
+    }
+    let r = arg.as_reg()?;
+    match defs.get(&r)? {
+        Inst::Load { addr, .. } => Some(*addr),
+        Inst::Mov { src, .. } => derive_addr(defs, *src, depth + 1),
+        _ => None,
+    }
+}
+
+/// Convenience: whether a block-id/func-id pair exists in the module
+/// (used by debug assertions in the pass driver).
+pub fn loc_exists(module: &Module, loc: InstLoc) -> bool {
+    module
+        .functions
+        .get(loc.func.index())
+        .and_then(|f| f.blocks.get(loc.block.index()))
+        .is_some_and(|b| loc.inst <= b.insts.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bastion_analysis::CallGraph;
+    use bastion_ir::build::ModuleBuilder;
+    use bastion_ir::{sysno, Ty};
+
+    fn figure2_like() -> Module {
+        let mut mb = ModuleBuilder::new("fig2");
+        let mmap = mb.declare_syscall_stub("mmap", sysno::MMAP, 6);
+        let mut f = mb.function("main", &[], Ty::I64);
+        let prots = f.local("prots", Ty::I64);
+        let pa = f.frame_addr(prots);
+        f.store(pa, 3i64);
+        let pa2 = f.frame_addr(prots);
+        let pv = f.load(pa2);
+        let _ = f.call_direct(
+            mmap,
+            &[
+                0i64.into(),
+                4096i64.into(),
+                pv.into(),
+                0x21i64.into(),
+                (-1i64).into(),
+                0i64.into(),
+            ],
+        );
+        f.ret(Some(Operand::Imm(0)));
+        f.finish();
+        mb.finish()
+    }
+
+    fn run(m: &Module) -> Instrumented {
+        let cg = CallGraph::build(m);
+        let report = SensitiveReport::build(m, &cg, &sysno::sensitive_set());
+        instrument(m, &report)
+    }
+
+    #[test]
+    fn inserts_write_mem_after_store_and_binds_before_call() {
+        let m = figure2_like();
+        let out = run(&m);
+        assert!(out.module.validate().is_ok());
+        let main = out.module.func(out.module.func_by_name("main").unwrap());
+        let insts = &main.blocks[0].insts;
+        // store prots; ctx_write_mem; ... binds ...; call mmap
+        let store_idx = insts
+            .iter()
+            .position(|i| matches!(i, Inst::Store { .. }))
+            .unwrap();
+        assert!(matches!(
+            insts[store_idx + 1],
+            Inst::Intrinsic(IntrinsicOp::CtxWriteMem { size: 8, .. })
+        ));
+        let call_idx = insts.iter().position(Inst::is_call).unwrap();
+        // Expect five const binds (0, 4096, 0x21, -1, 0) and one mem bind
+        // immediately before the call.
+        let n_binds = insts[..call_idx]
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Intrinsic(
+                        IntrinsicOp::CtxBindConst { .. } | IntrinsicOp::CtxBindMem { .. }
+                    )
+                )
+            })
+            .count();
+        assert_eq!(n_binds, 6);
+        assert_eq!(out.const_binds, 5);
+        assert_eq!(out.placed_mem_binds.len(), 1);
+        assert_eq!(out.write_mems, 1);
+    }
+
+    #[test]
+    fn loc_map_covers_all_original_instructions() {
+        let m = figure2_like();
+        let out = run(&m);
+        for (fid, f) in m.iter_funcs() {
+            for (bid, b) in f.iter_blocks() {
+                for i in 0..=b.insts.len() {
+                    let old = InstLoc {
+                        func: fid,
+                        block: bid,
+                        inst: i,
+                    };
+                    let new = out.loc_map[&old];
+                    assert!(loc_exists(&out.module, new));
+                    // Mapped instruction is identical to the original.
+                    if i < b.insts.len() {
+                        let ni = &out.module.functions[fid.index()].blocks
+                            [bid.index()]
+                        .insts[new.inst];
+                        assert_eq!(ni, &b.insts[i]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uninstrumented_module_passes_through() {
+        let mut mb = ModuleBuilder::new("plain");
+        let mut f = mb.function("main", &[], Ty::I64);
+        f.ret(Some(Operand::Imm(0)));
+        f.finish();
+        let m = mb.finish();
+        let out = run(&m);
+        assert_eq!(out.module, m);
+        assert_eq!(out.write_mems, 0);
+        assert_eq!(out.const_binds, 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! The experiment harness: boots an application under a protection
+//! configuration, drives its workload, and reports the paper's metrics.
+//!
+//! Everything is measured in deterministic virtual time, so a single run
+//! per configuration regenerates each table bit-for-bit.
+
+use crate::protection::Protection;
+use bastion_apps::{loadgen, App};
+use bastion_compiler::{BastionCompiler, InstrStats};
+use bastion_kernel::{Pid, World};
+use bastion_monitor::MonitorStats;
+use bastion_vm::{CostModel, Image, Machine};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Workload sizes (requests / transactions / downloads).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSize {
+    /// HTTP requests for webserve.
+    pub http_requests: u64,
+    /// Concurrent HTTP connections.
+    pub http_concurrency: usize,
+    /// New-order transactions for dbkv.
+    pub tpcc_tx: u64,
+    /// Concurrent DBT2 sessions.
+    pub tpcc_sessions: usize,
+    /// Sequential FTP downloads.
+    pub ftp_downloads: u64,
+}
+
+impl WorkloadSize {
+    /// Small sizes for unit/integration tests.
+    pub fn quick() -> Self {
+        WorkloadSize {
+            http_requests: 60,
+            http_concurrency: 8,
+            tpcc_tx: 80,
+            tpcc_sessions: 4,
+            ftp_downloads: 2,
+        }
+    }
+
+    /// The sizes used to regenerate the paper tables.
+    pub fn standard() -> Self {
+        WorkloadSize {
+            http_requests: 1200,
+            http_concurrency: 16,
+            tpcc_tx: 1500,
+            tpcc_sessions: 8,
+            ftp_downloads: 8,
+        }
+    }
+}
+
+/// The result of one application × protection run.
+#[derive(Debug, Clone)]
+pub struct AppBenchmark {
+    /// Application measured.
+    pub app: App,
+    /// Protection label (Figure 3 column / Table 7 row).
+    pub protection: &'static str,
+    /// The paper's metric: MB/s (webserve), NOTPM (dbkv), seconds for a
+    /// 100 MB download (ftpd).
+    pub metric: f64,
+    /// Virtual cycles the measurement took.
+    pub cycles: u64,
+    /// Monitor traps delivered during the whole run.
+    pub traps: u64,
+    /// Executed-syscall counters at the end of the run.
+    pub syscall_counts: BTreeMap<u32, u64>,
+    /// Monitor statistics (when a monitor was attached).
+    pub monitor: Option<MonitorStats>,
+    /// Compiler instrumentation statistics (when instrumented).
+    pub instr: Option<InstrStats>,
+}
+
+impl AppBenchmark {
+    /// Whether higher metric values are better for this app (throughput)
+    /// or worse (download time).
+    pub fn higher_is_better(&self) -> bool {
+        !matches!(self.app, App::Ftpd)
+    }
+
+    /// Overhead percentage relative to a baseline run of the same app.
+    pub fn overhead_vs(&self, baseline: &AppBenchmark) -> f64 {
+        if self.higher_is_better() {
+            (baseline.metric - self.metric) / baseline.metric * 100.0
+        } else {
+            (self.metric - baseline.metric) / baseline.metric * 100.0
+        }
+    }
+}
+
+/// Runs one application under one protection configuration.
+///
+/// The `compiler` argument selects the sensitive-syscall scope (default
+/// Table 1 set, or the extended §11.2 set for Table 7); it is only used
+/// when the protection attaches a monitor — baseline columns run the
+/// uninstrumented binary, exactly as the paper's baselines do.
+///
+/// # Panics
+/// Panics if the application fails to compile or serve (all shipped apps
+/// are tested to do both).
+pub fn run_app_benchmark(
+    app: App,
+    protection: &Protection,
+    size: &WorkloadSize,
+    compiler: &BastionCompiler,
+    cost: CostModel,
+) -> AppBenchmark {
+    let module = app.module().expect("app compiles");
+    let (image, metadata, instr) = if protection.has_monitor() {
+        let out = compiler.compile(module).expect("instrumentation succeeds");
+        let stats = out.metadata.stats.clone();
+        (
+            Arc::new(Image::load(out.module).expect("image loads")),
+            Some(out.metadata),
+            Some(stats),
+        )
+    } else {
+        (
+            Arc::new(Image::load(module).expect("image loads")),
+            None,
+            None,
+        )
+    };
+
+    let mut world = World::new(cost);
+    app.setup_vfs(&mut world);
+    let mut machine = Machine::new(image.clone(), cost);
+    protection.hardening.apply(&mut machine);
+    let pid: Pid = world.spawn(machine);
+    if let Some(cfg) = protection.monitor {
+        let md = metadata.as_ref().expect("metadata built with monitor");
+        bastion_monitor::protect(&mut world, pid, &image, md, cfg);
+    }
+
+    // Boot until every process parks (workers blocked in accept).
+    world.run(1_000_000_000);
+    assert!(
+        world.alive_count() > 0,
+        "{} died during boot under {}: {:?}",
+        app.id(),
+        protection.label,
+        world.proc(pid).and_then(|p| p.exit.clone())
+    );
+
+    let metric = match app {
+        App::Webserve => {
+            let s = loadgen::http_load(
+                &mut world,
+                app.port(),
+                size.http_concurrency,
+                size.http_requests,
+            );
+            s.throughput_mb_s(cost.cpu_hz)
+        }
+        App::Dbkv => {
+            let s = loadgen::tpcc_load(&mut world, app.port(), size.tpcc_sessions, size.tpcc_tx);
+            s.notpm(cost.cpu_hz)
+        }
+        App::Ftpd => {
+            let s = loadgen::ftp_load(
+                &mut world,
+                app.port(),
+                size.ftp_downloads,
+                bastion_apps::ftpd::FILE_PATH,
+            );
+            s.seconds_for(100_000_000, cost.cpu_hz)
+        }
+    };
+
+    let monitor = world.take_tracer().and_then(|t| {
+        t.as_any()
+            .downcast_ref::<bastion_monitor::Monitor>()
+            .map(|m| m.stats.clone())
+    });
+
+    AppBenchmark {
+        app,
+        protection: protection.label,
+        metric,
+        cycles: world.now(),
+        traps: world.trap_count,
+        syscall_counts: world.kernel.counts.clone(),
+        monitor,
+        instr,
+    }
+}
+
+/// Runs the full Figure 3 / Table 3 grid for one app: the vanilla baseline
+/// followed by every protection column. Returns `(baseline, columns)`.
+pub fn run_figure3_row(
+    app: App,
+    size: &WorkloadSize,
+    cost: CostModel,
+) -> (AppBenchmark, Vec<AppBenchmark>) {
+    let compiler = BastionCompiler::new();
+    let baseline = run_app_benchmark(app, &Protection::vanilla(), size, &compiler, cost);
+    let columns = Protection::figure3()
+        .iter()
+        .map(|p| run_app_benchmark(app, p, size, &compiler, cost))
+        .collect();
+    (baseline, columns)
+}
+
+/// Runs the Table 7 grid for one app: vanilla baseline + the three
+/// extended-scope rows (filesystem syscalls protected).
+pub fn run_table7_row(
+    app: App,
+    size: &WorkloadSize,
+    cost: CostModel,
+) -> (AppBenchmark, Vec<AppBenchmark>) {
+    let compiler =
+        BastionCompiler::with_sensitive(bastion_ir::sysno::extended_sensitive_set());
+    let baseline = run_app_benchmark(app, &Protection::vanilla(), size, &compiler, cost);
+    let rows = Protection::table7()
+        .iter()
+        .map(|p| run_app_benchmark(app, p, size, &compiler, cost))
+        .collect();
+    (baseline, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn webserve_benchmark_under_full_protection() {
+        let size = WorkloadSize::quick();
+        let compiler = BastionCompiler::new();
+        let cost = CostModel::default();
+        let base = run_app_benchmark(
+            App::Webserve,
+            &Protection::vanilla(),
+            &size,
+            &compiler,
+            cost,
+        );
+        let full =
+            run_app_benchmark(App::Webserve, &Protection::full(), &size, &compiler, cost);
+        assert!(base.metric > 0.0);
+        assert!(full.metric > 0.0);
+        assert!(full.traps > 0, "sensitive syscalls must trap");
+        // Protection costs something but not everything.
+        let overhead = full.overhead_vs(&base);
+        assert!(overhead > 0.0, "overhead {overhead}");
+        assert!(overhead < 50.0, "overhead {overhead}");
+        assert!(full.monitor.is_some());
+        assert!(full.instr.is_some());
+    }
+
+    #[test]
+    fn ftpd_overhead_uses_inverted_metric() {
+        let size = WorkloadSize::quick();
+        let compiler = BastionCompiler::new();
+        let cost = CostModel::default();
+        let base =
+            run_app_benchmark(App::Ftpd, &Protection::vanilla(), &size, &compiler, cost);
+        let cet = run_app_benchmark(App::Ftpd, &Protection::cet(), &size, &compiler, cost);
+        assert!(!base.higher_is_better());
+        // CET alone should be near-free.
+        let overhead = cet.overhead_vs(&base);
+        assert!(overhead.abs() < 5.0, "CET overhead {overhead}");
+    }
+}

@@ -1,0 +1,229 @@
+//! # bastion-defenses
+//!
+//! The baseline defenses the paper compares against (Figure 3 / Table 3):
+//!
+//! * **CET** — Intel Control-flow Enforcement Technology's shadow stack
+//!   (`-fcf-protection=full`): the VM maintains a protected return-address
+//!   stack and faults (#CP) on mismatch. BASTION assumes CET is deployed
+//!   (paper §4), so every BASTION configuration layers on top of it.
+//! * **LLVM CFI** — clang's coarse, type-signature-based indirect-call
+//!   check (`-fsanitize=cfi-icall`): an indirect call may only target an
+//!   address-taken function whose signature matches the callsite. Same-
+//!   signature hijacks (COOP, Control Jujutsu, AOCR) slip through — the
+//!   weakness §10 exploits.
+//!
+//! [`HardeningConfig`] is the Figure 3 x-axis: it selects which baseline
+//! mitigations are compiled into a [`bastion_vm::Machine`].
+
+use bastion_analysis::{CallGraph, TypeSigReport};
+use bastion_vm::{CfiPolicy, Image, Machine};
+use serde::{Deserialize, Serialize};
+
+/// Hardware/software mitigations applied to a machine (Figure 3 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HardeningConfig {
+    /// CET shadow stack (backward-edge protection).
+    pub cet: bool,
+    /// LLVM CFI (forward-edge, type-based). The paper notes LLVM CFI and
+    /// CET could not be enabled simultaneously on their toolchain; the
+    /// harness honours the same constraint.
+    pub llvm_cfi: bool,
+}
+
+impl HardeningConfig {
+    /// Unprotected vanilla baseline.
+    pub fn vanilla() -> Self {
+        HardeningConfig::default()
+    }
+
+    /// CET only (the paper's "CET" column).
+    pub fn cet() -> Self {
+        HardeningConfig {
+            cet: true,
+            llvm_cfi: false,
+        }
+    }
+
+    /// LLVM CFI only (the paper's "LLVM CFI" column).
+    pub fn llvm_cfi() -> Self {
+        HardeningConfig {
+            cet: false,
+            llvm_cfi: true,
+        }
+    }
+
+    /// Applies the mitigations to a machine.
+    ///
+    /// # Panics
+    /// Panics if both CET and LLVM CFI are requested — the paper could not
+    /// enable them together ("LLVM CFI does not function properly when
+    /// paired with CET", §9.2) and the harness preserves that constraint.
+    pub fn apply(self, machine: &mut Machine) {
+        assert!(
+            !(self.cet && self.llvm_cfi),
+            "LLVM CFI does not function properly when paired with CET (paper §9.2)"
+        );
+        if self.cet {
+            machine.enable_cet();
+        }
+        if self.llvm_cfi {
+            let policy = build_cfi_policy(&machine.image);
+            machine.enable_cfi(policy);
+        }
+    }
+}
+
+/// Builds the LLVM-CFI policy for an image: every address-taken function,
+/// keyed by entry address, allowed at callsites of matching arity.
+pub fn build_cfi_policy(image: &Image) -> CfiPolicy {
+    let cg = CallGraph::build(&image.module);
+    let ts = TypeSigReport::build(&image.module, &cg);
+    let mut allowed = std::collections::HashMap::new();
+    for (arity, funcs) in &ts.classes {
+        for f in funcs {
+            allowed.insert(image.layout.func_entry(*f).raw(), *arity);
+        }
+    }
+    CfiPolicy { allowed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bastion_ir::build::ModuleBuilder;
+    use bastion_ir::{Operand, Ty};
+    use bastion_vm::{CostModel, Event, Fault};
+    use std::sync::Arc;
+
+    fn image_with_fnptr() -> Arc<Image> {
+        let mut mb = ModuleBuilder::new("d");
+        let good = mb.declare("good", &[("x", Ty::I64)], Ty::I64);
+        let victim = mb.declare("victim", &[], Ty::I64);
+        let mut f = mb.define(good);
+        f.ret(Some(Operand::Imm(1)));
+        f.finish();
+        let mut f = mb.define(victim);
+        f.ret(Some(Operand::Imm(2)));
+        f.finish();
+        let mut f = mb.function("main", &[], Ty::I64);
+        let slot = f.local("fp", Ty::Func { arity: 1 });
+        let sa = f.frame_addr(slot);
+        let gp = f.func_addr(good);
+        f.store(sa, gp);
+        let sa2 = f.frame_addr(slot);
+        let p = f.load(sa2);
+        let r = f.call_indirect(p, &[Operand::Imm(9)]);
+        f.ret(Some(r.into()));
+        f.finish();
+        Arc::new(Image::load(mb.finish()).unwrap())
+    }
+
+    #[test]
+    fn config_presets_and_exclusivity() {
+        assert_eq!(HardeningConfig::vanilla(), HardeningConfig::default());
+        assert!(HardeningConfig::cet().cet);
+        assert!(HardeningConfig::llvm_cfi().llvm_cfi);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired with CET")]
+    fn cet_plus_cfi_rejected() {
+        let img = image_with_fnptr();
+        let mut m = Machine::new(img, CostModel::default());
+        HardeningConfig {
+            cet: true,
+            llvm_cfi: true,
+        }
+        .apply(&mut m);
+    }
+
+    #[test]
+    fn cfi_allows_matching_signature_calls() {
+        let img = image_with_fnptr();
+        let mut m = Machine::new(img, CostModel::default());
+        HardeningConfig::llvm_cfi().apply(&mut m);
+        let e = bastion_vm::interp::run(&mut m, 100_000);
+        assert_eq!(e, Event::Exited(1));
+    }
+
+    #[test]
+    fn cfi_blocks_non_address_taken_target() {
+        let img = image_with_fnptr();
+        let victim_entry = img.symbol("victim").unwrap();
+        let fp_slot;
+        {
+            let main = img.module.func_by_name("main").unwrap();
+            let fi = img.frame(main);
+            fp_slot = (img.stack_top - 16) - fi.frame_size + fi.slot_offsets[0];
+        }
+        let mut m = Machine::new(img, CostModel::default());
+        HardeningConfig::llvm_cfi().apply(&mut m);
+        // Attacker corrupts the function pointer to `victim` (address never
+        // taken → not in any equivalence class).
+        for _ in 0..100 {
+            use bastion_vm::MemIo;
+            if m.mem.read_u64(fp_slot).unwrap_or(0) != 0 {
+                m.mem.write_unchecked(fp_slot, &victim_entry.to_le_bytes());
+                break;
+            }
+            let _ = bastion_vm::interp::step(&mut m);
+        }
+        let e = bastion_vm::interp::run(&mut m, 100_000);
+        assert!(matches!(e, Event::Fault(Fault::CfiViolation { .. })), "{e:?}");
+    }
+
+    #[test]
+    fn cfi_weakness_same_class_hijack_passes() {
+        // Add a second one-arg address-taken function and hijack to it:
+        // coarse CFI permits the transfer (the paper's §10 bypass shape).
+        let mut mb = ModuleBuilder::new("d2");
+        let a = mb.declare("a", &[("x", Ty::I64)], Ty::I64);
+        let b = mb.declare("b", &[("x", Ty::I64)], Ty::I64);
+        let mut f = mb.define(a);
+        f.ret(Some(Operand::Imm(10)));
+        f.finish();
+        let mut f = mb.define(b);
+        f.ret(Some(Operand::Imm(20)));
+        f.finish();
+        let mut f = mb.function("main", &[], Ty::I64);
+        let slot = f.local("fp", Ty::Func { arity: 1 });
+        let sa = f.frame_addr(slot);
+        let ap = f.func_addr(a);
+        f.store(sa, ap);
+        let _bp = f.func_addr(b); // b is address-taken too
+        let sa2 = f.frame_addr(slot);
+        let p = f.load(sa2);
+        let r = f.call_indirect(p, &[Operand::Imm(0)]);
+        f.ret(Some(r.into()));
+        f.finish();
+        let img = Arc::new(Image::load(mb.finish()).unwrap());
+        let b_entry = img.symbol("b").unwrap();
+        let main = img.module.func_by_name("main").unwrap();
+        let fi = img.frame(main);
+        let fp_slot = (img.stack_top - 16) - fi.frame_size + fi.slot_offsets[0];
+        let mut m = Machine::new(img, CostModel::default());
+        HardeningConfig::llvm_cfi().apply(&mut m);
+        for _ in 0..100 {
+            use bastion_vm::MemIo;
+            if m.mem.read_u64(fp_slot).unwrap_or(0) != 0 {
+                m.mem.write_unchecked(fp_slot, &b_entry.to_le_bytes());
+                break;
+            }
+            let _ = bastion_vm::interp::step(&mut m);
+        }
+        let e = bastion_vm::interp::run(&mut m, 100_000);
+        // The hijack SUCCEEDS under coarse CFI — main returns b's value.
+        assert_eq!(e, Event::Exited(20));
+    }
+
+    #[test]
+    fn cet_protects_without_cfi() {
+        let img = image_with_fnptr();
+        let mut m = Machine::new(img, CostModel::default());
+        HardeningConfig::cet().apply(&mut m);
+        assert!(m.shadow_stack.is_some());
+        assert!(m.cfi.is_none());
+        let e = bastion_vm::interp::run(&mut m, 100_000);
+        assert_eq!(e, Event::Exited(1));
+    }
+}

@@ -1,0 +1,432 @@
+//! Instructions, operands, and terminators.
+
+use crate::module::{FuncId, GlobalId, SlotId};
+use crate::types::StructId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A virtual register, local to one function.
+///
+/// Registers model SSA-ish temporaries that live in the CPU: the BASTION
+/// threat model lets attackers corrupt *memory*, not registers, so values in
+/// registers are authoritative while values in frame slots / globals are
+/// corruptible. This mirrors how the paper compares "the register (actual)
+/// argument value" against shadow memory (§7.4).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Reg(pub u32);
+
+impl Reg {
+    /// Index into the frame's register file.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// A value operand: a register or an immediate constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// Read a virtual register.
+    Reg(Reg),
+    /// A 64-bit immediate.
+    Imm(i64),
+}
+
+impl Operand {
+    /// The register if this operand reads one.
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// The immediate if this operand is constant.
+    pub fn as_imm(self) -> Option<i64> {
+        match self {
+            Operand::Imm(v) => Some(v),
+            Operand::Reg(_) => None,
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Binary arithmetic / bitwise operations on 64-bit words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    /// Signed division; division by zero traps the VM.
+    Div,
+    /// Signed remainder; division by zero traps the VM.
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    /// Logical (unsigned) shift right.
+    Shr,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Comparison operations producing 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Memory access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Width {
+    /// One byte, zero-extended on load.
+    W8,
+    /// A full 64-bit word.
+    W64,
+}
+
+impl Width {
+    /// Size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::W8 => 1,
+            Width::W64 => 8,
+        }
+    }
+}
+
+/// A reference to a function by id (the printer resolves names).
+pub type FuncRef = FuncId;
+
+/// The callee of a [`Inst::Call`].
+///
+/// The direct/indirect split is the raw material of the paper's **Call-Type
+/// context** (§3.1): the compiler classifies each system call as
+/// directly-callable and/or indirectly-callable according to how its stub
+/// appears at callsites and whether its address is taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Callee {
+    /// A direct call to a known function.
+    Direct(FuncRef),
+    /// An indirect call through a code pointer held in an operand.
+    Indirect(Operand),
+}
+
+/// BASTION runtime library intrinsics (paper Table 2).
+///
+/// These are inserted by the `bastion-compiler` instrumentation pass and are
+/// never written by the front-end. At runtime the VM executes them inline
+/// (the paper inlines all library functions "to maximize performance"),
+/// updating the shadow-memory hash table that the monitor later consults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntrinsicOp {
+    /// `ctx_write_mem(p, size)` — refresh the shadow copy of the sensitive
+    /// variable at address `p` (operand) covering `size` bytes.
+    CtxWriteMem {
+        /// Address of the sensitive variable.
+        addr: Operand,
+        /// Bytes covered (1..=8 per entry; larger objects use several calls).
+        size: u32,
+    },
+    /// `ctx_bind_mem_X(p)` — bind the memory-backed variable at `p` to
+    /// argument position `pos` (1-based, as in the paper) of the next call.
+    CtxBindMem {
+        /// 1-based argument position.
+        pos: u8,
+        /// Address of the bound variable.
+        addr: Operand,
+    },
+    /// `ctx_bind_const_X(c)` — bind constant `value` to argument position
+    /// `pos` of the next call.
+    CtxBindConst {
+        /// 1-based argument position.
+        pos: u8,
+        /// Expected constant value.
+        value: i64,
+    },
+}
+
+/// A non-terminator instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Inst {
+    /// `dst = src`
+    Mov { dst: Reg, src: Operand },
+    /// `dst = a <op> b`
+    Bin {
+        dst: Reg,
+        op: BinOp,
+        a: Operand,
+        b: Operand,
+    },
+    /// `dst = (a <op> b) as 0/1`
+    Cmp {
+        dst: Reg,
+        op: CmpOp,
+        a: Operand,
+        b: Operand,
+    },
+    /// `dst = *(addr)` with the given width.
+    Load {
+        dst: Reg,
+        addr: Operand,
+        width: Width,
+    },
+    /// `*(addr) = src` with the given width.
+    Store {
+        addr: Operand,
+        src: Operand,
+        width: Width,
+    },
+    /// `dst = &frame_slot` — address of a local variable in the current frame.
+    FrameAddr { dst: Reg, slot: SlotId },
+    /// `dst = &global`.
+    GlobalAddr { dst: Reg, global: GlobalId },
+    /// `dst = &function` — takes the address of a function. This is what
+    /// makes the target *address-taken* for call-type classification.
+    FuncAddr { dst: Reg, func: FuncRef },
+    /// `dst = base + offsetof(struct, field)` — field-sensitive address
+    /// computation (GEP analogue).
+    FieldAddr {
+        dst: Reg,
+        base: Operand,
+        struct_id: StructId,
+        field: u32,
+    },
+    /// `dst = base + index * elem_size` — array indexing.
+    IndexAddr {
+        dst: Reg,
+        base: Operand,
+        elem_size: u64,
+        index: Operand,
+    },
+    /// A function call. Arguments are passed in the VM's argument registers
+    /// and spilled into the callee's parameter slots (clang `-O0` style), so
+    /// parameters are memory-backed and corruptible, as the paper requires.
+    Call {
+        dst: Option<Reg>,
+        callee: Callee,
+        args: Vec<Operand>,
+    },
+    /// The `syscall` machine instruction. Appears only inside
+    /// [`crate::FuncKind::SyscallStub`] bodies; `args` forward the stub's
+    /// parameters into the kernel's argument registers.
+    Syscall {
+        dst: Reg,
+        nr: u32,
+        args: Vec<Operand>,
+    },
+    /// A BASTION instrumentation intrinsic (see [`IntrinsicOp`]).
+    Intrinsic(IntrinsicOp),
+}
+
+impl Inst {
+    /// The register defined by this instruction, if any.
+    pub fn def(&self) -> Option<Reg> {
+        match self {
+            Inst::Mov { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::Cmp { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::FrameAddr { dst, .. }
+            | Inst::GlobalAddr { dst, .. }
+            | Inst::FuncAddr { dst, .. }
+            | Inst::FieldAddr { dst, .. }
+            | Inst::IndexAddr { dst, .. }
+            | Inst::Syscall { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } => *dst,
+            Inst::Store { .. } | Inst::Intrinsic(_) => None,
+        }
+    }
+
+    /// All operands read by this instruction.
+    pub fn uses(&self) -> Vec<Operand> {
+        match self {
+            Inst::Mov { src, .. } => vec![*src],
+            Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => vec![*a, *b],
+            Inst::Load { addr, .. } => vec![*addr],
+            Inst::Store { addr, src, .. } => vec![*addr, *src],
+            Inst::FrameAddr { .. } | Inst::GlobalAddr { .. } | Inst::FuncAddr { .. } => vec![],
+            Inst::FieldAddr { base, .. } => vec![*base],
+            Inst::IndexAddr { base, index, .. } => vec![*base, *index],
+            Inst::Call { callee, args, .. } => {
+                let mut v = Vec::with_capacity(args.len() + 1);
+                if let Callee::Indirect(op) = callee {
+                    v.push(*op);
+                }
+                v.extend(args.iter().copied());
+                v
+            }
+            Inst::Syscall { args, .. } => args.clone(),
+            Inst::Intrinsic(op) => match op {
+                IntrinsicOp::CtxWriteMem { addr, .. } | IntrinsicOp::CtxBindMem { addr, .. } => {
+                    vec![*addr]
+                }
+                IntrinsicOp::CtxBindConst { .. } => vec![],
+            },
+        }
+    }
+
+    /// Whether this is any kind of call instruction (used when counting
+    /// "application callsites" for Table 5).
+    pub fn is_call(&self) -> bool {
+        matches!(self, Inst::Call { .. })
+    }
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jmp(crate::module::BlockId),
+    /// Conditional branch: non-zero takes `then_`, zero takes `else_`.
+    Br {
+        cond: Operand,
+        then_: crate::module::BlockId,
+        else_: crate::module::BlockId,
+    },
+    /// Return from the function, optionally with a value.
+    Ret(Option<Operand>),
+}
+
+impl Terminator {
+    /// Successor block ids.
+    pub fn successors(&self) -> Vec<crate::module::BlockId> {
+        match self {
+            Terminator::Jmp(b) => vec![*b],
+            Terminator::Br { then_, else_, .. } => vec![*then_, *else_],
+            Terminator::Ret(_) => vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::BlockId;
+
+    #[test]
+    fn operand_conversions() {
+        let r: Operand = Reg(3).into();
+        assert_eq!(r.as_reg(), Some(Reg(3)));
+        assert_eq!(r.as_imm(), None);
+        let i: Operand = 42i64.into();
+        assert_eq!(i.as_imm(), Some(42));
+        assert_eq!(i.as_reg(), None);
+    }
+
+    #[test]
+    fn def_and_uses() {
+        let i = Inst::Bin {
+            dst: Reg(2),
+            op: BinOp::Add,
+            a: Operand::Reg(Reg(0)),
+            b: Operand::Imm(1),
+        };
+        assert_eq!(i.def(), Some(Reg(2)));
+        assert_eq!(i.uses().len(), 2);
+
+        let s = Inst::Store {
+            addr: Operand::Reg(Reg(0)),
+            src: Operand::Reg(Reg(1)),
+            width: Width::W64,
+        };
+        assert_eq!(s.def(), None);
+        assert_eq!(s.uses().len(), 2);
+    }
+
+    #[test]
+    fn indirect_call_uses_include_target() {
+        let c = Inst::Call {
+            dst: None,
+            callee: Callee::Indirect(Operand::Reg(Reg(5))),
+            args: vec![Operand::Imm(1)],
+        };
+        assert_eq!(c.uses(), vec![Operand::Reg(Reg(5)), Operand::Imm(1)]);
+        assert!(c.is_call());
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Ret(None).successors(), vec![]);
+        assert_eq!(Terminator::Jmp(BlockId(3)).successors(), vec![BlockId(3)]);
+        let br = Terminator::Br {
+            cond: Operand::Imm(1),
+            then_: BlockId(1),
+            else_: BlockId(2),
+        };
+        assert_eq!(br.successors(), vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn width_bytes() {
+        assert_eq!(Width::W8.bytes(), 1);
+        assert_eq!(Width::W64.bytes(), 8);
+    }
+}

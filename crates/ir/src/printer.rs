@@ -1,0 +1,167 @@
+//! Textual rendering of modules, for debugging and golden tests.
+
+use crate::inst::{Callee, Inst, IntrinsicOp, Terminator, Width};
+use crate::module::{Function, Module};
+use std::fmt::Write as _;
+
+/// Renders a whole module as readable IR text.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; module {}", m.name);
+    for (i, s) in m.structs.iter().enumerate() {
+        let fields: Vec<String> = s
+            .fields
+            .iter()
+            .map(|f| format!("{}: {}", f.name, f.ty))
+            .collect();
+        let _ = writeln!(out, "struct#{i} {} {{ {} }}", s.name, fields.join(", "));
+    }
+    for (i, g) in m.globals.iter().enumerate() {
+        let _ = writeln!(out, "@g{i} {} : {} = {:?}", g.name, g.ty, g.init);
+    }
+    for (id, f) in m.iter_funcs() {
+        let _ = writeln!(out, "\n{}", print_function_header(m, f));
+        let _ = writeln!(out, "; id {id}, {} regs", f.reg_count);
+        for (bi, b) in f.iter_blocks() {
+            let _ = writeln!(out, "{bi}:");
+            for inst in &b.insts {
+                let _ = writeln!(out, "  {}", print_inst(m, inst));
+            }
+            let _ = writeln!(out, "  {}", print_term(&b.term));
+        }
+    }
+    out
+}
+
+fn print_function_header(_m: &Module, f: &Function) -> String {
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| format!("{}: {}", p.name, p.ty))
+        .collect();
+    let kind = match f.kind {
+        crate::module::FuncKind::Normal => String::new(),
+        crate::module::FuncKind::SyscallStub(nr) => format!(" ; syscall stub nr={nr}"),
+    };
+    let locals: Vec<String> = f
+        .locals
+        .iter()
+        .map(|l| format!("{}: {}", l.name, l.ty))
+        .collect();
+    format!(
+        "fn {}({}) -> {} {{ locals: {} }}{kind}",
+        f.name,
+        params.join(", "),
+        f.ret_ty,
+        locals.join(", "),
+    )
+}
+
+/// Renders one instruction.
+pub fn print_inst(m: &Module, inst: &Inst) -> String {
+    let w = |width: &Width| match width {
+        Width::W8 => ".b",
+        Width::W64 => "",
+    };
+    match inst {
+        Inst::Mov { dst, src } => format!("{dst} = {src}"),
+        Inst::Bin { dst, op, a, b } => format!("{dst} = {op} {a}, {b}"),
+        Inst::Cmp { dst, op, a, b } => format!("{dst} = cmp.{op} {a}, {b}"),
+        Inst::Load { dst, addr, width } => format!("{dst} = load{} [{addr}]", w(width)),
+        Inst::Store { addr, src, width } => format!("store{} [{addr}], {src}", w(width)),
+        Inst::FrameAddr { dst, slot } => format!("{dst} = frame_addr {slot}"),
+        Inst::GlobalAddr { dst, global } => {
+            format!(
+                "{dst} = global_addr {global} ; {}",
+                m.globals[global.index()].name
+            )
+        }
+        Inst::FuncAddr { dst, func } => {
+            format!("{dst} = func_addr {func} ; &{}", m.func(*func).name)
+        }
+        Inst::FieldAddr {
+            dst,
+            base,
+            struct_id,
+            field,
+        } => {
+            let s = &m.structs[struct_id.index()];
+            format!(
+                "{dst} = field_addr {base}, {}.{}",
+                s.name, s.fields[*field as usize].name
+            )
+        }
+        Inst::IndexAddr {
+            dst,
+            base,
+            elem_size,
+            index,
+        } => format!("{dst} = index_addr {base}[{index} * {elem_size}]"),
+        Inst::Call { dst, callee, args } => {
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            let target = match callee {
+                Callee::Direct(f) => m.func(*f).name.clone(),
+                Callee::Indirect(op) => format!("*{op}"),
+            };
+            match dst {
+                Some(d) => format!("{d} = call {target}({})", args.join(", ")),
+                None => format!("call {target}({})", args.join(", ")),
+            }
+        }
+        Inst::Syscall { dst, nr, args } => {
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            format!("{dst} = syscall {nr}({})", args.join(", "))
+        }
+        Inst::Intrinsic(op) => match op {
+            IntrinsicOp::CtxWriteMem { addr, size } => format!("ctx_write_mem({addr}, {size})"),
+            IntrinsicOp::CtxBindMem { pos, addr } => format!("ctx_bind_mem_{pos}({addr})"),
+            IntrinsicOp::CtxBindConst { pos, value } => format!("ctx_bind_const_{pos}({value})"),
+        },
+    }
+}
+
+fn print_term(t: &Terminator) -> String {
+    match t {
+        Terminator::Jmp(b) => format!("jmp {b}"),
+        Terminator::Br { cond, then_, else_ } => format!("br {cond}, {then_}, {else_}"),
+        Terminator::Ret(Some(v)) => format!("ret {v}"),
+        Terminator::Ret(None) => "ret".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ModuleBuilder;
+    use crate::inst::Operand;
+    use crate::types::Ty;
+
+    #[test]
+    fn printer_mentions_names_and_stubs() {
+        let mut mb = ModuleBuilder::new("demo");
+        let execve = mb.declare_syscall_stub("execve", 59, 3);
+        let g = mb.global_str("path", "/bin/sh");
+        let mut f = mb.function("main", &[], Ty::I64);
+        let p = f.global_addr(g);
+        let r = f.call_direct(execve, &[Operand::Reg(p), Operand::Imm(0), Operand::Imm(0)]);
+        f.ret(Some(r.into()));
+        f.finish();
+        let m = mb.finish();
+        let text = print_module(&m);
+        assert!(text.contains("syscall stub nr=59"));
+        assert!(text.contains("call execve"));
+        assert!(text.contains("global_addr"));
+        assert!(text.contains("module demo"));
+    }
+
+    #[test]
+    fn printer_renders_intrinsics() {
+        use crate::inst::IntrinsicOp;
+        let m = Module::new("x");
+        let s = print_inst(
+            &m,
+            &Inst::Intrinsic(IntrinsicOp::CtxBindConst { pos: 3, value: -1 }),
+        );
+        assert_eq!(s, "ctx_bind_const_3(-1)");
+    }
+}

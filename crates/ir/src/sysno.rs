@@ -1,0 +1,318 @@
+//! Linux x86-64 system call numbers and the paper's Table 1 classification.
+//!
+//! The IR targets a simulated Linux x86-64 ABI, so syscall numbering is part
+//! of the target description this crate encodes (stub functions carry these
+//! numbers in [`crate::FuncKind::SyscallStub`]). The constants below match
+//! `arch/x86/entry/syscalls/syscall_64.tbl`.
+//!
+//! Table 1 of the paper selects **20 sensitive system calls** grouped by the
+//! attack vector that commonly abuses them; [`SENSITIVE`] and
+//! [`AttackVector`] encode that table verbatim.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! sysno {
+    ($($(#[$doc:meta])* $name:ident = $nr:expr, $str:expr;)*) => {
+        $( $(#[$doc])* pub const $name: u32 = $nr; )*
+
+        /// Resolves a syscall number to its name, if known to the simulator.
+        pub fn name(nr: u32) -> Option<&'static str> {
+            match nr {
+                $( $nr => Some($str), )*
+                _ => None,
+            }
+        }
+
+        /// All syscall numbers known to the simulator.
+        pub const ALL: &[u32] = &[$($nr),*];
+    };
+}
+
+sysno! {
+    /// `read(fd, buf, count)`
+    READ = 0, "read";
+    /// `write(fd, buf, count)`
+    WRITE = 1, "write";
+    /// `open(pathname, flags, mode)`
+    OPEN = 2, "open";
+    /// `close(fd)`
+    CLOSE = 3, "close";
+    /// `stat(pathname, statbuf)`
+    STAT = 4, "stat";
+    /// `lseek(fd, offset, whence)`
+    LSEEK = 8, "lseek";
+    /// `mmap(addr, length, prot, flags, fd, offset)`
+    MMAP = 9, "mmap";
+    /// `mprotect(addr, len, prot)`
+    MPROTECT = 10, "mprotect";
+    /// `munmap(addr, length)`
+    MUNMAP = 11, "munmap";
+    /// `brk(addr)`
+    BRK = 12, "brk";
+    /// `ioctl(fd, request, arg)`
+    IOCTL = 16, "ioctl";
+    /// `writev(fd, iov, iovcnt)`
+    WRITEV = 20, "writev";
+    /// `mremap(old, old_size, new_size, flags, new)`
+    MREMAP = 25, "mremap";
+    /// `dup(oldfd)`
+    DUP = 32, "dup";
+    /// `nanosleep(req, rem)`
+    NANOSLEEP = 35, "nanosleep";
+    /// `getpid()`
+    GETPID = 39, "getpid";
+    /// `sendfile(out_fd, in_fd, offset, count)`
+    SENDFILE = 40, "sendfile";
+    /// `socket(domain, type, protocol)`
+    SOCKET = 41, "socket";
+    /// `connect(sockfd, addr, addrlen)`
+    CONNECT = 42, "connect";
+    /// `accept(sockfd, addr, addrlen)`
+    ACCEPT = 43, "accept";
+    /// `sendto(sockfd, buf, len, flags, dest, addrlen)`
+    SENDTO = 44, "sendto";
+    /// `recvfrom(sockfd, buf, len, flags, src, addrlen)`
+    RECVFROM = 45, "recvfrom";
+    /// `shutdown(sockfd, how)`
+    SHUTDOWN = 48, "shutdown";
+    /// `bind(sockfd, addr, addrlen)`
+    BIND = 49, "bind";
+    /// `listen(sockfd, backlog)`
+    LISTEN = 50, "listen";
+    /// `clone(flags, stack, ptid, ctid, tls)`
+    CLONE = 56, "clone";
+    /// `fork()`
+    FORK = 57, "fork";
+    /// `vfork()`
+    VFORK = 58, "vfork";
+    /// `execve(pathname, argv, envp)`
+    EXECVE = 59, "execve";
+    /// `exit(status)`
+    EXIT = 60, "exit";
+    /// `wait4(pid, wstatus, options, rusage)`
+    WAIT4 = 61, "wait4";
+    /// `kill(pid, sig)`
+    KILL = 62, "kill";
+    /// `fcntl(fd, cmd, arg)`
+    FCNTL = 72, "fcntl";
+    /// `ftruncate(fd, length)`
+    FTRUNCATE = 77, "ftruncate";
+    /// `getcwd(buf, size)`
+    GETCWD = 79, "getcwd";
+    /// `rename(oldpath, newpath)`
+    RENAME = 82, "rename";
+    /// `mkdir(pathname, mode)`
+    MKDIR = 83, "mkdir";
+    /// `unlink(pathname)`
+    UNLINK = 87, "unlink";
+    /// `chmod(pathname, mode)`
+    CHMOD = 90, "chmod";
+    /// `getuid()`
+    GETUID = 102, "getuid";
+    /// `ptrace(request, pid, addr, data)`
+    PTRACE = 101, "ptrace";
+    /// `setuid(uid)`
+    SETUID = 105, "setuid";
+    /// `setgid(gid)`
+    SETGID = 106, "setgid";
+    /// `setreuid(ruid, euid)`
+    SETREUID = 113, "setreuid";
+    /// `remap_file_pages(addr, size, prot, pgoff, flags)`
+    REMAP_FILE_PAGES = 216, "remap_file_pages";
+    /// `exit_group(status)`
+    EXIT_GROUP = 231, "exit_group";
+    /// `openat(dirfd, pathname, flags, mode)`
+    OPENAT = 257, "openat";
+    /// `accept4(sockfd, addr, addrlen, flags)`
+    ACCEPT4 = 288, "accept4";
+    /// `execveat(dirfd, pathname, argv, envp, flags)`
+    EXECVEAT = 322, "execveat";
+    /// `getrandom(buf, buflen, flags)`
+    GETRANDOM = 318, "getrandom";
+}
+
+/// The attack-vector class a sensitive syscall belongs to (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackVector {
+    /// `execve, execveat, fork, vfork, clone, ptrace`
+    ArbitraryCodeExecution,
+    /// `mprotect, mmap, mremap, remap_file_pages`
+    MemoryPermissions,
+    /// `chmod, setuid, setgid, setreuid`
+    PrivilegeEscalation,
+    /// `socket, bind, connect, listen, accept, accept4`
+    Networking,
+}
+
+impl AttackVector {
+    /// Human-readable class name as printed in Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackVector::ArbitraryCodeExecution => "Arbitrary Code Execution",
+            AttackVector::MemoryPermissions => "Memory Permissions",
+            AttackVector::PrivilegeEscalation => "Privilege Escalation",
+            AttackVector::Networking => "Networking",
+        }
+    }
+}
+
+/// Paper Table 1: the 20 sensitive system calls BASTION protects by default,
+/// with the attack vector that commonly abuses each.
+pub const SENSITIVE: &[(u32, AttackVector)] = &[
+    (EXECVE, AttackVector::ArbitraryCodeExecution),
+    (EXECVEAT, AttackVector::ArbitraryCodeExecution),
+    (FORK, AttackVector::ArbitraryCodeExecution),
+    (VFORK, AttackVector::ArbitraryCodeExecution),
+    (CLONE, AttackVector::ArbitraryCodeExecution),
+    (PTRACE, AttackVector::ArbitraryCodeExecution),
+    (MPROTECT, AttackVector::MemoryPermissions),
+    (MMAP, AttackVector::MemoryPermissions),
+    (MREMAP, AttackVector::MemoryPermissions),
+    (REMAP_FILE_PAGES, AttackVector::MemoryPermissions),
+    (CHMOD, AttackVector::PrivilegeEscalation),
+    (SETUID, AttackVector::PrivilegeEscalation),
+    (SETGID, AttackVector::PrivilegeEscalation),
+    (SETREUID, AttackVector::PrivilegeEscalation),
+    (SOCKET, AttackVector::Networking),
+    (BIND, AttackVector::Networking),
+    (CONNECT, AttackVector::Networking),
+    (LISTEN, AttackVector::Networking),
+    (ACCEPT, AttackVector::Networking),
+    (ACCEPT4, AttackVector::Networking),
+];
+
+/// The default sensitive set as numbers.
+pub fn sensitive_set() -> std::collections::BTreeSet<u32> {
+    SENSITIVE.iter().map(|&(nr, _)| nr).collect()
+}
+
+/// Whether `nr` is in the paper's default sensitive set.
+pub fn is_sensitive(nr: u32) -> bool {
+    SENSITIVE.iter().any(|&(n, _)| n == nr)
+}
+
+/// Filesystem-related syscalls and variants used by the paper's §11.2
+/// extension experiment (Table 7): `open, read, write, send, recv` and
+/// variants like `openat`, `sendfile`.
+pub const FILESYSTEM_EXTENSION: &[u32] = &[
+    OPEN, OPENAT, READ, WRITE, WRITEV, SENDTO, RECVFROM, SENDFILE, CLOSE, LSEEK, STAT, FTRUNCATE,
+    RENAME, UNLINK, MKDIR,
+];
+
+/// The extended sensitive set of §11.2: Table 1 plus filesystem syscalls.
+pub fn extended_sensitive_set() -> std::collections::BTreeSet<u32> {
+    let mut s = sensitive_set();
+    s.extend(FILESYSTEM_EXTENSION.iter().copied());
+    s
+}
+
+/// 1-based positions of *extended* arguments (paper §3.3): arguments whose
+/// pointee memory must also pass integrity verification, not just the
+/// pointer value (e.g. `pathname` in `execve`). Out-parameters written by
+/// the kernel (`accept`'s sockaddr, `read`'s buffer) are deliberately not
+/// extended: the monitor verifies only their pointer value (§9.2 describes
+/// the accept/accept4 special case).
+pub fn extended_positions(nr: u32) -> &'static [u8] {
+    match nr {
+        EXECVE | OPEN | CHMOD | STAT | UNLINK | MKDIR => &[1],
+        EXECVEAT | OPENAT | CONNECT | BIND | WRITE | SENDTO => &[2],
+        RENAME => &[1, 2],
+        _ => &[],
+    }
+}
+
+/// Number of argument words each syscall consumes (simulator convention).
+pub fn arg_count(nr: u32) -> u8 {
+    match nr {
+        GETPID | FORK | VFORK | GETUID => 0,
+        CLOSE | BRK | EXIT | EXIT_GROUP | DUP | UNLINK | SETUID | SETGID | LISTEN | SHUTDOWN => {
+            match nr {
+                LISTEN | SHUTDOWN => 2,
+                _ => 1,
+            }
+        }
+        STAT | NANOSLEEP | MUNMAP | KILL | CHMOD | SETREUID | GETCWD | RENAME | MKDIR
+        | FTRUNCATE => 2,
+        READ | WRITE | OPEN | LSEEK | MPROTECT | IOCTL | WRITEV | SOCKET | CONNECT | ACCEPT
+        | BIND | FCNTL | EXECVE | GETRANDOM => 3,
+        SENDFILE | WAIT4 | ACCEPT4 | OPENAT | PTRACE => 4,
+        MREMAP | CLONE | REMAP_FILE_PAGES | EXECVEAT => 5,
+        MMAP | SENDTO | RECVFROM => 6,
+        _ => 6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_twenty_entries_in_four_classes() {
+        assert_eq!(SENSITIVE.len(), 20);
+        use std::collections::HashSet;
+        let classes: HashSet<_> = SENSITIVE.iter().map(|&(_, v)| v).collect();
+        assert_eq!(classes.len(), 4);
+        let ace = SENSITIVE
+            .iter()
+            .filter(|&&(_, v)| v == AttackVector::ArbitraryCodeExecution)
+            .count();
+        assert_eq!(ace, 6);
+    }
+
+    #[test]
+    fn numbers_match_linux_abi() {
+        assert_eq!(EXECVE, 59);
+        assert_eq!(MPROTECT, 10);
+        assert_eq!(ACCEPT4, 288);
+        assert_eq!(name(59), Some("execve"));
+        assert_eq!(name(9999), None);
+    }
+
+    #[test]
+    fn sensitive_set_membership() {
+        assert!(is_sensitive(EXECVE));
+        assert!(is_sensitive(ACCEPT4));
+        assert!(!is_sensitive(READ));
+        assert!(!is_sensitive(GETPID));
+        assert_eq!(sensitive_set().len(), 20);
+    }
+
+    #[test]
+    fn extended_set_adds_filesystem_calls() {
+        let ext = extended_sensitive_set();
+        assert!(ext.contains(&OPEN));
+        assert!(ext.contains(&SENDFILE));
+        assert!(ext.contains(&EXECVE));
+        assert!(ext.len() > 20);
+    }
+
+    #[test]
+    fn arg_counts_are_plausible() {
+        assert_eq!(arg_count(GETPID), 0);
+        assert_eq!(arg_count(EXECVE), 3);
+        assert_eq!(arg_count(MMAP), 6);
+        assert_eq!(arg_count(ACCEPT4), 4);
+        assert_eq!(arg_count(LISTEN), 2);
+        assert_eq!(arg_count(CLOSE), 1);
+    }
+
+    #[test]
+    fn all_sensitive_have_names() {
+        for &(nr, _) in SENSITIVE {
+            assert!(name(nr).is_some(), "missing name for {nr}");
+        }
+    }
+
+    #[test]
+    fn extended_positions_cover_pathnames_not_out_params() {
+        assert_eq!(extended_positions(EXECVE), &[1]);
+        assert_eq!(extended_positions(EXECVEAT), &[2]);
+        assert_eq!(extended_positions(RENAME), &[1, 2]);
+        // Kernel-written out-parameters are deliberately not extended
+        // (accept's sockaddr, read's buffer — the §9.2 fast path).
+        assert!(extended_positions(ACCEPT).is_empty());
+        assert!(extended_positions(ACCEPT4).is_empty());
+        assert!(extended_positions(READ).is_empty());
+        assert!(extended_positions(MMAP).is_empty());
+    }
+}

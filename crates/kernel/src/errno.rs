@@ -1,0 +1,63 @@
+//! Linux errno values and the negative-return convention.
+
+/// No such file or directory.
+pub const ENOENT: i64 = 2;
+/// Bad file descriptor.
+pub const EBADF: i64 = 9;
+/// Try again (would block).
+pub const EAGAIN: i64 = 11;
+/// Out of memory / address space.
+pub const ENOMEM: i64 = 12;
+/// Permission denied.
+pub const EACCES: i64 = 13;
+/// Bad address.
+pub const EFAULT: i64 = 14;
+/// File exists.
+pub const EEXIST: i64 = 17;
+/// Not a directory.
+pub const ENOTDIR: i64 = 20;
+/// Is a directory.
+pub const EISDIR: i64 = 21;
+/// Invalid argument.
+pub const EINVAL: i64 = 22;
+/// Too many open files.
+pub const EMFILE: i64 = 24;
+/// Function not implemented.
+pub const ENOSYS: i64 = 38;
+/// Operation not supported.
+pub const EOPNOTSUPP: i64 = 95;
+/// Address already in use.
+pub const EADDRINUSE: i64 = 98;
+/// Connection refused.
+pub const ECONNREFUSED: i64 = 111;
+/// Operation not permitted.
+pub const EPERM: i64 = 1;
+/// No child processes.
+pub const ECHILD: i64 = 10;
+
+/// Encodes `-errno` in a syscall return register.
+pub fn err(e: i64) -> u64 {
+    (-e) as u64
+}
+
+/// Decodes a syscall return: `Err(errno)` for the last 4096 values.
+pub fn decode(ret: u64) -> Result<u64, i64> {
+    let s = ret as i64;
+    if (-4096..0).contains(&s) {
+        Err(-s)
+    } else {
+        Ok(ret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        assert_eq!(decode(err(ENOENT)), Err(ENOENT));
+        assert_eq!(decode(5), Ok(5));
+        assert_eq!(decode(u64::MAX - 4096), Ok(u64::MAX - 4096));
+    }
+}

@@ -1,0 +1,39 @@
+//! # bastion-kernel
+//!
+//! A simulated Linux-like kernel servicing the system calls of
+//! [`bastion_vm`] processes. This is the substrate the BASTION runtime
+//! monitor plugs into:
+//!
+//! * [`seccomp`] — a seccomp-BPF model: per-syscall `Allow`/`Kill`/`Trace`
+//!   verdicts evaluated on every syscall entry, inherited across `clone`;
+//! * [`trace`] — the `ptrace`/`process_vm_readv` analogue: a [`trace::Tracer`]
+//!   registered with the [`world::World`] is woken synchronously on traced
+//!   syscalls and inspects the stopped process through [`trace::Tracee`],
+//!   paying context-switch costs from the VM's [`bastion_vm::CostModel`];
+//! * [`fs`] — an in-memory VFS with modes (for `chmod`), sizes, and the
+//!   usual `open/read/write/lseek/stat/unlink/rename/mkdir` surface;
+//! * [`net`] — loopback TCP-ish sockets: listeners with backlogs, byte-queue
+//!   connections, and an *external peer* API that workload generators (the
+//!   `wrk`/`dkftpbench` analogues) use to drive servers;
+//! * [`process`] — processes with credentials, fd tables (shared open file
+//!   descriptions across `clone`), VMA lists (for `mmap`/`mprotect`), and
+//!   exit reasons distinguishing seccomp kills from monitor kills;
+//! * [`syscall`] — the dispatcher implementing ~40 Linux x86-64 syscalls
+//!   over the above, with per-number invocation counters (Table 4);
+//! * [`world`] — the deterministic round-robin scheduler tying machines,
+//!   kernel, seccomp, and tracer together, and accounting global virtual
+//!   time.
+
+pub mod errno;
+pub mod fs;
+pub mod net;
+pub mod process;
+pub mod seccomp;
+pub mod syscall;
+pub mod trace;
+pub mod world;
+
+pub use process::{ExitReason, Pid, Process};
+pub use seccomp::{SeccompAction, SeccompFilter};
+pub use trace::{Regs, TraceVerdict, Tracee, Tracer};
+pub use world::{ExtConnId, RunStatus, World};

@@ -1,0 +1,276 @@
+//! Loopback socket simulation.
+//!
+//! Listeners hold backlogs of pending connections; a connection is a pair of
+//! byte queues. The *server* side is driven by application syscalls
+//! (`accept`, `read`, `write`, `sendfile`); the *client* side is driven by
+//! the Rust workload generators (the `wrk`/`DBT2`/`dkftpbench` analogues)
+//! through [`Net::external_connect`] / [`Net::client_send`] /
+//! [`Net::client_recv`].
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Identifies a connection.
+pub type ConnId = usize;
+/// Identifies a listening socket.
+pub type ListenerId = usize;
+
+/// One established (or pending) connection.
+#[derive(Debug, Clone, Default)]
+pub struct Conn {
+    to_server: VecDeque<u8>,
+    to_client: VecDeque<u8>,
+    client_closed: bool,
+    server_closed: bool,
+    /// Synthetic peer port, reported by `accept`.
+    pub peer_port: u16,
+}
+
+/// A listening socket.
+#[derive(Debug, Clone)]
+pub struct Listener {
+    /// Bound port.
+    pub port: u16,
+    backlog: VecDeque<ConnId>,
+    backlog_cap: usize,
+}
+
+/// Result of a read on one side of a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// `n` bytes were copied out.
+    Data(usize),
+    /// No data yet and the peer is still open.
+    WouldBlock,
+    /// Peer closed and the queue is drained.
+    Eof,
+}
+
+/// Binding a port that already has a listener.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortInUse(pub u16);
+
+impl std::fmt::Display for PortInUse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "port {} already in use", self.0)
+    }
+}
+
+impl std::error::Error for PortInUse {}
+
+/// The network namespace.
+#[derive(Debug, Clone, Default)]
+pub struct Net {
+    listeners: Vec<Listener>,
+    conns: Vec<Conn>,
+    ports: BTreeMap<u16, ListenerId>,
+    next_peer_port: u16,
+}
+
+impl Net {
+    /// An empty namespace.
+    pub fn new() -> Self {
+        Net {
+            next_peer_port: 40000,
+            ..Net::default()
+        }
+    }
+
+    /// Binds and listens on `port`.
+    ///
+    /// # Errors
+    /// Fails if another listener already owns the port.
+    pub fn listen(&mut self, port: u16, backlog: usize) -> Result<ListenerId, PortInUse> {
+        if self.ports.contains_key(&port) {
+            return Err(PortInUse(port));
+        }
+        let id = self.listeners.len();
+        self.listeners.push(Listener {
+            port,
+            backlog: VecDeque::new(),
+            backlog_cap: backlog.max(1),
+        });
+        self.ports.insert(port, id);
+        Ok(id)
+    }
+
+    /// An external client connects to `port`; queued on the backlog.
+    /// Returns `None` if no listener is bound or the backlog is full.
+    pub fn external_connect(&mut self, port: u16) -> Option<ConnId> {
+        let &lid = self.ports.get(&port)?;
+        let l = &mut self.listeners[lid];
+        if l.backlog.len() >= l.backlog_cap {
+            return None;
+        }
+        let cid = self.conns.len();
+        self.next_peer_port = self.next_peer_port.wrapping_add(1).max(40000);
+        self.conns.push(Conn {
+            peer_port: self.next_peer_port,
+            ..Conn::default()
+        });
+        self.listeners[lid].backlog.push_back(cid);
+        Some(cid)
+    }
+
+    /// Whether `accept` on this listener would succeed now.
+    pub fn has_pending(&self, lid: ListenerId) -> bool {
+        self.listeners
+            .get(lid)
+            .is_some_and(|l| !l.backlog.is_empty())
+    }
+
+    /// Dequeues a pending connection.
+    pub fn accept(&mut self, lid: ListenerId) -> Option<ConnId> {
+        self.listeners.get_mut(lid)?.backlog.pop_front()
+    }
+
+    /// Server-side read into `buf`.
+    pub fn server_read(&mut self, cid: ConnId, buf: &mut [u8]) -> ReadOutcome {
+        let c = &mut self.conns[cid];
+        if c.to_server.is_empty() {
+            return if c.client_closed {
+                ReadOutcome::Eof
+            } else {
+                ReadOutcome::WouldBlock
+            };
+        }
+        let n = buf.len().min(c.to_server.len());
+        for b in buf.iter_mut().take(n) {
+            *b = c.to_server.pop_front().unwrap();
+        }
+        ReadOutcome::Data(n)
+    }
+
+    /// Server-side write (always succeeds; queues are unbounded).
+    pub fn server_write(&mut self, cid: ConnId, bytes: &[u8]) -> usize {
+        let c = &mut self.conns[cid];
+        if c.client_closed {
+            return bytes.len(); // RST-free simplification: bytes vanish.
+        }
+        c.to_client.extend(bytes);
+        bytes.len()
+    }
+
+    /// Whether the server side has readable data (or EOF) available.
+    pub fn server_readable(&self, cid: ConnId) -> bool {
+        let c = &self.conns[cid];
+        !c.to_server.is_empty() || c.client_closed
+    }
+
+    /// Server closes its side.
+    pub fn server_close(&mut self, cid: ConnId) {
+        self.conns[cid].server_closed = true;
+    }
+
+    /// Client-side send.
+    pub fn client_send(&mut self, cid: ConnId, bytes: &[u8]) {
+        let c = &mut self.conns[cid];
+        if !c.server_closed {
+            c.to_server.extend(bytes);
+        }
+    }
+
+    /// Client-side receive: drains everything available.
+    pub fn client_recv(&mut self, cid: ConnId) -> Vec<u8> {
+        let c = &mut self.conns[cid];
+        c.to_client.drain(..).collect()
+    }
+
+    /// Client closes its side (server reads then see EOF).
+    pub fn client_close(&mut self, cid: ConnId) {
+        self.conns[cid].client_closed = true;
+    }
+
+    /// Whether the server has closed this connection.
+    pub fn server_closed(&self, cid: ConnId) -> bool {
+        self.conns[cid].server_closed
+    }
+
+    /// Peer port of a connection (reported via accept's sockaddr).
+    pub fn peer_port(&self, cid: ConnId) -> u16 {
+        self.conns[cid].peer_port
+    }
+
+    /// Number of connections ever created.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// An outbound connection from the application to an unmodelled local
+    /// service (used by the app-side `connect` syscall): writes are
+    /// swallowed, reads see immediate EOF.
+    pub fn blackhole(&mut self) -> ConnId {
+        let cid = self.conns.len();
+        self.conns.push(Conn {
+            client_closed: true,
+            peer_port: 0,
+            ..Conn::default()
+        });
+        cid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listen_accept_roundtrip() {
+        let mut n = Net::new();
+        let l = n.listen(8080, 16).unwrap();
+        assert!(!n.has_pending(l));
+        let c = n.external_connect(8080).unwrap();
+        assert!(n.has_pending(l));
+        assert_eq!(n.accept(l), Some(c));
+        assert!(!n.has_pending(l));
+    }
+
+    #[test]
+    fn duplicate_bind_fails() {
+        let mut n = Net::new();
+        n.listen(80, 4).unwrap();
+        assert!(n.listen(80, 4).is_err());
+    }
+
+    #[test]
+    fn backlog_capacity_limits_pending() {
+        let mut n = Net::new();
+        let _ = n.listen(80, 2).unwrap();
+        assert!(n.external_connect(80).is_some());
+        assert!(n.external_connect(80).is_some());
+        assert!(n.external_connect(80).is_none());
+    }
+
+    #[test]
+    fn bytes_flow_both_ways() {
+        let mut n = Net::new();
+        let l = n.listen(80, 4).unwrap();
+        let c = n.external_connect(80).unwrap();
+        let c2 = n.accept(l).unwrap();
+        assert_eq!(c, c2);
+        n.client_send(c, b"GET /");
+        let mut buf = [0u8; 3];
+        assert_eq!(n.server_read(c, &mut buf), ReadOutcome::Data(3));
+        assert_eq!(&buf, b"GET");
+        n.server_write(c, b"200 OK");
+        assert_eq!(n.client_recv(c), b"200 OK");
+    }
+
+    #[test]
+    fn eof_after_client_close() {
+        let mut n = Net::new();
+        let l = n.listen(80, 4).unwrap();
+        let c = n.external_connect(80).unwrap();
+        n.accept(l).unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(n.server_read(c, &mut buf), ReadOutcome::WouldBlock);
+        n.client_close(c);
+        assert_eq!(n.server_read(c, &mut buf), ReadOutcome::Eof);
+        assert!(n.server_readable(c));
+    }
+
+    #[test]
+    fn connect_to_unbound_port_fails() {
+        let mut n = Net::new();
+        assert!(n.external_connect(9999).is_none());
+    }
+}

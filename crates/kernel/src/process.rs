@@ -1,0 +1,299 @@
+//! Processes: fd tables, credentials, VMAs, scheduling state.
+
+use crate::net::{ConnId, ListenerId};
+use crate::seccomp::SeccompFilter;
+use bastion_vm::{Fault, Machine};
+use std::sync::Arc;
+
+/// Process identifier.
+pub type Pid = u32;
+
+/// What a blocked process is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitReason {
+    /// `accept`/`accept4` on an empty backlog. Completion allocates the
+    /// connection fd and fills the peer sockaddr.
+    Accept {
+        /// The listening socket.
+        lid: ListenerId,
+        /// Where to write the peer sockaddr (0 = none).
+        addr_out: u64,
+        /// Whether this was accept4 (flags argument present).
+        accept4: bool,
+    },
+    /// `read`/`recvfrom` on a connection with no data yet.
+    ConnRead {
+        /// The connection.
+        cid: ConnId,
+        /// Destination buffer.
+        buf: u64,
+        /// Buffer capacity.
+        len: u64,
+    },
+    /// `nanosleep` until the given virtual time.
+    Sleep {
+        /// Absolute wake-up time in world cycles.
+        until: u64,
+    },
+    /// `wait4` for any child to exit.
+    Wait4 {
+        /// Where to write the status (0 = none).
+        status_out: u64,
+    },
+}
+
+/// Why a process stopped existing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExitReason {
+    /// Normal exit with a status code.
+    Exited(i64),
+    /// Hardware fault (segfault, CET #CP, CFI trap, ...).
+    Fault(Fault),
+    /// seccomp `SECCOMP_RET_KILL` fired for this syscall number.
+    SeccompKill {
+        /// The offending syscall.
+        nr: u32,
+    },
+    /// The BASTION monitor denied a traced syscall.
+    MonitorKill {
+        /// The offending syscall.
+        nr: u32,
+        /// Which context was violated (monitor-provided description).
+        reason: String,
+    },
+}
+
+impl ExitReason {
+    /// Whether the process was killed by a defense (seccomp, monitor, or a
+    /// defense-induced fault) rather than exiting normally.
+    pub fn killed_by_defense(&self) -> bool {
+        match self {
+            ExitReason::Exited(_) => false,
+            ExitReason::Fault(f) => matches!(
+                f,
+                Fault::ControlProtection { .. } | Fault::CfiViolation { .. }
+            ),
+            ExitReason::SeccompKill { .. } | ExitReason::MonitorKill { .. } => true,
+        }
+    }
+}
+
+/// Scheduling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// May be stepped.
+    Runnable,
+    /// Parked in a blocking syscall.
+    Blocked(WaitReason),
+    /// Terminated; `exit` holds the reason.
+    Zombie,
+}
+
+/// User/group credentials (for `setuid`-family syscalls and the
+/// privilege-escalation scenarios).
+/// Processes start privileged (all ids zero, i.e. root) and drop, like
+/// nginx/vsftpd — hence the derived all-zero `Default`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Creds {
+    /// Real user id.
+    pub uid: u32,
+    /// Effective user id.
+    pub euid: u32,
+    /// Real group id.
+    pub gid: u32,
+    /// Effective group id.
+    pub egid: u32,
+}
+
+/// A virtual memory area created by `mmap` (tracked so `mprotect` outcomes
+/// — e.g. an attacker achieving RWX — are observable ground truth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vma {
+    /// Start address.
+    pub start: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// PROT_* bits (1=read, 2=write, 4=exec).
+    pub prot: u64,
+}
+
+/// The per-fd slot: an index into the kernel's open-file-description table.
+pub type OfdId = usize;
+
+/// A process's file descriptor table.
+#[derive(Debug, Clone, Default)]
+pub struct FdTable {
+    slots: Vec<Option<OfdId>>,
+}
+
+impl FdTable {
+    /// A table with stdio wired to the given descriptions.
+    pub fn with_stdio(stdin: OfdId, stdout: OfdId, stderr: OfdId) -> Self {
+        FdTable {
+            slots: vec![Some(stdin), Some(stdout), Some(stderr)],
+        }
+    }
+
+    /// Allocates the lowest free fd for `ofd`.
+    pub fn alloc(&mut self, ofd: OfdId) -> i64 {
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if s.is_none() {
+                *s = Some(ofd);
+                return i as i64;
+            }
+        }
+        self.slots.push(Some(ofd));
+        (self.slots.len() - 1) as i64
+    }
+
+    /// Resolves an fd.
+    pub fn get(&self, fd: u64) -> Option<OfdId> {
+        self.slots.get(fd as usize).copied().flatten()
+    }
+
+    /// Closes an fd, returning the description it referenced.
+    pub fn close(&mut self, fd: u64) -> Option<OfdId> {
+        self.slots.get_mut(fd as usize).and_then(Option::take)
+    }
+
+    /// All open descriptions (for refcounting on fork).
+    pub fn iter_open(&self) -> impl Iterator<Item = OfdId> + '_ {
+        self.slots.iter().filter_map(|s| *s)
+    }
+}
+
+/// One simulated process.
+#[derive(Debug)]
+pub struct Process {
+    /// Process id.
+    pub pid: Pid,
+    /// Parent pid, if any.
+    pub parent: Option<Pid>,
+    /// CPU + memory state.
+    pub machine: Machine,
+    /// Scheduling state.
+    pub state: ProcState,
+    /// File descriptors.
+    pub fds: FdTable,
+    /// Credentials.
+    pub creds: Creds,
+    /// mmap'd areas.
+    pub vmas: Vec<Vma>,
+    /// Next mmap allocation address.
+    pub mmap_cursor: u64,
+    /// Current program break.
+    pub brk: u64,
+    /// Installed seccomp filter (inherited by children).
+    pub seccomp: Option<Arc<SeccompFilter>>,
+    /// Whether a tracer is attached (inherited by children).
+    pub traced: bool,
+    /// Exit reason once a zombie.
+    pub exit: Option<ExitReason>,
+    /// Count of successful `execve`s (ground truth for attack tests).
+    pub exec_count: u32,
+    /// Cycles already folded into the world clock.
+    pub cycles_accounted: u64,
+    /// Whether `wait4` already reaped this zombie.
+    pub reaped: bool,
+}
+
+impl Process {
+    /// Wraps a machine as pid `pid`.
+    pub fn new(pid: Pid, machine: Machine, fds: FdTable) -> Self {
+        let mmap_cursor = machine.image.mmap_base;
+        let brk = machine.image.heap_base;
+        Process {
+            pid,
+            parent: None,
+            machine,
+            state: ProcState::Runnable,
+            fds,
+            creds: Creds::default(),
+            vmas: Vec::new(),
+            mmap_cursor,
+            brk,
+            seccomp: None,
+            traced: false,
+            exit: None,
+            exec_count: 0,
+            cycles_accounted: 0,
+            reaped: false,
+        }
+    }
+
+    /// Whether any VMA is simultaneously writable and executable — the
+    /// ground-truth "memory permission attack succeeded" predicate.
+    pub fn has_wx_mapping(&self) -> bool {
+        self.vmas.iter().any(|v| v.prot & 0b110 == 0b110)
+    }
+
+    /// Kills the process with the given reason.
+    pub fn kill(&mut self, reason: ExitReason) {
+        self.state = ProcState::Zombie;
+        self.exit = Some(reason);
+    }
+
+    /// Whether the process is alive (not a zombie).
+    pub fn alive(&self) -> bool {
+        self.state != ProcState::Zombie
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_table_allocates_lowest_free() {
+        let mut t = FdTable::with_stdio(0, 1, 2);
+        assert_eq!(t.alloc(10), 3);
+        assert_eq!(t.alloc(11), 4);
+        assert_eq!(t.close(3), Some(10));
+        assert_eq!(t.alloc(12), 3);
+        assert_eq!(t.get(3), Some(12));
+        assert_eq!(t.get(99), None);
+    }
+
+    #[test]
+    fn exit_reason_classification() {
+        assert!(!ExitReason::Exited(0).killed_by_defense());
+        assert!(ExitReason::SeccompKill { nr: 59 }.killed_by_defense());
+        assert!(ExitReason::MonitorKill {
+            nr: 59,
+            reason: "call-type".into()
+        }
+        .killed_by_defense());
+        assert!(ExitReason::Fault(Fault::ControlProtection {
+            expected: None,
+            got: 0
+        })
+        .killed_by_defense());
+        assert!(!ExitReason::Fault(Fault::DivByZero).killed_by_defense());
+    }
+
+    #[test]
+    fn wx_detection() {
+        use bastion_ir::build::ModuleBuilder;
+        use bastion_ir::Ty;
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", &[], Ty::I64);
+        f.ret(Some(bastion_ir::Operand::Imm(0)));
+        f.finish();
+        let img = bastion_vm::Image::load(mb.finish()).unwrap();
+        let m = Machine::new(std::sync::Arc::new(img), bastion_vm::CostModel::default());
+        let mut p = Process::new(1, m, FdTable::default());
+        assert!(!p.has_wx_mapping());
+        p.vmas.push(Vma {
+            start: 0x1000,
+            len: 0x1000,
+            prot: 0b101,
+        });
+        assert!(!p.has_wx_mapping());
+        p.vmas.push(Vma {
+            start: 0x2000,
+            len: 0x1000,
+            prot: 0b111,
+        });
+        assert!(p.has_wx_mapping());
+    }
+}

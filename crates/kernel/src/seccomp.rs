@@ -1,0 +1,86 @@
+//! The seccomp-BPF model (paper §7.1, "Trapping a system call invocation").
+//!
+//! The BASTION monitor programs a filter with:
+//! * `SECCOMP_RET_ALLOW` for all non-sensitive syscalls,
+//! * `SECCOMP_RET_KILL` for *not-callable* syscalls, and
+//! * `SECCOMP_RET_TRACE` for directly/indirectly-callable sensitive
+//!   syscalls, which stop the process and wake the tracer.
+//!
+//! Filters are evaluated on every syscall entry (a fixed per-syscall cycle
+//! cost) and are inherited by children, matching seccomp semantics.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The verdict a filter returns for one syscall number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeccompAction {
+    /// `SECCOMP_RET_ALLOW` — execute normally.
+    Allow,
+    /// `SECCOMP_RET_KILL` — kill the process immediately.
+    Kill,
+    /// `SECCOMP_RET_TRACE` — stop and wake the attached tracer.
+    Trace,
+}
+
+/// A compiled filter: default action plus per-number overrides.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeccompFilter {
+    default: SeccompAction,
+    rules: BTreeMap<u32, SeccompAction>,
+}
+
+impl SeccompFilter {
+    /// A filter that applies `default` unless a rule overrides it.
+    pub fn new(default: SeccompAction) -> Self {
+        SeccompFilter {
+            default,
+            rules: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the action for one syscall number.
+    pub fn set(&mut self, nr: u32, action: SeccompAction) -> &mut Self {
+        self.rules.insert(nr, action);
+        self
+    }
+
+    /// Evaluates the filter.
+    pub fn eval(&self, nr: u32) -> SeccompAction {
+        self.rules.get(&nr).copied().unwrap_or(self.default)
+    }
+
+    /// Number of explicit rules (filter size proxy).
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Wraps the filter for sharing across forked processes.
+    pub fn shared(self) -> Arc<SeccompFilter> {
+        Arc::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_and_overrides() {
+        let mut f = SeccompFilter::new(SeccompAction::Allow);
+        f.set(59, SeccompAction::Trace).set(101, SeccompAction::Kill);
+        assert_eq!(f.eval(0), SeccompAction::Allow);
+        assert_eq!(f.eval(59), SeccompAction::Trace);
+        assert_eq!(f.eval(101), SeccompAction::Kill);
+        assert_eq!(f.rule_count(), 2);
+    }
+
+    #[test]
+    fn kill_by_default_policy() {
+        let mut f = SeccompFilter::new(SeccompAction::Kill);
+        f.set(60, SeccompAction::Allow);
+        assert_eq!(f.eval(60), SeccompAction::Allow);
+        assert_eq!(f.eval(59), SeccompAction::Kill);
+    }
+}

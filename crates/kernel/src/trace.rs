@@ -1,0 +1,206 @@
+//! The ptrace / `process_vm_readv` analogue (paper §7.1).
+//!
+//! When seccomp returns `SECCOMP_RET_TRACE`, the world stops the process and
+//! wakes the attached [`Tracer`] — the BASTION monitor — handing it a
+//! [`Tracee`] view of the stopped process. Every access through the view
+//! charges virtual cycles to the trap, reproducing the paper's key cost
+//! observation (Table 7): *fetching process state dominates monitor
+//! overhead* because each access implies context switches.
+
+use crate::process::Pid;
+use bastion_vm::{Machine, MemIo, OutOfBounds};
+
+/// The register snapshot `PTRACE_GETREGS` returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Regs {
+    /// Trapped syscall number (`orig_rax`).
+    pub nr: u32,
+    /// Syscall argument registers (rdi, rsi, rdx, r10, r8, r9).
+    pub args: [u64; 6],
+    /// Address of the trapping `syscall` instruction (`rip`).
+    pub rip: u64,
+    /// Stack pointer.
+    pub sp: u64,
+    /// Frame pointer.
+    pub fp: u64,
+}
+
+/// The monitor's window into a stopped process.
+pub struct Tracee<'a> {
+    machine: &'a Machine,
+    pid: Pid,
+    charge: &'a mut u64,
+}
+
+impl<'a> Tracee<'a> {
+    /// Wraps a stopped machine. `charge` accumulates the virtual cycles the
+    /// monitor's accesses cost (added to the world clock by the caller).
+    pub fn new(machine: &'a Machine, pid: Pid, charge: &'a mut u64) -> Self {
+        Tracee {
+            machine,
+            pid,
+            charge,
+        }
+    }
+
+    /// The stopped process's pid.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// `PTRACE_GETREGS`: the trapped syscall state.
+    pub fn getregs(&mut self) -> Regs {
+        *self.charge += self.machine.cost.ptrace_getregs;
+        Regs {
+            nr: self.machine.trap_nr,
+            args: self.machine.trap_args,
+            rip: self.machine.trap_pc,
+            sp: self.machine.sp,
+            fp: self.machine.fp,
+        }
+    }
+
+    /// `process_vm_readv`: read remote memory.
+    ///
+    /// # Errors
+    /// Fails if the range is unmapped in the tracee.
+    pub fn read_mem(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), OutOfBounds> {
+        *self.charge +=
+            self.machine.cost.remote_read + (buf.len() as u64 / 64) * self.machine.cost.remote_read_per_64b;
+        self.machine.mem.read(addr, buf)
+    }
+
+    /// Remote read of one u64.
+    ///
+    /// # Errors
+    /// Fails if the word is unmapped in the tracee.
+    pub fn read_u64(&mut self, addr: u64) -> Result<u64, OutOfBounds> {
+        let mut b = [0u8; 8];
+        self.read_mem(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// The shadow-region base of the tracee (learned at launch, like the
+    /// monitor's shared mapping in the paper).
+    pub fn gs_base(&self) -> u64 {
+        self.machine.gs_base
+    }
+
+    /// Total cycles charged so far on this trap.
+    pub fn charged(&self) -> u64 {
+        *self.charge
+    }
+}
+
+/// A read-only adaptor over the tracee's memory implementing [`MemIo`].
+///
+/// The shadow region is a *shared mapping* between the application and the
+/// monitor (paper §7.1: "a shadow memory region ... for shared use between
+/// the application process and the Bastion monitor process"), so monitor
+/// reads of shadow-table entries are local and cost nothing beyond ordinary
+/// loads — use this adaptor only for the shadow region. Ordinary tracee
+/// memory (stack frames, argument buffers) must instead be fetched with
+/// [`Tracee::read_mem`], which pays the `process_vm_readv` cost.
+pub struct SharedShadow<'a> {
+    machine: &'a Machine,
+}
+
+impl<'a> SharedShadow<'a> {
+    /// Wraps the stopped machine for shadow-region access.
+    pub fn new(machine: &'a Machine) -> Self {
+        SharedShadow { machine }
+    }
+}
+
+impl MemIo for SharedShadow<'_> {
+    fn read(&self, addr: u64, buf: &mut [u8]) -> Result<(), OutOfBounds> {
+        self.machine.mem.read(addr, buf)
+    }
+
+    fn write(&mut self, addr: u64, _buf: &[u8]) -> Result<(), OutOfBounds> {
+        // The monitor's mapping is read-only.
+        Err(OutOfBounds { addr, write: true })
+    }
+}
+
+impl Tracee<'_> {
+    /// Shared-mapping view for shadow-table lookups (uncharged).
+    pub fn shared_shadow(&self) -> SharedShadow<'_> {
+        SharedShadow::new(self.machine)
+    }
+}
+
+/// The verdict a tracer returns for a trapped syscall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceVerdict {
+    /// Let the syscall execute.
+    Allow,
+    /// Kill the application (context violation).
+    Deny(String),
+}
+
+/// A syscall tracer — implemented by the BASTION runtime monitor.
+pub trait Tracer: std::any::Any {
+    /// Called when a traced syscall stops; inspect the tracee and decide.
+    fn on_trap(&mut self, tracee: &mut Tracee<'_>) -> TraceVerdict;
+
+    /// Downcast support so harnesses can recover concrete monitor
+    /// statistics after a run.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bastion_ir::build::ModuleBuilder;
+    use bastion_ir::{Operand, Ty};
+    use bastion_vm::{CostModel, Image};
+    use std::sync::Arc;
+
+    fn machine() -> Machine {
+        let mut mb = ModuleBuilder::new("t");
+        let stub = mb.declare_syscall_stub("write", 1, 3);
+        let mut f = mb.function("main", &[], Ty::I64);
+        let r = f.call_direct(stub, &[1i64.into(), 2i64.into(), 3i64.into()]);
+        f.ret(Some(Operand::Reg(r)));
+        f.finish();
+        let img = Image::load(mb.finish()).unwrap();
+        let mut m = Machine::new(Arc::new(img), CostModel::default());
+        let e = bastion_vm::interp::run(&mut m, 10_000);
+        assert!(matches!(e, bastion_vm::Event::Syscall { nr: 1, .. }));
+        m
+    }
+
+    #[test]
+    fn getregs_reports_trap_state_and_charges() {
+        let m = machine();
+        let mut charge = 0;
+        let mut t = Tracee::new(&m, 7, &mut charge);
+        let regs = t.getregs();
+        assert_eq!(regs.nr, 1);
+        assert_eq!(regs.args[0], 1);
+        assert_eq!(regs.args[2], 3);
+        assert_eq!(t.pid(), 7);
+        assert!(t.charged() >= m.cost.ptrace_getregs);
+    }
+
+    #[test]
+    fn remote_reads_charge_per_volume() {
+        let m = machine();
+        let mut charge = 0;
+        let mut t = Tracee::new(&m, 1, &mut charge);
+        let _ = t.read_u64(m.fp).unwrap();
+        let small = t.charged();
+        let mut big = vec![0u8; 4096];
+        t.read_mem(m.image.stack_base, &mut big).unwrap();
+        assert!(t.charged() - small > small);
+    }
+
+    #[test]
+    fn unmapped_remote_read_fails() {
+        let m = machine();
+        let mut charge = 0;
+        let mut t = Tracee::new(&m, 1, &mut charge);
+        assert!(t.read_u64(0x10).is_err());
+    }
+}

@@ -1,0 +1,356 @@
+//! The world: processes + kernel + scheduler + tracer glue.
+//!
+//! A deterministic round-robin scheduler steps each runnable process for a
+//! fixed quantum. Syscall events flow through seccomp (kill / trace /
+//! allow), then the attached [`Tracer`] (the BASTION monitor) for traced
+//! numbers, then the dispatcher. Blocking syscalls park the process until
+//! the wake-up scan observes the awaited condition (data on a connection, a
+//! pending accept, elapsed virtual time, a zombie child).
+//!
+//! Virtual time ([`World::now`]) is the sum of all machine cycles, all
+//! kernel-side work, and all monitor-side work — the quantity every
+//! benchmark reports, since the application is synchronously stopped while
+//! the monitor verifies a trapped syscall.
+
+use crate::net::{ConnId, ReadOutcome};
+use crate::process::{ExitReason, FdTable, Pid, ProcState, Process, WaitReason};
+use crate::seccomp::{SeccompAction, SeccompFilter};
+use crate::syscall::{Kernel, SysOutcome};
+use crate::trace::{TraceVerdict, Tracee, Tracer};
+use bastion_vm::{interp, CostModel, Event, Machine};
+use std::sync::Arc;
+
+/// Handle to an externally-driven (workload generator) connection.
+pub type ExtConnId = ConnId;
+
+/// Why [`World::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Every process is a zombie.
+    AllExited,
+    /// All live processes are blocked and nothing can wake them without
+    /// external input.
+    Idle,
+    /// The cycle budget was exhausted.
+    Budget,
+}
+
+/// The simulation world.
+pub struct World {
+    /// Kernel state.
+    pub kernel: Kernel,
+    /// All processes ever spawned (zombies retained for inspection).
+    pub procs: Vec<Process>,
+    tracer: Option<Box<dyn Tracer>>,
+    /// Cycles spent in the monitor (tracer) on behalf of stopped processes.
+    pub trace_cycles: u64,
+    /// Number of tracer stops delivered (the "monitor hook" count).
+    pub trap_count: u64,
+    clock: u64,
+    next_pid: Pid,
+    quantum: u64,
+}
+
+impl World {
+    /// An empty world with the given cost model.
+    pub fn new(cost: CostModel) -> Self {
+        World {
+            kernel: Kernel::new(cost),
+            procs: Vec::new(),
+            tracer: None,
+            trace_cycles: 0,
+            trap_count: 0,
+            clock: 0,
+            next_pid: 1,
+            quantum: 512,
+        }
+    }
+
+    /// Spawns a process running `machine`; returns its pid.
+    pub fn spawn(&mut self, machine: Machine) -> Pid {
+        let (i, o, e) = self.kernel.stdio();
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.procs
+            .push(Process::new(pid, machine, FdTable::with_stdio(i, o, e)));
+        pid
+    }
+
+    /// Attaches the (single) tracer — the BASTION monitor.
+    pub fn attach_tracer(&mut self, t: Box<dyn Tracer>) {
+        self.tracer = Some(t);
+    }
+
+    /// Detaches and returns the tracer (to read its statistics).
+    pub fn take_tracer(&mut self) -> Option<Box<dyn Tracer>> {
+        self.tracer.take()
+    }
+
+    /// Installs a seccomp filter on `pid` and marks it traced.
+    pub fn install_seccomp(&mut self, pid: Pid, filter: Arc<SeccompFilter>, traced: bool) {
+        if let Some(p) = self.proc_mut(pid) {
+            p.seccomp = Some(filter);
+            p.traced = traced;
+        }
+    }
+
+    /// Looks a process up by pid.
+    pub fn proc(&self, pid: Pid) -> Option<&Process> {
+        self.procs.iter().find(|p| p.pid == pid)
+    }
+
+    /// Mutable process lookup.
+    pub fn proc_mut(&mut self, pid: Pid) -> Option<&mut Process> {
+        self.procs.iter_mut().find(|p| p.pid == pid)
+    }
+
+    /// Total virtual time: app + kernel + monitor cycles.
+    pub fn now(&self) -> u64 {
+        self.clock + self.kernel.cycles + self.trace_cycles
+    }
+
+    /// Number of live (non-zombie) processes.
+    pub fn alive_count(&self) -> usize {
+        self.procs.iter().filter(|p| p.alive()).count()
+    }
+
+    /// Runs until everything exits, everything blocks, or `max_cycles`
+    /// elapse.
+    pub fn run(&mut self, max_cycles: u64) -> RunStatus {
+        let deadline = self.now().saturating_add(max_cycles);
+        loop {
+            self.wake_blocked();
+            if self.alive_count() == 0 {
+                return RunStatus::AllExited;
+            }
+            let mut ran_any = false;
+            for idx in 0..self.procs.len() {
+                if self.procs[idx].state != ProcState::Runnable {
+                    continue;
+                }
+                ran_any = true;
+                self.run_quantum(idx);
+                if self.now() >= deadline {
+                    return RunStatus::Budget;
+                }
+            }
+            if !ran_any {
+                // Nothing runnable; see if a wake changes that.
+                self.wake_blocked();
+                let still_stuck = self
+                    .procs
+                    .iter()
+                    .all(|p| p.state != ProcState::Runnable);
+                if still_stuck {
+                    return if self.alive_count() == 0 {
+                        RunStatus::AllExited
+                    } else {
+                        RunStatus::Idle
+                    };
+                }
+            }
+            if self.now() >= deadline {
+                return RunStatus::Budget;
+            }
+        }
+    }
+
+    fn run_quantum(&mut self, idx: usize) {
+        let start = self.procs[idx].machine.cycles;
+        let mut steps = 0u64;
+        while steps < self.quantum && self.procs[idx].state == ProcState::Runnable {
+            steps += 1;
+            let ev = interp::step(&mut self.procs[idx].machine);
+            match ev {
+                Event::Continue => {}
+                Event::Syscall { nr, args } => {
+                    self.handle_syscall(idx, nr, args);
+                }
+                Event::Exited(code) => {
+                    self.procs[idx].kill(ExitReason::Exited(code));
+                }
+                Event::Fault(f) => {
+                    self.procs[idx].kill(ExitReason::Fault(f));
+                }
+            }
+        }
+        let delta = self.procs[idx].machine.cycles - start;
+        self.clock += delta;
+    }
+
+    fn handle_syscall(&mut self, idx: usize, nr: u32, args: [u64; 6]) {
+        // 1. seccomp.
+        let action = match &self.procs[idx].seccomp {
+            Some(f) => {
+                self.kernel.cycles += self.kernel.cost.seccomp;
+                f.eval(nr)
+            }
+            None => SeccompAction::Allow,
+        };
+        match action {
+            SeccompAction::Kill => {
+                self.procs[idx].kill(ExitReason::SeccompKill { nr });
+                return;
+            }
+            SeccompAction::Trace => {
+                if let (true, Some(tracer)) = (self.procs[idx].traced, self.tracer.as_mut()) {
+                    self.trap_count += 1;
+                    self.trace_cycles += self.kernel.cost.ptrace_stop;
+                    let verdict = {
+                        let p = &self.procs[idx];
+                        let mut tracee = Tracee::new(&p.machine, p.pid, &mut self.trace_cycles);
+                        tracer.on_trap(&mut tracee)
+                    };
+                    if let TraceVerdict::Deny(reason) = verdict {
+                        self.procs[idx].kill(ExitReason::MonitorKill { nr, reason });
+                        return;
+                    }
+                } else {
+                    // SECCOMP_RET_TRACE with no tracer attached: Linux
+                    // returns ENOSYS to the caller.
+                    self.procs[idx]
+                        .machine
+                        .complete_syscall(crate::errno::err(crate::errno::ENOSYS));
+                    return;
+                }
+            }
+            SeccompAction::Allow => {}
+        }
+        // 2. dispatch.
+        let now = self.now();
+        let outcome = self.kernel.dispatch(&mut self.procs[idx], nr, args, now);
+        match outcome {
+            SysOutcome::Done(ret) => self.procs[idx].machine.complete_syscall(ret),
+            SysOutcome::Block(reason) => {
+                self.procs[idx].state = ProcState::Blocked(reason);
+            }
+            SysOutcome::Exit(code) => self.procs[idx].kill(ExitReason::Exited(code)),
+            SysOutcome::Fork => self.do_fork(idx),
+        }
+    }
+
+    fn do_fork(&mut self, idx: usize) {
+        let child_pid = self.next_pid;
+        self.next_pid += 1;
+        let parent = &mut self.procs[idx];
+        let mut child_machine = parent.machine.clone();
+        parent.machine.complete_syscall(u64::from(child_pid));
+        child_machine.complete_syscall(0);
+        let mut child = Process::new(child_pid, child_machine, parent.fds.clone());
+        child.parent = Some(parent.pid);
+        child.creds = parent.creds;
+        child.vmas = parent.vmas.clone();
+        child.brk = parent.brk;
+        child.mmap_cursor = parent.mmap_cursor + 0x1000_0000; // disjoint arenas
+        child.seccomp = parent.seccomp.clone();
+        child.traced = parent.traced;
+        let fds = child.fds.clone();
+        self.procs.push(child);
+        self.kernel.ref_table(&fds);
+    }
+
+    fn wake_blocked(&mut self) {
+        let now = self.now();
+        for idx in 0..self.procs.len() {
+            let ProcState::Blocked(reason) = self.procs[idx].state else {
+                continue;
+            };
+            match reason {
+                WaitReason::Accept { lid, addr_out, .. } => {
+                    if self.kernel.net.has_pending(lid) {
+                        let ret = {
+                            let p = &mut self.procs[idx];
+                            self.kernel.complete_accept(p, lid, addr_out)
+                        };
+                        self.procs[idx].machine.complete_syscall(ret);
+                        self.procs[idx].state = ProcState::Runnable;
+                    }
+                }
+                WaitReason::ConnRead { cid, buf, len } => {
+                    if self.kernel.net.server_readable(cid) {
+                        let mut tmp = vec![0u8; len.min(1 << 20) as usize];
+                        let ret = match self.kernel.net.server_read(cid, &mut tmp) {
+                            ReadOutcome::Data(n) => {
+                                use bastion_vm::MemIo;
+                                match self.procs[idx].machine.mem.write(buf, &tmp[..n]) {
+                                    Ok(()) => n as u64,
+                                    Err(_) => crate::errno::err(crate::errno::EFAULT),
+                                }
+                            }
+                            ReadOutcome::Eof => 0,
+                            ReadOutcome::WouldBlock => continue,
+                        };
+                        self.procs[idx].machine.complete_syscall(ret);
+                        self.procs[idx].state = ProcState::Runnable;
+                    }
+                }
+                WaitReason::Sleep { until } => {
+                    if now >= until {
+                        self.procs[idx].machine.complete_syscall(0);
+                        self.procs[idx].state = ProcState::Runnable;
+                    }
+                }
+                WaitReason::Wait4 { status_out } => {
+                    let me = self.procs[idx].pid;
+                    let zombie = self
+                        .procs
+                        .iter()
+                        .position(|c| c.parent == Some(me) && !c.alive() && !c.reaped);
+                    if let Some(z) = zombie {
+                        self.procs[z].reaped = true;
+                        let zpid = self.procs[z].pid;
+                        let status = match &self.procs[z].exit {
+                            Some(ExitReason::Exited(c)) => (*c as u64) << 8,
+                            _ => 0x7f,
+                        };
+                        if status_out != 0 {
+                            use bastion_vm::MemIo;
+                            let _ = self.procs[idx].machine.mem.write_u64(status_out, status);
+                        }
+                        self.procs[idx].machine.complete_syscall(u64::from(zpid));
+                        self.procs[idx].state = ProcState::Runnable;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- external (workload generator) network API ----
+
+    /// An external client connects to `port`; `None` if nothing listens or
+    /// the backlog is full.
+    pub fn net_connect(&mut self, port: u16) -> Option<ExtConnId> {
+        self.kernel.net.external_connect(port)
+    }
+
+    /// Sends client bytes on an external connection.
+    pub fn net_send(&mut self, c: ExtConnId, bytes: &[u8]) {
+        self.kernel.net.client_send(c, bytes);
+    }
+
+    /// Drains server→client bytes from an external connection.
+    pub fn net_recv(&mut self, c: ExtConnId) -> Vec<u8> {
+        self.kernel.net.client_recv(c)
+    }
+
+    /// Closes the client side of an external connection.
+    pub fn net_close(&mut self, c: ExtConnId) {
+        self.kernel.net.client_close(c);
+    }
+
+    /// Whether the server has closed its side of an external connection
+    /// (HTTP/1.0-style end-of-response signal for load generators).
+    pub fn net_server_closed(&self, c: ExtConnId) -> bool {
+        self.kernel.net.server_closed(c)
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("procs", &self.procs.len())
+            .field("now", &self.now())
+            .field("traps", &self.trap_count)
+            .finish()
+    }
+}

@@ -1,0 +1,177 @@
+//! MiniC abstract syntax tree.
+
+/// A source-level type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CType {
+    /// `void` (function returns only).
+    Void,
+    /// `char` — one byte.
+    Char,
+    /// `long` — the 64-bit word.
+    Long,
+    /// `T*`.
+    Ptr(Box<CType>),
+    /// `struct Name`.
+    Struct(String),
+    /// `fnptr` — a code pointer (arity checked at the callsite).
+    FnPtr,
+    /// `T name[N]` — fixed array (declarations only).
+    Array(Box<CType>, u64),
+}
+
+impl CType {
+    /// Pointer to self.
+    pub fn ptr(self) -> CType {
+        CType::Ptr(Box::new(self))
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinExprOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Short-circuit `&&`.
+    LAnd,
+    /// Short-circuit `||`.
+    LOr,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// String literal (lowered to an anonymous global; value is `char*`).
+    Str(Vec<u8>),
+    /// Variable reference.
+    Ident(String),
+    /// `a <op> b`.
+    Bin(BinExprOp, Box<Expr>, Box<Expr>),
+    /// `-e`.
+    Neg(Box<Expr>),
+    /// `!e`.
+    Not(Box<Expr>),
+    /// `~e`.
+    BitNot(Box<Expr>),
+    /// `*e`.
+    Deref(Box<Expr>),
+    /// `&lvalue`.
+    AddrOf(Box<Expr>),
+    /// `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `base.field`.
+    Field(Box<Expr>, String),
+    /// `ptr->field`.
+    Arrow(Box<Expr>, String),
+    /// `callee(args)` — direct if `callee` names a function, otherwise an
+    /// indirect call through the expression's value.
+    Call(Box<Expr>, Vec<Expr>),
+    /// `sizeof(type)`.
+    SizeOf(CType),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration with optional initializer.
+    Decl {
+        /// Declared type.
+        ty: CType,
+        /// Variable name.
+        name: String,
+        /// Initializer expression.
+        init: Option<Expr>,
+    },
+    /// `lvalue = expr;`
+    Assign(Expr, Expr),
+    /// Bare expression (e.g. a call).
+    Expr(Expr),
+    /// `if (c) { .. } else { .. }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) { .. }`.
+    While(Expr, Vec<Stmt>),
+    /// `for (init; cond; step) { .. }` — init/step are statements.
+    For(Box<Stmt>, Expr, Box<Stmt>, Vec<Stmt>),
+    /// `return expr?;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+}
+
+/// A global initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInitAst {
+    /// No initializer (zero).
+    Zero,
+    /// Scalar constant.
+    Int(i64),
+    /// String literal (for `char name[] = "..."` / `char *p = "..."`).
+    Str(Vec<u8>),
+    /// Brace list: integers and/or function names (handler tables).
+    List(Vec<InitItem>),
+}
+
+/// One element of a brace initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InitItem {
+    /// Literal word.
+    Int(i64),
+    /// Address of the named function or global.
+    Name(String),
+}
+
+/// A top-level declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// `struct Name { ... };`
+    Struct {
+        /// Struct name.
+        name: String,
+        /// Field declarations.
+        fields: Vec<(CType, String)>,
+    },
+    /// A global variable.
+    Global {
+        /// Declared type.
+        ty: CType,
+        /// Name.
+        name: String,
+        /// Initializer.
+        init: GlobalInitAst,
+    },
+    /// A function definition.
+    Func {
+        /// Return type.
+        ret: CType,
+        /// Name.
+        name: String,
+        /// Parameters.
+        params: Vec<(CType, String)>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Unit {
+    /// Declarations in source order.
+    pub decls: Vec<Decl>,
+}

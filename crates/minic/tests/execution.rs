@@ -1,0 +1,234 @@
+//! MiniC programs compiled and executed on the VM + kernel.
+
+use bastion_kernel::{ExitReason, RunStatus, World};
+use bastion_minic::compile_program;
+use bastion_vm::{CostModel, Image, Machine};
+use std::sync::Arc;
+
+fn run_to_exit(src: &str) -> (World, i64) {
+    let module = compile_program("test", &[src]).unwrap();
+    let image = Arc::new(Image::load(module).unwrap());
+    let machine = Machine::new(image, CostModel::default());
+    let mut world = World::new(CostModel::default());
+    let pid = world.spawn(machine);
+    assert_eq!(world.run(100_000_000), RunStatus::AllExited);
+    let Some(ExitReason::Exited(code)) = world.proc(pid).unwrap().exit.clone() else {
+        panic!("program did not exit cleanly: {:?}", world.proc(pid).unwrap().exit);
+    };
+    (world, code)
+}
+
+#[test]
+fn arithmetic_and_loops() {
+    let (_, code) = run_to_exit(
+        r#"
+        long main() {
+            long sum;
+            long i;
+            sum = 0;
+            for (i = 1; i <= 10; i = i + 1) { sum = sum + i; }
+            return sum;
+        }
+        "#,
+    );
+    assert_eq!(code, 55);
+}
+
+#[test]
+fn string_helpers_work() {
+    let (_, code) = run_to_exit(
+        r#"
+        long main() {
+            char buf[32];
+            strcpy(buf, "hello ");
+            strcat(buf, "world");
+            if (strcmp(buf, "hello world") != 0) { return 1; }
+            if (strlen(buf) != 11) { return 2; }
+            if (!starts_with(buf, "hello")) { return 3; }
+            if (atoi("-472") != 0 - 472) { return 4; }
+            char num[24];
+            if (itoa(12345, num) != 5) { return 5; }
+            if (strcmp(num, "12345") != 0) { return 6; }
+            return 0;
+        }
+        "#,
+    );
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn structs_and_pointers() {
+    let (_, code) = run_to_exit(
+        r#"
+        struct point { long x; long y; };
+        struct rect { struct point a; struct point b; };
+
+        long area(struct rect *r) {
+            return (r->b.x - r->a.x) * (r->b.y - r->a.y);
+        }
+
+        long main() {
+            struct rect r;
+            r.a.x = 1; r.a.y = 2;
+            r.b.x = 5; r.b.y = 10;
+            return area(&r);
+        }
+        "#,
+    );
+    assert_eq!(code, 32);
+}
+
+#[test]
+fn function_pointer_tables() {
+    let (_, code) = run_to_exit(
+        r#"
+        long h_double(long x) { return x * 2; }
+        long h_square(long x) { return x * x; }
+        fnptr handlers[2] = { h_double, h_square };
+
+        long main() {
+            long a;
+            long b;
+            a = handlers[0](21);
+            b = handlers[1](6);
+            return a + b;
+        }
+        "#,
+    );
+    assert_eq!(code, 78);
+}
+
+#[test]
+fn recursion_and_shortcircuit() {
+    let (_, code) = run_to_exit(
+        r#"
+        long fib(long n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+
+        long guard(long x) {
+            if (x != 0 && 100 / x > 5) { return 1; }
+            return 0;
+        }
+
+        long main() {
+            if (guard(0) != 0) { return 100; }  // short-circuit avoids div/0
+            if (guard(10) != 1) { return 101; }
+            return fib(12);
+        }
+        "#,
+    );
+    assert_eq!(code, 144);
+}
+
+#[test]
+fn syscalls_from_minic() {
+    let (world, code) = run_to_exit(
+        r#"
+        long main() {
+            long fd;
+            char buf[64];
+            long n;
+            puts("booting\n");
+            fd = open("/etc/motd", 0, 0);
+            if (fd < 0) { return 1; }
+            n = read(fd, buf, 63);
+            buf[n] = 0;
+            close(fd);
+            write(1, buf, n);
+            return n;
+        }
+        "#,
+    );
+    // /etc/motd does not exist in a fresh world.
+    assert_eq!(code, 1);
+    assert_eq!(&world.kernel.console, b"booting\n");
+}
+
+#[test]
+fn pointer_arithmetic_scales() {
+    let (_, code) = run_to_exit(
+        r#"
+        long main() {
+            long xs[4];
+            long *p;
+            xs[0] = 10; xs[1] = 20; xs[2] = 30; xs[3] = 40;
+            p = xs;
+            p = p + 2;
+            return *p + p[1];
+        }
+        "#,
+    );
+    assert_eq!(code, 70);
+}
+
+#[test]
+fn char_buffers_are_byte_wide() {
+    let (_, code) = run_to_exit(
+        r#"
+        long main() {
+            char b[8];
+            memset(b, 0, 8);
+            b[0] = 255;
+            b[1] = 1;
+            return b[0] + b[1] + b[2];
+        }
+        "#,
+    );
+    // 255 zero-extends as a byte, not sign-extends.
+    assert_eq!(code, 256);
+}
+
+#[test]
+fn global_state_persists_across_calls() {
+    let (_, code) = run_to_exit(
+        r#"
+        long counter = 100;
+        char *greeting = "hey";
+
+        void tick() { counter = counter + 1; }
+
+        long main() {
+            tick();
+            tick();
+            tick();
+            return counter + strlen(greeting);
+        }
+        "#,
+    );
+    assert_eq!(code, 106);
+}
+
+#[test]
+fn break_and_continue() {
+    let (_, code) = run_to_exit(
+        r#"
+        long main() {
+            long i;
+            long sum;
+            sum = 0;
+            for (i = 0; i < 100; i = i + 1) {
+                if (i % 2 == 0) { continue; }
+                if (i > 10) { break; }
+                sum = sum + i;
+            }
+            return sum; // 1+3+5+7+9 = 25
+        }
+        "#,
+    );
+    assert_eq!(code, 25);
+}
+
+#[test]
+fn sizeof_matches_layout() {
+    let (_, code) = run_to_exit(
+        r#"
+        struct hdr { char tag[4]; long len; char *name; };
+        long main() {
+            return sizeof(struct hdr) + sizeof(long) + sizeof(char);
+        }
+        "#,
+    );
+    assert_eq!(code, 20 + 8 + 1);
+}

@@ -1,0 +1,72 @@
+//! seccomp filter construction from call-type metadata (paper §7.1).
+//!
+//! * not-callable syscalls (including every syscall with no stub in the
+//!   image) → `SECCOMP_RET_KILL`;
+//! * callable **sensitive** syscalls → `SECCOMP_RET_TRACE` (monitor
+//!   verifies the three contexts);
+//! * callable non-sensitive syscalls → `SECCOMP_RET_ALLOW`.
+
+use bastion_compiler::ContextMetadata;
+use bastion_kernel::{SeccompAction, SeccompFilter};
+
+/// Builds the per-application filter from metadata.
+pub fn build_filter(md: &ContextMetadata) -> SeccompFilter {
+    build_filter_with_trace(md, true)
+}
+
+/// Builds the filter with or without tracing of sensitive syscalls.
+///
+/// `trace = false` produces the paper's Table 7 row-1 configuration
+/// ("seccomp hook only"): not-callable syscalls are still killed, but
+/// callable sensitive syscalls run without stopping for the monitor —
+/// isolating the pure BPF-evaluation cost.
+pub fn build_filter_with_trace(md: &ContextMetadata, trace: bool) -> SeccompFilter {
+    let mut f = SeccompFilter::new(SeccompAction::Kill);
+    for (&nr, class) in &md.syscall_classes {
+        if !class.callable() {
+            continue; // stays at the Kill default
+        }
+        if trace && md.sensitive_nrs.contains(&nr) {
+            f.set(nr, SeccompAction::Trace);
+        } else {
+            f.set(nr, SeccompAction::Allow);
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bastion_compiler::BastionCompiler;
+    use bastion_ir::build::ModuleBuilder;
+    use bastion_ir::{sysno, Operand, Ty};
+
+    fn metadata() -> ContextMetadata {
+        let mut mb = ModuleBuilder::new("t");
+        let execve = mb.declare_syscall_stub("execve", sysno::EXECVE, 3);
+        let write = mb.declare_syscall_stub("write", sysno::WRITE, 3);
+        let _mprotect = mb.declare_syscall_stub("mprotect", sysno::MPROTECT, 3);
+        let mut f = mb.function("main", &[], Ty::I64);
+        let z = Operand::Imm(0);
+        let _ = f.call_direct(execve, &[z, z, z]);
+        let _ = f.call_direct(write, &[z, z, z]);
+        f.ret(Some(z));
+        f.finish();
+        BastionCompiler::new().compile(mb.finish()).unwrap().metadata
+    }
+
+    #[test]
+    fn filter_actions_follow_call_type_classes() {
+        let f = build_filter(&metadata());
+        // Used sensitive syscall → trace.
+        assert_eq!(f.eval(sysno::EXECVE), SeccompAction::Trace);
+        // Used non-sensitive syscall → allow.
+        assert_eq!(f.eval(sysno::WRITE), SeccompAction::Allow);
+        // Present-but-unused stub → not-callable → kill.
+        assert_eq!(f.eval(sysno::MPROTECT), SeccompAction::Kill);
+        // Absent syscall → kill by default.
+        assert_eq!(f.eval(sysno::PTRACE), SeccompAction::Kill);
+        assert_eq!(f.eval(sysno::SETUID), SeccompAction::Kill);
+    }
+}

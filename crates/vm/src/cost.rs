@@ -1,0 +1,114 @@
+//! The virtual-time cost model.
+//!
+//! All experiments report *virtual cycles* so results are deterministic and
+//! machine-independent. The constants are chosen to mirror the cost
+//! structure the paper measures on real hardware:
+//!
+//! * ordinary instructions are cheap and uniform;
+//! * a syscall costs a few hundred cycles of kernel entry/exit;
+//! * a seccomp filter evaluation is a small fixed cost on *every* syscall;
+//! * a **ptrace stop** (monitor wake-up) and each remote access (`ptrace`
+//!   register fetch, `process_vm_readv`) cost thousands of cycles of
+//!   context switching — the dominant term the paper identifies in Table 7;
+//! * CET and inlined instrumentation intrinsics cost ~1 cycle, matching the
+//!   paper's "negligible overhead" observations for CET and `ctx_*` calls.
+
+use serde::{Deserialize, Serialize};
+
+/// Cycle costs for every simulated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Plain ALU / move instruction.
+    pub inst: u64,
+    /// Memory load or store.
+    pub mem: u64,
+    /// Call or return (frame push/pop).
+    pub call: u64,
+    /// One inlined instrumentation intrinsic (`ctx_*`).
+    pub intrinsic: u64,
+    /// CET shadow-stack push/check.
+    pub cet: u64,
+    /// LLVM-CFI indirect-call check.
+    pub cfi_check: u64,
+    /// Kernel entry/exit for any syscall.
+    pub syscall: u64,
+    /// seccomp-BPF filter evaluation (charged on every syscall when a
+    /// filter is installed).
+    pub seccomp: u64,
+    /// Monitor wake-up on a traced syscall (two context switches).
+    pub ptrace_stop: u64,
+    /// One `ptrace(PTRACE_GETREGS)`-style call.
+    pub ptrace_getregs: u64,
+    /// Base cost of one `process_vm_readv` call...
+    pub remote_read: u64,
+    /// ...plus this much per 64 bytes transferred.
+    pub remote_read_per_64b: u64,
+    /// Simulated CPU frequency used to convert cycles to seconds.
+    pub cpu_hz: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            inst: 1,
+            mem: 2,
+            call: 4,
+            intrinsic: 2,
+            cet: 1,
+            cfi_check: 12,
+            syscall: 400,
+            seccomp: 10,
+            ptrace_stop: 3600,
+            ptrace_getregs: 700,
+            remote_read: 500,
+            remote_read_per_64b: 8,
+            cpu_hz: 2_000_000_000,
+        }
+    }
+}
+
+impl CostModel {
+    /// A model with free monitor access, emulating the in-kernel monitor
+    /// the paper proposes in §11.2 (`ablation_inkernel`).
+    pub fn in_kernel_monitor() -> Self {
+        CostModel {
+            ptrace_stop: 60,
+            ptrace_getregs: 10,
+            remote_read: 10,
+            remote_read_per_64b: 1,
+            ..CostModel::default()
+        }
+    }
+
+    /// Converts a cycle count to virtual seconds.
+    pub fn cycles_to_secs(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.cpu_hz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ptrace_dominates_by_construction() {
+        let c = CostModel::default();
+        assert!(c.ptrace_stop > 5 * c.syscall);
+        assert!(c.remote_read > 10 * c.seccomp);
+        assert!(c.cet <= c.inst);
+    }
+
+    #[test]
+    fn in_kernel_model_removes_context_switches() {
+        let k = CostModel::in_kernel_monitor();
+        let d = CostModel::default();
+        assert!(k.ptrace_stop < d.ptrace_stop / 10);
+        assert_eq!(k.syscall, d.syscall);
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let c = CostModel::default();
+        assert!((c.cycles_to_secs(c.cpu_hz) - 1.0).abs() < 1e-12);
+    }
+}

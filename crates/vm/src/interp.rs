@@ -1,0 +1,560 @@
+//! The instruction interpreter.
+//!
+//! [`step`] executes exactly one instruction (or terminator) and reports the
+//! resulting [`Event`]. The kernel crate drives the loop: it handles
+//! [`Event::Syscall`] through the simulated Linux syscall layer (seccomp,
+//! tracing, blocking) and resumes the machine with
+//! [`Machine::complete_syscall`]; faults and exits terminate the process.
+
+use crate::machine::{Fault, Machine};
+use crate::shadow::ShadowTable;
+use bastion_ir::{
+    BinOp, Callee, CmpOp, CodeAddr, Inst, IntrinsicOp, Terminator, Width, CALL_SIZE,
+};
+
+/// The outcome of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Execution may continue with another [`step`].
+    Continue,
+    /// A `syscall` instruction trapped; the kernel must service it and call
+    /// [`Machine::complete_syscall`] (or kill the process).
+    Syscall {
+        /// Syscall number.
+        nr: u32,
+        /// Argument registers.
+        args: [u64; 6],
+    },
+    /// `main` returned or the process exited.
+    Exited(i64),
+    /// A hardware fault; the process is dead.
+    Fault(Fault),
+}
+
+/// Executes one instruction of `m`.
+///
+/// # Panics
+/// Panics if the machine has already exited or is blocked in a syscall.
+pub fn step(m: &mut Machine) -> Event {
+    assert!(m.exited.is_none(), "stepping an exited machine");
+    assert!(!m.in_syscall(), "stepping a machine blocked in a syscall");
+    let func = &m.image.module.functions[m.pc.func.index()];
+    let block = &func.blocks[m.pc.block.index()];
+    if m.pc.inst < block.insts.len() {
+        let inst = block.insts[m.pc.inst].clone();
+        exec_inst(m, &inst)
+    } else {
+        let term = block.term;
+        exec_term(m, term)
+    }
+}
+
+/// Runs until the next non-`Continue` event or until `max_steps` is hit
+/// (returning `Continue` in that case).
+pub fn run(m: &mut Machine, max_steps: u64) -> Event {
+    for _ in 0..max_steps {
+        match step(m) {
+            Event::Continue => {}
+            e => return e,
+        }
+    }
+    Event::Continue
+}
+
+fn exec_inst(m: &mut Machine, inst: &Inst) -> Event {
+    match inst {
+        Inst::Mov { dst, src } => {
+            let v = m.eval(*src);
+            m.set_reg(*dst, v);
+            m.charge(m.cost.inst);
+            m.advance();
+            Event::Continue
+        }
+        Inst::Bin { dst, op, a, b } => {
+            let (a, b) = (m.eval(*a), m.eval(*b));
+            let v = match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return Event::Fault(Fault::DivByZero);
+                    }
+                    (a as i64).wrapping_div(b as i64) as u64
+                }
+                BinOp::Rem => {
+                    if b == 0 {
+                        return Event::Fault(Fault::DivByZero);
+                    }
+                    (a as i64).wrapping_rem(b as i64) as u64
+                }
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                BinOp::Shl => a << (b & 63),
+                BinOp::Shr => a >> (b & 63),
+            };
+            m.set_reg(*dst, v);
+            m.charge(m.cost.inst);
+            m.advance();
+            Event::Continue
+        }
+        Inst::Cmp { dst, op, a, b } => {
+            let (a, b) = (m.eval(*a) as i64, m.eval(*b) as i64);
+            let v = match op {
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+            };
+            m.set_reg(*dst, u64::from(v));
+            m.charge(m.cost.inst);
+            m.advance();
+            Event::Continue
+        }
+        Inst::Load { dst, addr, width } => {
+            let a = m.eval(*addr);
+            let v = match width {
+                Width::W8 => {
+                    let mut b = [0u8; 1];
+                    match crate::mem::MemIo::read(&m.mem, a, &mut b) {
+                        Ok(()) => u64::from(b[0]),
+                        Err(e) => return Event::Fault(Fault::Mem(e)),
+                    }
+                }
+                Width::W64 => match crate::mem::MemIo::read_u64(&m.mem, a) {
+                    Ok(v) => v,
+                    Err(e) => return Event::Fault(Fault::Mem(e)),
+                },
+            };
+            m.set_reg(*dst, v);
+            m.charge(m.cost.mem);
+            m.advance();
+            Event::Continue
+        }
+        Inst::Store { addr, src, width } => {
+            let a = m.eval(*addr);
+            let v = m.eval(*src);
+            let res = match width {
+                Width::W8 => crate::mem::MemIo::write(&mut m.mem, a, &[v as u8]),
+                Width::W64 => crate::mem::MemIo::write_u64(&mut m.mem, a, v),
+            };
+            if let Err(e) = res {
+                return Event::Fault(Fault::Mem(e));
+            }
+            m.charge(m.cost.mem);
+            m.advance();
+            Event::Continue
+        }
+        Inst::FrameAddr { dst, slot } => {
+            let a = m.slot_addr(*slot);
+            m.set_reg(*dst, a);
+            m.charge(m.cost.inst);
+            m.advance();
+            Event::Continue
+        }
+        Inst::GlobalAddr { dst, global } => {
+            let a = m.image.global_addr(*global);
+            m.set_reg(*dst, a);
+            m.charge(m.cost.inst);
+            m.advance();
+            Event::Continue
+        }
+        Inst::FuncAddr { dst, func } => {
+            let a = m.image.layout.func_entry(*func).raw();
+            m.set_reg(*dst, a);
+            m.charge(m.cost.inst);
+            m.advance();
+            Event::Continue
+        }
+        Inst::FieldAddr {
+            dst,
+            base,
+            struct_id,
+            field,
+        } => {
+            let structs = &m.image.module.structs;
+            let off = structs[struct_id.index()].field_offset(*field as usize, structs);
+            let v = m.eval(*base).wrapping_add(off);
+            m.set_reg(*dst, v);
+            m.charge(m.cost.inst);
+            m.advance();
+            Event::Continue
+        }
+        Inst::IndexAddr {
+            dst,
+            base,
+            elem_size,
+            index,
+        } => {
+            let v = m
+                .eval(*base)
+                .wrapping_add(m.eval(*index).wrapping_mul(*elem_size));
+            m.set_reg(*dst, v);
+            m.charge(m.cost.inst);
+            m.advance();
+            Event::Continue
+        }
+        Inst::Call { dst, callee, args } => {
+            let argv: Vec<u64> = args.iter().map(|a| m.eval(*a)).collect();
+            let retaddr = m.pc_addr().offset(CALL_SIZE);
+            let target = match callee {
+                Callee::Direct(f) => m.image.layout.func_entry(*f),
+                Callee::Indirect(op) => {
+                    let t = m.eval(*op);
+                    if let Some(policy) = &m.cfi {
+                        let ok = policy.allows(t, args.len());
+                        m.charge(m.cost.cfi_check);
+                        if !ok {
+                            return Event::Fault(Fault::CfiViolation {
+                                target: t,
+                                argc: args.len(),
+                            });
+                        }
+                    }
+                    CodeAddr(t)
+                }
+            };
+            m.charge(m.cost.call);
+            if m.shadow_stack.is_some() {
+                m.charge(m.cost.cet);
+            }
+            match m.do_call(target, &argv, *dst, retaddr) {
+                Ok(()) => Event::Continue,
+                Err(f) => Event::Fault(f),
+            }
+        }
+        Inst::Syscall { dst, nr, args } => {
+            let mut a = [0u64; 6];
+            for (i, op) in args.iter().take(6).enumerate() {
+                a[i] = m.eval(*op);
+            }
+            m.set_trap(*nr, a, *dst);
+            Event::Syscall { nr: *nr, args: a }
+        }
+        Inst::Intrinsic(op) => {
+            m.charge(m.cost.intrinsic);
+            let shadow = ShadowTable::new(m.gs_base);
+            let res = match op {
+                IntrinsicOp::CtxWriteMem { addr, size } => {
+                    let a = m.eval(*addr);
+                    let sz = (*size).min(8) as usize;
+                    let mut buf = [0u8; 8];
+                    match crate::mem::MemIo::read(&m.mem, a, &mut buf[..sz]) {
+                        Ok(()) => shadow.write_value(
+                            &mut m.mem,
+                            a,
+                            u64::from_le_bytes(buf),
+                            sz as u8,
+                        ),
+                        Err(e) => Err(e),
+                    }
+                }
+                IntrinsicOp::CtxBindMem { pos, addr } => {
+                    let a = m.eval(*addr);
+                    match next_callsite_addr(m) {
+                        Some(cs) => shadow.bind_mem(&mut m.mem, cs, *pos, a),
+                        None => Ok(()),
+                    }
+                }
+                IntrinsicOp::CtxBindConst { pos, value } => match next_callsite_addr(m) {
+                    Some(cs) => shadow.bind_const(&mut m.mem, cs, *pos, *value),
+                    None => Ok(()),
+                },
+            };
+            if let Err(e) = res {
+                return Event::Fault(Fault::Mem(e));
+            }
+            m.advance();
+            Event::Continue
+        }
+    }
+}
+
+/// Address of the next call instruction in the current block (the callsite
+/// a `ctx_bind_*` intrinsic refers to).
+fn next_callsite_addr(m: &Machine) -> Option<u64> {
+    let func = &m.image.module.functions[m.pc.func.index()];
+    let block = &func.blocks[m.pc.block.index()];
+    for i in (m.pc.inst + 1)..block.insts.len() {
+        if block.insts[i].is_call() {
+            let loc = bastion_ir::InstLoc {
+                inst: i,
+                ..m.pc
+            };
+            return Some(m.image.layout.addr_of(loc).raw());
+        }
+    }
+    None
+}
+
+fn exec_term(m: &mut Machine, term: Terminator) -> Event {
+    match term {
+        Terminator::Jmp(b) => {
+            m.pc.block = b;
+            m.pc.inst = 0;
+            m.charge(m.cost.inst);
+            Event::Continue
+        }
+        Terminator::Br { cond, then_, else_ } => {
+            let c = m.eval(cond);
+            m.pc.block = if c != 0 { then_ } else { else_ };
+            m.pc.inst = 0;
+            m.charge(m.cost.inst);
+            Event::Continue
+        }
+        Terminator::Ret(val) => {
+            let v = val.map_or(0, |op| m.eval(op));
+            m.charge(m.cost.call);
+            match m.do_ret(v) {
+                Ok(Some(code)) => Event::Exited(code),
+                Ok(None) => Event::Continue,
+                Err(f) => Event::Fault(f),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::image::Image;
+    use bastion_ir::build::ModuleBuilder;
+    use bastion_ir::{Operand, Ty};
+    use std::sync::Arc;
+
+    fn run_main(mb: ModuleBuilder) -> (Machine, Event) {
+        let img = Image::load(mb.finish()).unwrap();
+        let mut m = Machine::new(Arc::new(img), CostModel::default());
+        let e = run(&mut m, 1_000_000);
+        (m, e)
+    }
+
+    #[test]
+    fn arithmetic_and_branching() {
+        // Computes sum of 1..=10 with a loop; returns 55.
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", &[], Ty::I64);
+        let i = f.local("i", Ty::I64);
+        let acc = f.local("acc", Ty::I64);
+        let ia = f.frame_addr(i);
+        f.store(ia, 1i64);
+        let aa = f.frame_addr(acc);
+        f.store(aa, 0i64);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jmp(header);
+        f.switch_to(header);
+        let ia2 = f.frame_addr(i);
+        let iv = f.load(ia2);
+        let c = f.cmp(CmpOp::Le, iv, 10i64);
+        f.br(c, body, exit);
+        f.switch_to(body);
+        let aa2 = f.frame_addr(acc);
+        let av = f.load(aa2);
+        let sum = f.bin(BinOp::Add, av, iv);
+        let aa3 = f.frame_addr(acc);
+        f.store(aa3, sum);
+        let inc = f.bin(BinOp::Add, iv, 1i64);
+        let ia3 = f.frame_addr(i);
+        f.store(ia3, inc);
+        f.jmp(header);
+        f.switch_to(exit);
+        let aa4 = f.frame_addr(acc);
+        let fin = f.load(aa4);
+        f.ret(Some(fin.into()));
+        f.finish();
+        let (_, e) = run_main(mb);
+        assert_eq!(e, Event::Exited(55));
+    }
+
+    #[test]
+    fn nested_calls_return_values() {
+        let mut mb = ModuleBuilder::new("t");
+        let double = mb.declare("double", &[("x", Ty::I64)], Ty::I64);
+        let mut f = mb.define(double);
+        let a = f.frame_addr(f.param_slot(0));
+        let v = f.load(a);
+        let d = f.bin(BinOp::Mul, v, 2i64);
+        f.ret(Some(d.into()));
+        f.finish();
+        let mut f = mb.function("main", &[], Ty::I64);
+        let r1 = f.call_direct(double, &[Operand::Imm(10)]);
+        let r2 = f.call_direct(double, &[r1.into()]);
+        f.ret(Some(r2.into()));
+        f.finish();
+        let (_, e) = run_main(mb);
+        assert_eq!(e, Event::Exited(40));
+    }
+
+    #[test]
+    fn indirect_calls_through_function_pointers() {
+        let mut mb = ModuleBuilder::new("t");
+        let add3 = mb.declare("add3", &[("x", Ty::I64)], Ty::I64);
+        let mut f = mb.define(add3);
+        let a = f.frame_addr(f.param_slot(0));
+        let v = f.load(a);
+        let d = f.bin(BinOp::Add, v, 3i64);
+        f.ret(Some(d.into()));
+        f.finish();
+        let mut f = mb.function("main", &[], Ty::I64);
+        let p = f.func_addr(add3);
+        let r = f.call_indirect(p, &[Operand::Imm(4)]);
+        f.ret(Some(r.into()));
+        f.finish();
+        let (_, e) = run_main(mb);
+        assert_eq!(e, Event::Exited(7));
+    }
+
+    #[test]
+    fn syscall_traps_with_arg_registers() {
+        let mut mb = ModuleBuilder::new("t");
+        let stub = mb.declare_syscall_stub("write", 1, 3);
+        let mut f = mb.function("main", &[], Ty::I64);
+        let r = f.call_direct(stub, &[1i64.into(), 0x1234i64.into(), 5i64.into()]);
+        f.ret(Some(r.into()));
+        f.finish();
+        let img = Image::load(mb.finish()).unwrap();
+        let mut m = Machine::new(Arc::new(img), CostModel::default());
+        let e = run(&mut m, 10_000);
+        assert_eq!(
+            e,
+            Event::Syscall {
+                nr: 1,
+                args: [1, 0x1234, 5, 0, 0, 0]
+            }
+        );
+        assert_eq!(m.trap_nr, 1);
+        assert!(m.in_syscall());
+        // The kernel resumes it with a return value.
+        m.complete_syscall(5);
+        let e = run(&mut m, 10_000);
+        assert_eq!(e, Event::Exited(5));
+    }
+
+    #[test]
+    fn byte_loads_zero_extend() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.global_str("s", "\u{7f}");
+        let mut f = mb.function("main", &[], Ty::I64);
+        let a = f.global_addr(g);
+        let v = f.load_w(a, Width::W8);
+        f.ret(Some(v.into()));
+        f.finish();
+        let (_, e) = run_main(mb);
+        assert_eq!(e, Event::Exited(0x7f));
+    }
+
+    #[test]
+    fn wild_store_faults() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", &[], Ty::I64);
+        f.store(Operand::Imm(0x10), Operand::Imm(1));
+        f.ret(Some(Operand::Imm(0)));
+        f.finish();
+        let (_, e) = run_main(mb);
+        assert!(matches!(e, Event::Fault(Fault::Mem(_))));
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", &[], Ty::I64);
+        let r = f.bin(BinOp::Div, 10i64, 0i64);
+        f.ret(Some(r.into()));
+        f.finish();
+        let (_, e) = run_main(mb);
+        assert_eq!(e, Event::Fault(Fault::DivByZero));
+    }
+
+    #[test]
+    fn intrinsics_update_shadow_table() {
+        use bastion_ir::Inst;
+        let mut mb = ModuleBuilder::new("t");
+        let callee = mb.declare("callee", &[("x", Ty::I64)], Ty::I64);
+        let mut f = mb.define(callee);
+        f.ret(Some(Operand::Imm(0)));
+        f.finish();
+        let mut f = mb.function("main", &[], Ty::I64);
+        let x = f.local("x", Ty::I64);
+        let xa = f.frame_addr(x);
+        f.store(xa, 77i64);
+        f.emit(Inst::Intrinsic(IntrinsicOp::CtxWriteMem {
+            addr: xa.into(),
+            size: 8,
+        }));
+        f.emit(Inst::Intrinsic(IntrinsicOp::CtxBindMem {
+            pos: 1,
+            addr: xa.into(),
+        }));
+        let xv = f.load(xa);
+        let _ = f.call_direct(callee, &[xv.into()]);
+        f.ret(Some(Operand::Imm(0)));
+        f.finish();
+        let img = Image::load(mb.finish()).unwrap();
+        let layout_probe = img.clone();
+        let mut m = Machine::new(Arc::new(img), CostModel::default());
+        let e = run(&mut m, 100_000);
+        assert_eq!(e, Event::Exited(0));
+        // The shadow table holds x's value and the callsite binding.
+        let shadow = ShadowTable::new(m.gs_base);
+        // Recompute x's address in main's (now-popped) frame: the initial
+        // fp is stack_top - 16.
+        let main = layout_probe.module.func_by_name("main").unwrap();
+        let fi = layout_probe.frame(main);
+        let x_addr = (layout_probe.stack_top - 16) - fi.frame_size + fi.slot_offsets[0];
+        assert_eq!(shadow.read_value(&m.mem, x_addr).unwrap(), Some((77, 8)));
+    }
+
+    #[test]
+    fn wild_indirect_call_is_a_bad_jump() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", &[], Ty::I64);
+        let r = f.call_indirect(Operand::Imm(0xdead_0000), &[]);
+        f.ret(Some(r.into()));
+        f.finish();
+        let img = Image::load(mb.finish()).unwrap();
+        let mut m = Machine::new(Arc::new(img), CostModel::default());
+        let e = run(&mut m, 1_000);
+        assert_eq!(e, Event::Fault(Fault::BadJump(0xdead_0000)));
+    }
+
+    #[test]
+    fn indirect_call_mid_function_executes_from_there() {
+        // JOP-style: an indirect call may land past a function's entry;
+        // execution continues at that instruction with a fresh frame.
+        let mut mb = ModuleBuilder::new("t");
+        let gadget = mb.declare("gadget", &[], Ty::I64);
+        let mut f = mb.define(gadget);
+        let _ = f.mov(1i64); // skipped when entering at +1 inst
+        let v = f.mov(55i64);
+        f.ret(Some(v.into()));
+        f.finish();
+        let mut f = mb.function("main", &[], Ty::I64);
+        let entry = f.func_addr(gadget);
+        let mid = f.bin(BinOp::Add, entry, bastion_ir::layout::INST_SIZE as i64);
+        let r = f.call_indirect(mid, &[]);
+        f.ret(Some(r.into()));
+        f.finish();
+        let img = Image::load(mb.finish()).unwrap();
+        let mut m = Machine::new(Arc::new(img), CostModel::default());
+        assert_eq!(run(&mut m, 10_000), Event::Exited(55));
+    }
+
+    #[test]
+    fn cycles_accumulate() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", &[], Ty::I64);
+        let a = f.mov(1i64);
+        let b = f.bin(BinOp::Add, a, 2i64);
+        f.ret(Some(b.into()));
+        f.finish();
+        let (m, e) = run_main(mb);
+        assert_eq!(e, Event::Exited(3));
+        assert!(m.cycles >= 3);
+    }
+}

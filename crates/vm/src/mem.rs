@@ -1,0 +1,260 @@
+//! Sparse paged memory.
+//!
+//! A flat 64-bit address space backed by 4 KiB pages allocated on demand,
+//! with an explicit *mapped region* set: access to unmapped addresses
+//! faults, which is how the simulated kernel's `mmap`/`munmap`/`brk`
+//! manipulate the address space and how wild attacker writes can crash a
+//! victim rather than silently succeeding.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// An access outside any mapped region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfBounds {
+    /// The faulting address.
+    pub addr: u64,
+    /// Whether the access was a write.
+    pub write: bool,
+}
+
+impl fmt::Display for OutOfBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fault at {:#x}",
+            if self.write { "write" } else { "read" },
+            self.addr
+        )
+    }
+}
+
+impl std::error::Error for OutOfBounds {}
+
+/// Minimal byte-addressed access interface shared by the VM (direct memory
+/// access) and the monitor (remote access through the ptrace simulation),
+/// so the shadow-table logic in [`crate::shadow`] is written once.
+pub trait MemIo {
+    /// Reads `buf.len()` bytes at `addr`.
+    ///
+    /// # Errors
+    /// Fails if any byte is unmapped.
+    fn read(&self, addr: u64, buf: &mut [u8]) -> Result<(), OutOfBounds>;
+
+    /// Writes `buf` at `addr`.
+    ///
+    /// # Errors
+    /// Fails if any byte is unmapped.
+    fn write(&mut self, addr: u64, buf: &[u8]) -> Result<(), OutOfBounds>;
+
+    /// Reads a little-endian u64.
+    ///
+    /// # Errors
+    /// Fails if any byte is unmapped.
+    fn read_u64(&self, addr: u64) -> Result<u64, OutOfBounds> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian u64.
+    ///
+    /// # Errors
+    /// Fails if any byte is unmapped.
+    fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), OutOfBounds> {
+        self.write(addr, &v.to_le_bytes())
+    }
+}
+
+/// The sparse paged address space of one process.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    /// Mapped regions: start → length (non-overlapping, coalesced lazily).
+    regions: BTreeMap<u64, u64>,
+}
+
+impl Memory {
+    /// Creates an empty, fully unmapped address space.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Maps `[start, start+len)`; overlapping maps are merged permissively.
+    pub fn map_region(&mut self, start: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        self.regions.insert(start, len);
+    }
+
+    /// Unmaps any region starting inside `[start, start+len)` and trims
+    /// regions overlapping the range (page-coarse, like munmap).
+    pub fn unmap_region(&mut self, start: u64, len: u64) {
+        let end = start.saturating_add(len);
+        let mut rebuilt = BTreeMap::new();
+        for (&rs, &rl) in &self.regions {
+            let re = rs + rl;
+            if re <= start || rs >= end {
+                rebuilt.insert(rs, rl);
+                continue;
+            }
+            if rs < start {
+                rebuilt.insert(rs, start - rs);
+            }
+            if re > end {
+                rebuilt.insert(end, re - end);
+            }
+        }
+        self.regions = rebuilt;
+    }
+
+    /// Whether every byte of `[addr, addr+len)` is mapped.
+    pub fn is_mapped(&self, addr: u64, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let mut cur = addr;
+        let end = addr.saturating_add(len);
+        while cur < end {
+            let Some((&rs, &rl)) = self.regions.range(..=cur).next_back() else {
+                return false;
+            };
+            let re = rs + rl;
+            if cur >= re {
+                return false;
+            }
+            cur = re;
+        }
+        true
+    }
+
+    /// All mapped regions as `(start, len)` pairs.
+    pub fn regions(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.regions.iter().map(|(&s, &l)| (s, l))
+    }
+
+    /// Total bytes of backing pages actually allocated.
+    pub fn resident_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE
+    }
+
+    fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+    }
+
+    /// Raw read that ignores the region map (used by the attack framework's
+    /// "arbitrary read" primitive and by fault-tolerant monitor probes).
+    pub fn read_unchecked(&self, addr: u64, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            let a = addr.wrapping_add(i as u64);
+            let (page, off) = (a / PAGE_SIZE, (a % PAGE_SIZE) as usize);
+            *b = self.pages.get(&page).map_or(0, |p| p[off]);
+        }
+    }
+
+    /// Raw write that ignores the region map (attacker primitive).
+    pub fn write_unchecked(&mut self, addr: u64, buf: &[u8]) {
+        for (i, &b) in buf.iter().enumerate() {
+            let a = addr.wrapping_add(i as u64);
+            let (page, off) = (a / PAGE_SIZE, (a % PAGE_SIZE) as usize);
+            self.page_mut(page)[off] = b;
+        }
+    }
+}
+
+impl MemIo for Memory {
+    fn read(&self, addr: u64, buf: &mut [u8]) -> Result<(), OutOfBounds> {
+        if !self.is_mapped(addr, buf.len() as u64) {
+            return Err(OutOfBounds { addr, write: false });
+        }
+        self.read_unchecked(addr, buf);
+        Ok(())
+    }
+
+    fn write(&mut self, addr: u64, buf: &[u8]) -> Result<(), OutOfBounds> {
+        if !self.is_mapped(addr, buf.len() as u64) {
+            return Err(OutOfBounds { addr, write: true });
+        }
+        self.write_unchecked(addr, buf);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut m = Memory::new();
+        let mut b = [0u8; 4];
+        assert!(m.read(0x1000, &mut b).is_err());
+        assert!(m.write(0x1000, &b).is_err());
+        m.map_region(0x1000, 0x1000);
+        assert!(m.read(0x1000, &mut b).is_ok());
+        assert!(m.write(0x1000, &b).is_ok());
+    }
+
+    #[test]
+    fn rw_roundtrip_across_page_boundary() {
+        let mut m = Memory::new();
+        m.map_region(0, 2 * PAGE_SIZE);
+        let data: Vec<u8> = (0..=255).collect();
+        let addr = PAGE_SIZE - 100;
+        m.write(addr, &data).unwrap();
+        let mut back = vec![0u8; 256];
+        m.read(addr, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn u64_helpers() {
+        let mut m = Memory::new();
+        m.map_region(0x2000, 0x100);
+        m.write_u64(0x2008, 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(m.read_u64(0x2008).unwrap(), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn spanning_two_regions_is_mapped() {
+        let mut m = Memory::new();
+        m.map_region(0x1000, 0x1000);
+        m.map_region(0x2000, 0x1000);
+        assert!(m.is_mapped(0x1800, 0x1000));
+        assert!(!m.is_mapped(0x2800, 0x1000));
+    }
+
+    #[test]
+    fn unmap_trims_and_splits() {
+        let mut m = Memory::new();
+        m.map_region(0x1000, 0x3000);
+        m.unmap_region(0x2000, 0x1000);
+        assert!(m.is_mapped(0x1000, 0x1000));
+        assert!(!m.is_mapped(0x2000, 1));
+        assert!(m.is_mapped(0x3000, 0x1000));
+    }
+
+    #[test]
+    fn unchecked_access_never_faults() {
+        let mut m = Memory::new();
+        m.write_unchecked(0xdead_0000, b"hi");
+        let mut b = [0u8; 2];
+        m.read_unchecked(0xdead_0000, &mut b);
+        assert_eq!(&b, b"hi");
+        // And a read of never-written memory yields zeros.
+        m.read_unchecked(0xffff_ffff_0000, &mut b);
+        assert_eq!(&b, &[0, 0]);
+    }
+
+    #[test]
+    fn zero_length_access_is_ok() {
+        let m = Memory::new();
+        assert!(m.is_mapped(0x1234, 0));
+    }
+}

@@ -1,0 +1,253 @@
+//! The BASTION shadow-memory hash table (paper §7.1).
+//!
+//! An open-addressing hash table living *inside the protected application's
+//! address space* under a segment base (`$gs` in the paper). It holds two
+//! kinds of entries:
+//!
+//! * **value entries** — the legitimate value of a sensitive variable,
+//!   keyed by the variable's address (written by `ctx_write_mem`);
+//! * **binding entries** — which constant or which variable address is
+//!   bound to argument position X of a callsite, keyed by the callsite
+//!   address and position (written by `ctx_bind_mem_X`/`ctx_bind_const_X`).
+//!
+//! The logic is implemented over the [`MemIo`] trait so the *same code*
+//! runs inline in the application (through direct memory access) and in
+//! the monitor (through the `process_vm_readv` simulation), exactly like
+//! the paper's shared shadow region.
+
+use crate::mem::{MemIo, OutOfBounds};
+use serde::{Deserialize, Serialize};
+
+/// Entry slot count (power of two).
+pub const SHADOW_CAPACITY: u64 = 1 << 15;
+/// Bytes per entry: key, meta, value.
+pub const ENTRY_SIZE: u64 = 24;
+/// Total region size in bytes.
+pub const SHADOW_REGION_SIZE: u64 = SHADOW_CAPACITY * ENTRY_SIZE;
+
+const KIND_VALUE: u64 = 1;
+const KIND_BIND_MEM: u64 = 2;
+const KIND_BIND_CONST: u64 = 3;
+const BIND_TAG: u64 = 1 << 63;
+
+/// A runtime argument binding recorded for a callsite position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Binding {
+    /// Position is bound to the sensitive variable at this address.
+    Mem(u64),
+    /// Position is bound to this constant.
+    Const(i64),
+}
+
+/// Descriptor of a shadow region mapped at `base`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShadowTable {
+    /// Base address of the region (the `$gs` segment base).
+    pub base: u64,
+}
+
+impl ShadowTable {
+    /// Creates a descriptor for a region at `base`.
+    pub fn new(base: u64) -> Self {
+        ShadowTable { base }
+    }
+
+    fn slot_addr(&self, slot: u64) -> u64 {
+        self.base + (slot & (SHADOW_CAPACITY - 1)) * ENTRY_SIZE
+    }
+
+    fn hash(key: u64) -> u64 {
+        // Fibonacci hashing; good dispersion for address-shaped keys.
+        key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17
+    }
+
+    fn bind_key(callsite: u64, pos: u8) -> u64 {
+        BIND_TAG | (callsite << 3) | u64::from(pos & 7)
+    }
+
+    /// Probes for `key`; returns the address of its entry or of the first
+    /// empty slot.
+    fn probe<M: MemIo>(&self, mem: &M, key: u64) -> Result<(u64, bool), OutOfBounds> {
+        let mut slot = Self::hash(key);
+        for _ in 0..SHADOW_CAPACITY {
+            let ea = self.slot_addr(slot);
+            let k = mem.read_u64(ea)?;
+            if k == key {
+                return Ok((ea, true));
+            }
+            if k == 0 {
+                return Ok((ea, false));
+            }
+            slot = slot.wrapping_add(1);
+        }
+        // Table full: overwrite the home slot (bounded memory, like a real
+        // fixed-size metadata store under pressure).
+        Ok((self.slot_addr(Self::hash(key)), false))
+    }
+
+    /// `ctx_write_mem`: refresh the shadow copy of the `size`-byte variable
+    /// at `addr` with `value`.
+    ///
+    /// # Errors
+    /// Propagates faults on the shadow region itself.
+    pub fn write_value<M: MemIo>(
+        &self,
+        mem: &mut M,
+        addr: u64,
+        value: u64,
+        size: u8,
+    ) -> Result<(), OutOfBounds> {
+        let (ea, _) = self.probe(mem, addr)?;
+        mem.write_u64(ea, addr)?;
+        mem.write_u64(ea + 8, KIND_VALUE | (u64::from(size) << 8))?;
+        mem.write_u64(ea + 16, value)
+    }
+
+    /// Reads the shadow copy of the variable at `addr`, if one exists.
+    ///
+    /// # Errors
+    /// Propagates faults on the shadow region itself.
+    pub fn read_value<M: MemIo>(
+        &self,
+        mem: &M,
+        addr: u64,
+    ) -> Result<Option<(u64, u8)>, OutOfBounds> {
+        let (ea, found) = self.probe(mem, addr)?;
+        if !found {
+            return Ok(None);
+        }
+        let meta = mem.read_u64(ea + 8)?;
+        if meta & 0xff != KIND_VALUE {
+            return Ok(None);
+        }
+        let size = ((meta >> 8) & 0xff) as u8;
+        Ok(Some((mem.read_u64(ea + 16)?, size)))
+    }
+
+    /// `ctx_bind_mem_X`: bind the variable at `var_addr` to position `pos`
+    /// of callsite `callsite`.
+    ///
+    /// # Errors
+    /// Propagates faults on the shadow region itself.
+    pub fn bind_mem<M: MemIo>(
+        &self,
+        mem: &mut M,
+        callsite: u64,
+        pos: u8,
+        var_addr: u64,
+    ) -> Result<(), OutOfBounds> {
+        let key = Self::bind_key(callsite, pos);
+        let (ea, _) = self.probe(mem, key)?;
+        mem.write_u64(ea, key)?;
+        mem.write_u64(ea + 8, KIND_BIND_MEM)?;
+        mem.write_u64(ea + 16, var_addr)
+    }
+
+    /// `ctx_bind_const_X`: bind constant `value` to position `pos` of
+    /// callsite `callsite`.
+    ///
+    /// # Errors
+    /// Propagates faults on the shadow region itself.
+    pub fn bind_const<M: MemIo>(
+        &self,
+        mem: &mut M,
+        callsite: u64,
+        pos: u8,
+        value: i64,
+    ) -> Result<(), OutOfBounds> {
+        let key = Self::bind_key(callsite, pos);
+        let (ea, _) = self.probe(mem, key)?;
+        mem.write_u64(ea, key)?;
+        mem.write_u64(ea + 8, KIND_BIND_CONST)?;
+        mem.write_u64(ea + 16, value as u64)
+    }
+
+    /// Fetches the binding for `(callsite, pos)`, if any.
+    ///
+    /// # Errors
+    /// Propagates faults on the shadow region itself.
+    pub fn get_binding<M: MemIo>(
+        &self,
+        mem: &M,
+        callsite: u64,
+        pos: u8,
+    ) -> Result<Option<Binding>, OutOfBounds> {
+        let key = Self::bind_key(callsite, pos);
+        let (ea, found) = self.probe(mem, key)?;
+        if !found {
+            return Ok(None);
+        }
+        let meta = mem.read_u64(ea + 8)?;
+        let value = mem.read_u64(ea + 16)?;
+        Ok(match meta & 0xff {
+            KIND_BIND_MEM => Some(Binding::Mem(value)),
+            KIND_BIND_CONST => Some(Binding::Const(value as i64)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::Memory;
+
+    fn setup() -> (Memory, ShadowTable) {
+        let mut mem = Memory::new();
+        let base = 0x5800_0000_0000;
+        mem.map_region(base, SHADOW_REGION_SIZE);
+        (mem, ShadowTable::new(base))
+    }
+
+    #[test]
+    fn value_roundtrip_and_update() {
+        let (mut mem, t) = setup();
+        t.write_value(&mut mem, 0x7fff_1000, 42, 8).unwrap();
+        assert_eq!(t.read_value(&mem, 0x7fff_1000).unwrap(), Some((42, 8)));
+        t.write_value(&mut mem, 0x7fff_1000, 99, 8).unwrap();
+        assert_eq!(t.read_value(&mem, 0x7fff_1000).unwrap(), Some((99, 8)));
+        assert_eq!(t.read_value(&mem, 0x7fff_2000).unwrap(), None);
+    }
+
+    #[test]
+    fn bindings_are_per_callsite_and_position() {
+        let (mut mem, t) = setup();
+        t.bind_mem(&mut mem, 0x40_1000, 3, 0x7fff_0008).unwrap();
+        t.bind_const(&mut mem, 0x40_1000, 1, -1).unwrap();
+        t.bind_const(&mut mem, 0x40_2000, 1, 7).unwrap();
+        assert_eq!(
+            t.get_binding(&mem, 0x40_1000, 3).unwrap(),
+            Some(Binding::Mem(0x7fff_0008))
+        );
+        assert_eq!(
+            t.get_binding(&mem, 0x40_1000, 1).unwrap(),
+            Some(Binding::Const(-1))
+        );
+        assert_eq!(
+            t.get_binding(&mem, 0x40_2000, 1).unwrap(),
+            Some(Binding::Const(7))
+        );
+        assert_eq!(t.get_binding(&mem, 0x40_2000, 2).unwrap(), None);
+    }
+
+    #[test]
+    fn many_entries_survive_collisions() {
+        let (mut mem, t) = setup();
+        for i in 0..2000u64 {
+            t.write_value(&mut mem, 0x1_0000 + i * 8, i * 3, 8).unwrap();
+        }
+        for i in 0..2000u64 {
+            assert_eq!(
+                t.read_value(&mem, 0x1_0000 + i * 8).unwrap(),
+                Some((i * 3, 8))
+            );
+        }
+    }
+
+    #[test]
+    fn byte_sized_entries_keep_their_size() {
+        let (mut mem, t) = setup();
+        t.write_value(&mut mem, 0x9000, 0x41, 1).unwrap();
+        assert_eq!(t.read_value(&mem, 0x9000).unwrap(), Some((0x41, 1)));
+    }
+}

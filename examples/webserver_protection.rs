@@ -1,0 +1,80 @@
+//! Boot the NGINX-analogue web server under full BASTION protection, serve
+//! real HTTP traffic through the wrk-style load generator, and print the
+//! paper's per-app statistics (Table 4 flavor).
+//!
+//! ```sh
+//! cargo run --release --example webserver_protection
+//! ```
+
+use bastion::apps::{loadgen, App};
+use bastion::compiler::BastionCompiler;
+use bastion::ir::sysno;
+use bastion::kernel::World;
+use bastion::vm::{CostModel, Image, Machine};
+use bastion::{monitor, Protection};
+use std::sync::Arc;
+
+fn main() {
+    let app = App::Webserve;
+    let protection = Protection::full();
+    println!("booting {} under {} ...", app.label(), protection.label);
+
+    let out = BastionCompiler::new()
+        .compile(app.module().expect("webserve compiles"))
+        .expect("instrumentation succeeds");
+    let image = Arc::new(Image::load(out.module).expect("image loads"));
+    let mut world = World::new(CostModel::default());
+    app.setup_vfs(&mut world);
+    let mut machine = Machine::new(image.clone(), CostModel::default());
+    protection.hardening.apply(&mut machine);
+    let pid = world.spawn(machine);
+    monitor::protect(
+        &mut world,
+        pid,
+        &image,
+        &out.metadata,
+        protection.monitor.expect("full protection has a monitor"),
+    );
+
+    world.run(1_000_000_000);
+    println!(
+        "boot complete: {} processes (1 master + 32 workers), {} init-phase traps",
+        world.alive_count(),
+        world.trap_count
+    );
+
+    let boot_traps = world.trap_count;
+    let stats = loadgen::http_load(&mut world, app.port(), 16, 600);
+    println!(
+        "served {} requests / {:.1} MB in {:.1} virtual ms ({:.1} MB/s); {} in-window traps",
+        stats.requests,
+        stats.bytes as f64 / 1e6,
+        stats.cycles as f64 / 2e6,
+        stats.throughput_mb_s(2_000_000_000),
+        world.trap_count - boot_traps,
+    );
+
+    println!();
+    println!("sensitive syscall usage (Table 4 flavor):");
+    for &(nr, _) in sysno::SENSITIVE {
+        let n = world.kernel.count_of(nr);
+        if n > 0 {
+            println!("  {:<18} {n}", sysno::name(nr).expect("named"));
+        }
+    }
+    if let Some(stats) = world.take_tracer().and_then(|t| {
+        t.as_any()
+            .downcast_ref::<monitor::Monitor>()
+            .map(|m| m.stats.clone())
+    }) {
+        println!();
+        println!(
+            "monitor: {} traps, 0 violations = {}, stack depth avg {:.1} (min {}, max {})",
+            stats.traps,
+            stats.violations() == 0,
+            stats.avg_depth(),
+            stats.min_depth,
+            stats.max_depth
+        );
+    }
+}

@@ -1,0 +1,8 @@
+//! # bastion-suite
+//!
+//! Workspace umbrella for the BASTION reproduction: hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`). The actual library lives in the [`bastion`] crate; this
+//! shim re-exports it so examples and tests read naturally.
+
+pub use bastion::*;

@@ -1,0 +1,81 @@
+//! Shape assertions for the performance experiments (quick workload
+//! sizes): the claims the paper's Figure 3 / Table 7 make must hold
+//! qualitatively in every build.
+
+use bastion::apps::App;
+use bastion::compiler::BastionCompiler;
+use bastion::harness::{run_app_benchmark, run_table7_row, WorkloadSize};
+use bastion::vm::CostModel;
+use bastion::Protection;
+
+#[test]
+fn figure3_overheads_are_small_and_monotone_dbkv() {
+    let size = WorkloadSize::quick();
+    let compiler = BastionCompiler::new();
+    let cost = CostModel::default();
+    let base = run_app_benchmark(App::Dbkv, &Protection::vanilla(), &size, &compiler, cost);
+    let cet = run_app_benchmark(App::Dbkv, &Protection::cet(), &size, &compiler, cost);
+    let ct = run_app_benchmark(App::Dbkv, &Protection::cet_ct(), &size, &compiler, cost);
+    let cf = run_app_benchmark(App::Dbkv, &Protection::cet_ct_cf(), &size, &compiler, cost);
+    let ai = run_app_benchmark(App::Dbkv, &Protection::full(), &size, &compiler, cost);
+
+    let (o_cet, o_ct, o_cf, o_ai) = (
+        cet.overhead_vs(&base),
+        ct.overhead_vs(&base),
+        cf.overhead_vs(&base),
+        ai.overhead_vs(&base),
+    );
+    // CET is nearly free; contexts stack monotonically; the full stack
+    // stays within the paper's "low overhead" claim (generously bounded
+    // for the quick workload).
+    assert!(o_cet < 2.0, "CET {o_cet}");
+    assert!(o_ct >= o_cet - 0.5, "CT {o_ct} vs CET {o_cet}");
+    assert!(o_cf >= o_ct - 0.1, "CF {o_cf} vs CT {o_ct}");
+    assert!(o_ai >= o_cf - 0.1, "AI {o_ai} vs CF {o_cf}");
+    assert!(o_ai < 15.0, "full overhead {o_ai}");
+}
+
+#[test]
+fn ftpd_full_protection_overhead_is_low() {
+    let size = WorkloadSize::quick();
+    let compiler = BastionCompiler::new();
+    let cost = CostModel::default();
+    let base = run_app_benchmark(App::Ftpd, &Protection::vanilla(), &size, &compiler, cost);
+    let full = run_app_benchmark(App::Ftpd, &Protection::full(), &size, &compiler, cost);
+    let o = full.overhead_vs(&base);
+    assert!(o > 0.0 && o < 15.0, "ftpd overhead {o}");
+    assert!(full.traps > 0);
+}
+
+#[test]
+fn table7_fetch_state_dominates() {
+    // The paper's §11.2 finding: with filesystem syscalls protected, the
+    // ptrace state fetch dominates; hooking alone is comparatively cheap.
+    let size = WorkloadSize::quick();
+    let (base, rows) = run_table7_row(App::Dbkv, &size, CostModel::default());
+    let hook = rows[0].overhead_vs(&base);
+    let fetch = rows[1].overhead_vs(&base);
+    let full = rows[2].overhead_vs(&base);
+    assert!(hook > 0.0, "hook {hook}");
+    assert!(fetch > hook, "fetch {fetch} vs hook {hook}");
+    assert!(full >= fetch, "full {full} vs fetch {fetch}");
+    // The fetch jump is the dominant increment.
+    assert!(
+        fetch - hook > (full - fetch),
+        "state fetch must dominate: hook {hook} fetch {fetch} full {full}"
+    );
+}
+
+#[test]
+fn in_kernel_monitor_removes_most_of_the_cost() {
+    // §11.2's proposed optimization, modelled by the in-kernel cost model.
+    let size = WorkloadSize::quick();
+    let (base_p, rows_p) = run_table7_row(App::Dbkv, &size, CostModel::default());
+    let (base_k, rows_k) = run_table7_row(App::Dbkv, &size, CostModel::in_kernel_monitor());
+    let ptrace_full = rows_p[2].overhead_vs(&base_p);
+    let inkernel_full = rows_k[2].overhead_vs(&base_k);
+    assert!(
+        inkernel_full < ptrace_full / 3.0,
+        "in-kernel {inkernel_full}% should be far below ptrace {ptrace_full}%"
+    );
+}

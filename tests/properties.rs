@@ -1,0 +1,153 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: memory, the shadow table, code layout, the front-end, and
+//! interpreter determinism.
+
+use bastion::minic;
+use bastion::vm::{CostModel, Image, Machine, MemIo, Memory, ShadowTable, SHADOW_REGION_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    /// Memory: byte-accurate read-back of arbitrary writes at arbitrary
+    /// (mapped) offsets, including page-boundary straddles.
+    #[test]
+    fn memory_roundtrip(offset in 0u64..60_000, data in proptest::collection::vec(any::<u8>(), 1..512)) {
+        let mut m = Memory::new();
+        m.map_region(0x1000, 1 << 16);
+        let addr = 0x1000 + offset % (60_000 - data.len() as u64);
+        m.write(addr, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        m.read(addr, &mut back).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    /// Memory: unmapped access always faults, never corrupts.
+    #[test]
+    fn memory_unmapped_faults(addr in 0u64..0x800, len in 1u64..64) {
+        let mut m = Memory::new();
+        m.map_region(0x1000, 0x1000);
+        let mut buf = vec![0u8; len as usize];
+        prop_assert!(m.read(addr, &mut buf).is_err());
+        prop_assert!(m.write(addr, &buf).is_err());
+    }
+
+    /// Shadow table: the last write per key wins, independent of the
+    /// interleaving of other keys (collision handling is sound).
+    #[test]
+    fn shadow_last_write_wins(
+        keys in proptest::collection::vec((1u64..1 << 40, any::<u64>()), 1..200)
+    ) {
+        let mut mem = Memory::new();
+        let base = 0x5800_0000_0000;
+        mem.map_region(base, SHADOW_REGION_SIZE);
+        let t = ShadowTable::new(base);
+        let mut expect = std::collections::HashMap::new();
+        for (k, v) in &keys {
+            t.write_value(&mut mem, *k, *v, 8).unwrap();
+            expect.insert(*k, *v);
+        }
+        for (k, v) in expect {
+            prop_assert_eq!(t.read_value(&mem, k).unwrap(), Some((v, 8)));
+        }
+    }
+
+    /// Shadow table: bindings for distinct (callsite, position) pairs do
+    /// not interfere.
+    #[test]
+    fn shadow_bindings_independent(
+        binds in proptest::collection::vec((1u64..1 << 30, 1u8..7, any::<u64>()), 1..100)
+    ) {
+        let mut mem = Memory::new();
+        let base = 0x5800_0000_0000;
+        mem.map_region(base, SHADOW_REGION_SIZE);
+        let t = ShadowTable::new(base);
+        let mut expect = std::collections::HashMap::new();
+        for (cs, pos, addr) in &binds {
+            t.bind_mem(&mut mem, *cs, *pos, *addr).unwrap();
+            expect.insert((*cs, *pos), *addr);
+        }
+        for ((cs, pos), addr) in expect {
+            prop_assert_eq!(
+                t.get_binding(&mem, cs, pos).unwrap(),
+                Some(bastion::vm::shadow::Binding::Mem(addr))
+            );
+        }
+    }
+
+    /// The lexer/parser never panic on arbitrary input.
+    #[test]
+    fn parser_never_panics(src in "[ -~\\n]{0,400}") {
+        let _ = minic::parse(&src);
+    }
+
+    /// Arithmetic-program execution is deterministic and matches a Rust
+    /// oracle for the same expression structure.
+    #[test]
+    fn interp_matches_oracle(a in -1000i64..1000, b in 1i64..1000, c in -50i64..50) {
+        let src = format!(
+            "long main() {{ long x; x = {a}; long y; y = {b}; long z; z = {c}; \
+             return (x * 3 + y) % (y + 1) + (z << 2) - (x & y); }}"
+        );
+        let expected = ((a.wrapping_mul(3).wrapping_add(b)) % (b + 1))
+            .wrapping_add(c << 2)
+            .wrapping_sub(a & b);
+        let module = minic::compile_program("p", &[&src]).unwrap();
+        let image = std::sync::Arc::new(Image::load(module).unwrap());
+        let run = || {
+            let mut m = Machine::new(image.clone(), CostModel::default());
+            match bastion::vm::interp::run(&mut m, 1_000_000) {
+                bastion::vm::Event::Exited(v) => (v, m.cycles),
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        let (v1, c1) = run();
+        let (v2, c2) = run();
+        prop_assert_eq!(v1, expected);
+        // Bit-for-bit determinism, the property all experiments rest on.
+        prop_assert_eq!(v1, v2);
+        prop_assert_eq!(c1, c2);
+    }
+
+    /// Code layout: address↔location mapping is a bijection for arbitrary
+    /// block shapes.
+    #[test]
+    fn layout_roundtrip(sizes in proptest::collection::vec(0usize..12, 1..12)) {
+        use bastion::ir::build::ModuleBuilder;
+        use bastion::ir::{Operand, Ty};
+        let mut mb = ModuleBuilder::new("p");
+        let mut f = mb.function("main", &[], Ty::I64);
+        // One block per entry, with `sizes[i]` movs, chained by jumps.
+        let blocks: Vec<_> = sizes.iter().skip(1).map(|_| f.new_block()).collect();
+        for (i, n) in sizes.iter().enumerate() {
+            for _ in 0..*n {
+                let _ = f.mov(1i64);
+            }
+            if i < blocks.len() {
+                f.jmp(blocks[i]);
+                f.switch_to(blocks[i]);
+            }
+        }
+        if !f.is_terminated() {
+            f.ret(Some(Operand::Imm(0)));
+        }
+        f.finish();
+        let m = mb.finish();
+        let layout = bastion::ir::CodeLayout::new(&m);
+        for (fid, f) in m.iter_funcs() {
+            for (bid, b) in f.iter_blocks() {
+                for i in 0..=b.insts.len() {
+                    let loc = bastion::ir::InstLoc { func: fid, block: bid, inst: i };
+                    prop_assert_eq!(layout.loc_of(layout.addr_of(loc)), Some(loc));
+                }
+            }
+        }
+    }
+
+    /// errno encoding roundtrips for the full negative range.
+    #[test]
+    fn errno_roundtrip(e in 1i64..4096) {
+        prop_assert_eq!(
+            bastion::kernel::errno::decode(bastion::kernel::errno::err(e)),
+            Err(e)
+        );
+    }
+}

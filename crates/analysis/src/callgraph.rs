@@ -5,8 +5,8 @@
 //! functions (taken either by an [`Inst::FuncAddr`] instruction or by a
 //! relocated global initializer such as a handler table).
 
-use bastion_ir::{Callee, FuncId, Inst, InstLoc, Module};
 use bastion_ir::module::{GlobalInit, RelocEntry};
+use bastion_ir::{Callee, FuncId, Inst, InstLoc, Module};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Whether a callsite is a direct or an indirect call.
@@ -148,10 +148,7 @@ mod tests {
         let tbl = mb.global(
             "handlers",
             Ty::Array(Box::new(Ty::Func { arity: 0 }), 2),
-            GlobalInit::Relocated(vec![
-                RelocEntry::FuncAddr(callee),
-                RelocEntry::Word(0),
-            ]),
+            GlobalInit::Relocated(vec![RelocEntry::FuncAddr(callee), RelocEntry::Word(0)]),
         );
         let mut f = mb.function("main", &[], Ty::I64);
         let direct = f.call_direct(callee, &[]);

@@ -29,9 +29,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 /// is memory reached through a pointer that itself lives in another
 /// location (used both for pointer parameters and for extended syscall
 /// arguments whose buffer contents must be shadowed).
-#[derive(
-    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Loc {
     /// A stack frame slot of a specific function.
     Slot {
@@ -303,7 +301,10 @@ impl<'m> Analyzer<'m> {
     fn addr_value(&self, f: FuncId, op: Operand) -> Option<Loc> {
         let r = op.as_reg()?;
         match self.idx[f.index()].defs.get(&r)? {
-            Inst::FrameAddr { slot, .. } => Some(Loc::Slot { func: f, slot: *slot }),
+            Inst::FrameAddr { slot, .. } => Some(Loc::Slot {
+                func: f,
+                slot: *slot,
+            }),
             Inst::GlobalAddr { global, .. } => Some(Loc::Global(*global)),
             Inst::FieldAddr {
                 struct_id, field, ..
@@ -327,9 +328,13 @@ impl<'m> Analyzer<'m> {
                         };
                         let resolved = self.resolve_addr(fid, *addr, 0);
                         let sidx = self.idx[fid.index()].stores.len();
-                        self.idx[fid.index()]
-                            .stores
-                            .push((loc, *addr, *src, *width, resolved.clone()));
+                        self.idx[fid.index()].stores.push((
+                            loc,
+                            *addr,
+                            *src,
+                            *width,
+                            resolved.clone(),
+                        ));
                         if let Some(l) = resolved {
                             self.store_index.entry(l).or_default().push((fid, sidx));
                         }
@@ -347,7 +352,10 @@ impl<'m> Analyzer<'m> {
         let r = op.as_reg()?;
         let def = self.idx[f.index()].defs.get(&r)?;
         match def {
-            Inst::FrameAddr { slot, .. } => Some(Loc::Slot { func: f, slot: *slot }),
+            Inst::FrameAddr { slot, .. } => Some(Loc::Slot {
+                func: f,
+                slot: *slot,
+            }),
             Inst::GlobalAddr { global, .. } => Some(Loc::Global(*global)),
             Inst::FieldAddr {
                 struct_id, field, ..
@@ -406,7 +414,10 @@ impl<'m> Analyzer<'m> {
                 ValSpec::Opaque
             }
             Inst::Cmp { .. } => ValSpec::Opaque,
-            Inst::FrameAddr { slot, .. } => ValSpec::AddrOf(Loc::Slot { func: f, slot: *slot }),
+            Inst::FrameAddr { slot, .. } => ValSpec::AddrOf(Loc::Slot {
+                func: f,
+                slot: *slot,
+            }),
             Inst::GlobalAddr { global, .. } => ValSpec::GlobalAddr(*global),
             Inst::FieldAddr {
                 struct_id, field, ..
@@ -454,7 +465,9 @@ impl<'m> Analyzer<'m> {
         if ret_specs.len() == 1 {
             return ret_specs.pop().unwrap();
         }
-        if !consts.is_empty() && consts.len() == ret_specs.len() && consts.windows(2).all(|w| w[0] == w[1])
+        if !consts.is_empty()
+            && consts.len() == ret_specs.len()
+            && consts.windows(2).all(|w| w[0] == w[1])
         {
             return ValSpec::Const(consts[0]);
         }
@@ -557,8 +570,7 @@ impl<'m> Analyzer<'m> {
 
     fn process_loc(&mut self, loc: &Loc) {
         // 1. Instrument every store writing this class and trace its source.
-        let hits: Vec<(FuncId, usize)> =
-            self.store_index.get(loc).cloned().unwrap_or_default();
+        let hits: Vec<(FuncId, usize)> = self.store_index.get(loc).cloned().unwrap_or_default();
         for (fid, sidx) in hits {
             let (sloc, _addr, src, width, _res) = self.idx[fid.index()].stores[sidx].clone();
             if self.stores_seen.insert(sloc) {
@@ -912,11 +924,7 @@ mod tests {
         // pointer variable; its pointee must become sensitive.
         let mut mb = ModuleBuilder::new("ext");
         let execve = mb.declare_syscall_stub("execve", sysno::EXECVE, 3);
-        let gptr = mb.global(
-            "path_ptr",
-            Ty::ptr(Ty::I8),
-            bastion_ir::GlobalInit::Zero,
-        );
+        let gptr = mb.global("path_ptr", Ty::ptr(Ty::I8), bastion_ir::GlobalInit::Zero);
         let mut f = mb.function("main", &[], Ty::I64);
         let ga = f.global_addr(gptr);
         let p = f.load(ga);
@@ -925,9 +933,7 @@ mod tests {
         f.finish();
         let m = mb.finish();
         let r = analyze(&m);
-        assert!(r
-            .sensitive_locs
-            .contains(&Loc::pointee(Loc::Global(gptr))));
+        assert!(r.sensitive_locs.contains(&Loc::pointee(Loc::Global(gptr))));
         assert!(r.sensitive_locs.contains(&Loc::Global(gptr)));
     }
 

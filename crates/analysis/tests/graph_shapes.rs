@@ -5,7 +5,14 @@ use bastion_analysis::{CallGraph, CallTypeReport, ControlFlowReport, SensitiveRe
 use bastion_ir::build::ModuleBuilder;
 use bastion_ir::{sysno, Module, Operand, Ty};
 
-fn reports(m: &Module) -> (CallGraph, CallTypeReport, ControlFlowReport, SensitiveReport) {
+fn reports(
+    m: &Module,
+) -> (
+    CallGraph,
+    CallTypeReport,
+    ControlFlowReport,
+    SensitiveReport,
+) {
     let cg = CallGraph::build(m);
     let ct = CallTypeReport::build(m, &cg);
     let cf = ControlFlowReport::build(m, &cg, &sysno::sensitive_set());

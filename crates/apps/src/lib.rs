@@ -88,16 +88,19 @@ impl App {
             App::Webserve => {
                 let page: Vec<u8> = page_bytes(webserve::PAGE_BYTES);
                 world.kernel.vfs.put_file(webserve::PAGE_PATH, page, 0o644);
-                world
-                    .kernel
-                    .vfs
-                    .put_file(webserve::UPGRADE_PATH, vec![0x7f, b'E', b'L', b'F'], 0o755);
+                world.kernel.vfs.put_file(
+                    webserve::UPGRADE_PATH,
+                    vec![0x7f, b'E', b'L', b'F'],
+                    0o755,
+                );
             }
             App::Dbkv => {
                 world.kernel.vfs.put_file(dbkv::WAL_PATH, Vec::new(), 0o600);
             }
             App::Ftpd => {
-                let payload: Vec<u8> = (0..ftpd::FILE_BYTES).map(|i| (i * 31 % 251) as u8).collect();
+                let payload: Vec<u8> = (0..ftpd::FILE_BYTES)
+                    .map(|i| (i * 31 % 251) as u8)
+                    .collect();
                 world.kernel.vfs.put_file(ftpd::FILE_PATH, payload, 0o644);
             }
         }

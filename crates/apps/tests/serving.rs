@@ -71,7 +71,12 @@ fn dbkv_commits_transactions() {
 #[test]
 fn ftpd_streams_downloads() {
     let mut world = boot(App::Ftpd);
-    let stats = loadgen::ftp_load(&mut world, App::Ftpd.port(), 3, bastion_apps::ftpd::FILE_PATH);
+    let stats = loadgen::ftp_load(
+        &mut world,
+        App::Ftpd.port(),
+        3,
+        bastion_apps::ftpd::FILE_PATH,
+    );
     assert_eq!(stats.files, 3);
     assert_eq!(stats.bytes, 3 * bastion_apps::ftpd::FILE_BYTES as u64);
     // Per-transfer passive sockets: socket/bind/listen/accept move together.

@@ -5,7 +5,9 @@
 //! citation markers mirror the paper's reference numbers.
 
 use crate::env::AttackEnv;
-use crate::scenario::{ret2func, ret2stub, ret2stub_parked, Category, Expected, Scenario, StubArgs};
+use crate::scenario::{
+    ret2func, ret2stub, ret2stub_parked, Category, Expected, Scenario, StubArgs,
+};
 use crate::victim::Victim;
 use bastion_ir::sysno;
 
@@ -356,9 +358,7 @@ pub fn catalog() -> Vec<Scenario> {
         }),
         // Success = the hijacked open fired *via the indirect callsite*
         // (beyond the single legitimate open serve_file would have done).
-        success: Box::new(|env| {
-            env.world.kernel.count_of(sysno::OPEN) > env.noted("baseline") + 1
-        }),
+        success: Box::new(|env| env.world.kernel.count_of(sysno::OPEN) > env.noted("baseline") + 1),
     });
     v.push(cve(
         21,
@@ -460,10 +460,7 @@ pub fn catalog() -> Vec<Scenario> {
             let fake = env.sym("vh") + 5 * VH_ELEM;
             env.write_u64(parked.pid, fake, env.sym("mprotect"));
             env.write_u64(parked.pid, fake + 8, 7);
-            env.send_request(
-                parked,
-                b"GET /index.html HTTP/1.1\r\nX-Index: 5\r\n\r\n",
-            );
+            env.send_request(parked, b"GET /index.html HTTP/1.1\r\nX-Index: 5\r\n\r\n");
         }),
         success: Box::new(|env| env.syscall_ran_since(sysno::MPROTECT, env.noted("baseline"))),
     });
@@ -492,8 +489,7 @@ pub fn catalog() -> Vec<Scenario> {
     });
     v.push(Scenario {
         id: 30,
-        name: "AOCR NGINX Attack 2: data-only corruption of the upgrade context (webserve)"
-            .into(),
+        name: "AOCR NGINX Attack 2: data-only corruption of the upgrade context (webserve)".into(),
         citation: "[81]",
         category: Category::Indirect,
         victim: Victim::Webserve,
@@ -536,8 +532,7 @@ pub fn catalog() -> Vec<Scenario> {
     });
     v.push(Scenario {
         id: 32,
-        name: "Control Jujutsu: legit-flow upgrade with corrupted pathname bytes (webserve)"
-            .into(),
+        name: "Control Jujutsu: legit-flow upgrade with corrupted pathname bytes (webserve)".into(),
         citation: "[38]",
         category: Category::Indirect,
         victim: Victim::Webserve,
@@ -596,10 +591,7 @@ mod tests {
             assert_eq!(s.expected, Expected::ALL, "{}", s.name);
         }
         // The three legit-control-flow attacks are AI-only.
-        let ai_only = c
-            .iter()
-            .filter(|s| s.expected == Expected::AI_ONLY)
-            .count();
+        let ai_only = c.iter().filter(|s| s.expected == Expected::AI_ONLY).count();
         assert_eq!(ai_only, 3);
     }
 }

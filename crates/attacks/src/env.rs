@@ -263,10 +263,7 @@ impl AttackEnv {
     /// Panics if no worker parks (victims are tested to serve).
     pub fn park(&mut self) -> Parked {
         let port = self.victim.port();
-        let conn = self
-            .world
-            .net_connect(port)
-            .expect("victim listener bound");
+        let conn = self.world.net_connect(port).expect("victim listener bound");
         if let Some(priming) = self.victim.priming() {
             self.world.net_send(conn, priming);
         }

@@ -12,6 +12,7 @@ fn ct_only() -> ContextConfig {
         control_flow: false,
         arg_integrity: false,
         fetch_state: false,
+        fast_path: true,
     }
 }
 
@@ -21,6 +22,7 @@ fn cf_only() -> ContextConfig {
         control_flow: true,
         arg_integrity: false,
         fetch_state: false,
+        fast_path: true,
     }
 }
 
@@ -30,6 +32,7 @@ fn ai_only() -> ContextConfig {
         control_flow: false,
         arg_integrity: true,
         fetch_state: false,
+        fast_path: true,
     }
 }
 

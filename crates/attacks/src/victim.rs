@@ -101,8 +101,10 @@ impl Victim {
             Victim::Webserve => {
                 // 2 workers keep attack-run boot fast; everything else is
                 // identical to the benchmark build.
-                let src = bastion_apps::webserve::SOURCE
-                    .replace("for (i = 0; i < 32; i = i + 1) {", "for (i = 0; i < 2; i = i + 1) {");
+                let src = bastion_apps::webserve::SOURCE.replace(
+                    "for (i = 0; i < 32; i = i + 1) {",
+                    "for (i = 0; i < 2; i = i + 1) {",
+                );
                 bastion_minic::compile_program("webserve", &[&src]).expect("webserve compiles")
             }
             Victim::Dbkv => App::Dbkv.module().expect("dbkv compiles"),
@@ -142,7 +144,10 @@ impl Victim {
         world.kernel.vfs.put_file("/tmp/ev", vec![0x7f], 0o755);
         world.kernel.vfs.put_file("/tmp/evil", vec![0x7f], 0o755);
         world.kernel.vfs.put_file("/tmp/rootkit", vec![0x7f], 0o755);
-        world.kernel.vfs.put_file("/etc/shadow", b"secrets".to_vec(), 0o600);
+        world
+            .kernel
+            .vfs
+            .put_file("/etc/shadow", b"secrets".to_vec(), 0o600);
     }
 
     /// A priming request that makes one worker serve us and then park in
@@ -163,7 +168,12 @@ mod tests {
 
     #[test]
     fn all_victims_compile() {
-        for v in [Victim::Webserve, Victim::Dbkv, Victim::Ftpd, Victim::Apached] {
+        for v in [
+            Victim::Webserve,
+            Victim::Dbkv,
+            Victim::Ftpd,
+            Victim::Apached,
+        ] {
             let m = v.module();
             assert!(m.func_by_name("main").is_some(), "{v:?}");
         }

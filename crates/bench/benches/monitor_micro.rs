@@ -19,7 +19,8 @@ fn bench_shadow(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = i.wrapping_add(1);
-            t.write_value(&mut mem, 0x1_0000 + (i % 4096) * 8, i, 8).unwrap();
+            t.write_value(&mut mem, 0x1_0000 + (i % 4096) * 8, i, 8)
+                .unwrap();
         });
     });
     c.bench_function("shadow/read_value_hit", |b| {
@@ -36,7 +37,8 @@ fn bench_shadow(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = i.wrapping_add(1);
-            t.bind_mem(&mut mem, 0x40_1000 + (i % 64) * 4, 3, 0x7fff_0000).unwrap();
+            t.bind_mem(&mut mem, 0x40_1000 + (i % 64) * 4, 3, 0x7fff_0000)
+                .unwrap();
             t.get_binding(&mem, 0x40_1000 + (i % 64) * 4, 3).unwrap()
         });
     });
@@ -96,11 +98,74 @@ fn bench_compile_pass(c: &mut Criterion) {
     });
 }
 
+fn bench_trap_verify(c: &mut Criterion) {
+    use bastion::ir::build::ModuleBuilder;
+    use bastion::ir::{Operand, Ty};
+    use bastion::kernel::{Tracee, Tracer};
+    use bastion::monitor::{ContextConfig, LaunchInfo, Monitor};
+
+    // main → mmap with constant arguments: the smallest module whose trap
+    // exercises CT, the stack walk, and AI argument checks.
+    let mut mb = ModuleBuilder::new("trapbench");
+    let mmap = mb.declare_syscall_stub("mmap", sysno::MMAP, 6);
+    let mut f = mb.function("main", &[], Ty::I64);
+    let _ = f.call_direct(
+        mmap,
+        &[
+            0i64.into(),
+            4096i64.into(),
+            3i64.into(),
+            0x21i64.into(),
+            (-1i64).into(),
+            0i64.into(),
+        ],
+    );
+    f.ret(Some(Operand::Imm(0)));
+    f.finish();
+    let out = BastionCompiler::new()
+        .compile(mb.finish())
+        .expect("instrumentation");
+    let image = Arc::new(bastion::vm::Image::load(out.module).expect("image"));
+    let mut machine = Machine::new(image.clone(), CostModel::default());
+    match bastion::vm::interp::run(&mut machine, 10_000_000) {
+        bastion::vm::Event::Syscall { nr, .. } if nr == sysno::MMAP => {}
+        e => panic!("expected the mmap trap, got {e:?}"),
+    }
+    let info = LaunchInfo::from_image(&image, &out.metadata);
+
+    let mut group = c.benchmark_group("trap_verify");
+    for (label, cfg) in [
+        ("legacy", ContextConfig::full().without_fast_path()),
+        ("fast_path", ContextConfig::full()),
+    ] {
+        let mut mon = Monitor::new(&out.metadata, cfg, info.clone());
+        {
+            // The verdict must be identical on both paths before timing.
+            let mut charge = 0u64;
+            let mut t = Tracee::new(&machine, 1, &mut charge);
+            assert_eq!(
+                mon.on_trap(&mut t),
+                bastion::kernel::TraceVerdict::Allow,
+                "{label}"
+            );
+        }
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut charge = 0u64;
+                let mut t = Tracee::new(&machine, 1, &mut charge);
+                criterion::black_box(mon.on_trap(&mut t))
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_shadow,
     bench_memory,
     bench_interp,
-    bench_compile_pass
+    bench_compile_pass,
+    bench_trap_verify
 );
 criterion_main!(benches);

@@ -6,6 +6,8 @@
 //!    protection behaves identically under different load slides.
 //! 3. **Monitor initialization cost** (§9.2: ≈21 ms for NGINX).
 //! 4. **Stack-walk termination** at `main`/indirect entries vs. walk depth.
+//! 5. **Trap fast path**: batched remote reads + the verification cache
+//!    vs. the original word-by-word, recheck-everything monitor.
 
 use bastion::apps::{App, ALL_APPS};
 use bastion::compiler::BastionCompiler;
@@ -115,7 +117,10 @@ fn main() {
         let quick = WorkloadSize::quick();
         let cost = CostModel::default();
         for (label, breadth) in [
-            ("BASTION (sensitive only)", InstrumentationBreadth::SensitiveOnly),
+            (
+                "BASTION (sensitive only)",
+                InstrumentationBreadth::SensitiveOnly,
+            ),
             ("DFI-style (every store)", InstrumentationBreadth::AllStores),
         ] {
             let compiler = BastionCompiler::new().with_breadth(breadth);
@@ -124,8 +129,7 @@ fn main() {
                 .expect("instrumentation");
             let base =
                 run_app_benchmark(App::Dbkv, &Protection::vanilla(), &quick, &compiler, cost);
-            let full =
-                run_app_benchmark(App::Dbkv, &Protection::full(), &quick, &compiler, cost);
+            let full = run_app_benchmark(App::Dbkv, &Protection::full(), &quick, &compiler, cost);
             println!(
                 "  {:<26} {:>6} ctx_write_mem sites   overhead {:+7.2}%",
                 label,
@@ -141,8 +145,7 @@ fn main() {
         let out = compiler
             .compile(app.module().expect("compiles"))
             .expect("instrumentation");
-        let image =
-            std::sync::Arc::new(bastion::vm::Image::load(out.module).expect("image"));
+        let image = std::sync::Arc::new(bastion::vm::Image::load(out.module).expect("image"));
         let info = bastion::monitor::LaunchInfo::from_image(&image, &out.metadata);
         let m = bastion::monitor::Monitor::new(
             &out.metadata,
@@ -157,5 +160,43 @@ fn main() {
             out.metadata.callsites.len(),
             out.metadata.functions.len(),
         );
+    }
+
+    println!();
+    println!("Ablation 5: trap fast path — batched reads + verification cache");
+    println!("(full contexts; trace cycles per trap, monitor init excluded)");
+    {
+        use bastion::monitor::ContextConfig;
+        let quick = WorkloadSize::quick();
+        let compiler = BastionCompiler::new();
+        for (label, cfg) in [
+            (
+                "legacy (word-by-word)",
+                ContextConfig::full().without_fast_path(),
+            ),
+            ("fast path (batched+cached)", ContextConfig::full()),
+        ] {
+            let mut prot = Protection::full();
+            prot.monitor = Some(cfg);
+            let r = run_app_benchmark(
+                App::Webserve,
+                &prot,
+                &quick,
+                &compiler,
+                CostModel::default(),
+            );
+            let stats = r.monitor.as_ref().expect("monitor attached");
+            let per_trap = (r.trace_cycles - stats.init_cycles) as f64 / r.traps.max(1) as f64;
+            println!(
+                "  {:<27} {:>9.0} cycles/trap over {} traps  (ct hits {}, walk hits {}, batched frame reads {}, batched pointee reads {})",
+                label,
+                per_trap,
+                r.traps,
+                stats.ct_cache_hits,
+                stats.walk_cache_hits,
+                stats.batched_frame_reads,
+                stats.batched_pointee_reads,
+            );
+        }
     }
 }

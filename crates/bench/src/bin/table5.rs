@@ -24,10 +24,22 @@ fn main() {
     println!();
     type StatFn = Box<dyn Fn(&bastion::compiler::InstrStats) -> usize>;
     let rows: Vec<(&str, StatFn)> = vec![
-        ("Total # application callsites", Box::new(|s| s.total_callsites)),
-        ("Total # arbitrary direct callsites", Box::new(|s| s.direct_callsites)),
-        ("Total # arbitrary in-direct callsites", Box::new(|s| s.indirect_callsites)),
-        ("Total # sensitive callsites", Box::new(|s| s.sensitive_callsites)),
+        (
+            "Total # application callsites",
+            Box::new(|s| s.total_callsites),
+        ),
+        (
+            "Total # arbitrary direct callsites",
+            Box::new(|s| s.direct_callsites),
+        ),
+        (
+            "Total # arbitrary in-direct callsites",
+            Box::new(|s| s.indirect_callsites),
+        ),
+        (
+            "Total # sensitive callsites",
+            Box::new(|s| s.sensitive_callsites),
+        ),
         (
             "Total # sensitive syscalls called indirectly",
             Box::new(|s| s.sensitive_indirect),

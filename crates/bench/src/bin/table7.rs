@@ -23,7 +23,10 @@ fn main() {
         "{}",
         row(
             "Configuration",
-            &ALL_APPS.iter().map(|a| a.id().to_string()).collect::<Vec<_>>()
+            &ALL_APPS
+                .iter()
+                .map(|a| a.id().to_string())
+                .collect::<Vec<_>>()
         )
     );
     let mut grids = Vec::new();

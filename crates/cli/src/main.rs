@@ -94,8 +94,7 @@ fn flag_value<'a>(flags: &[&'a str], name: &str) -> Option<&'a str> {
 fn compile(paths: &[&str]) -> Result<bastion::compiler::CompileOutput, String> {
     let sources = read_sources(paths)?;
     let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
-    let module =
-        minic::compile_program("cli", &refs).map_err(|e| format!("compile error: {e}"))?;
+    let module = minic::compile_program("cli", &refs).map_err(|e| format!("compile error: {e}"))?;
     BastionCompiler::new()
         .compile(module)
         .map_err(|e| format!("instrumentation error: {e}"))
@@ -119,8 +118,14 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
         || flags.len() == usize::from(flag_value(&flags, "metadata").is_some())
     {
         let s = &out.metadata.stats;
-        println!("callsites: {} total ({} direct, {} indirect)", s.total_callsites, s.direct_callsites, s.indirect_callsites);
-        println!("sensitive callsites: {} ({} indirectly-callable sensitive syscalls)", s.sensitive_callsites, s.sensitive_indirect);
+        println!(
+            "callsites: {} total ({} direct, {} indirect)",
+            s.total_callsites, s.direct_callsites, s.indirect_callsites
+        );
+        println!(
+            "sensitive callsites: {} ({} indirectly-callable sensitive syscalls)",
+            s.sensitive_callsites, s.sensitive_indirect
+        );
         println!(
             "instrumentation: {} ctx_write_mem, {} ctx_bind_mem, {} ctx_bind_const ({} total)",
             s.ctx_write_mem,
@@ -162,7 +167,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let verbose = flags.contains(&"--verbose");
     match world.proc(pid).and_then(|p| p.exit.clone()) {
         Some(ExitReason::Exited(code)) => {
-            println!("[exited with status {code}; {} virtual cycles]", world.now());
+            println!(
+                "[exited with status {code}; {} virtual cycles]",
+                world.now()
+            );
         }
         Some(ExitReason::MonitorKill { nr, reason }) => {
             println!(
@@ -208,7 +216,11 @@ fn cmd_attack(args: &[String]) -> Result<(), String> {
         println!(
             "#{:2} [{}] {}",
             r.id,
-            if r.matches_paper() { "matches paper" } else { "MISMATCH" },
+            if r.matches_paper() {
+                "matches paper"
+            } else {
+                "MISMATCH"
+            },
             r.name
         );
         for d in &r.details {
@@ -229,7 +241,11 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     let md = &out.metadata;
     println!("call-type classes:");
     for (nr, class) in &md.syscall_classes {
-        let sensitive = if md.sensitive_nrs.contains(nr) { " [sensitive]" } else { "" };
+        let sensitive = if md.sensitive_nrs.contains(nr) {
+            " [sensitive]"
+        } else {
+            ""
+        };
         println!(
             "  {:<18} {:?}{sensitive}",
             bastion::ir::sysno::name(*nr).unwrap_or("?"),
@@ -237,7 +253,10 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
         );
     }
     println!();
-    println!("control-flow context ({} callee→caller edge sets):", md.valid_callers.len());
+    println!(
+        "control-flow context ({} callee→caller edge sets):",
+        md.valid_callers.len()
+    );
     for (callee, sites) in &md.valid_callers {
         let name = md
             .functions

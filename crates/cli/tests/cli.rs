@@ -109,7 +109,10 @@ fn compile_error_reporting() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("bad.mc");
     std::fs::write(&path, "long main() { return nope(); }").unwrap();
-    let out = bastion().args(["run", path.to_str().unwrap()]).output().unwrap();
+    let out = bastion()
+        .args(["run", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("nope"));
 }

@@ -36,11 +36,7 @@ pub struct Instrumented {
 
 /// Runs the pass with BASTION's sensitive-only store breadth.
 pub fn instrument(module: &Module, report: &SensitiveReport) -> Instrumented {
-    instrument_with_breadth(
-        module,
-        report,
-        crate::InstrumentationBreadth::SensitiveOnly,
-    )
+    instrument_with_breadth(module, report, crate::InstrumentationBreadth::SensitiveOnly)
 }
 
 /// Runs the pass with an explicit store-instrumentation breadth.
@@ -153,9 +149,7 @@ pub fn instrument_with_breadth(
                             }
                             ArgSpec::Mem(_) => {
                                 let arg = call_arg(inst, pos);
-                                if let Some(addr) =
-                                    arg.and_then(|a| derive_addr(&defs, a, 0))
-                                {
+                                if let Some(addr) = arg.and_then(|a| derive_addr(&defs, a, 0)) {
                                     insts.push(Inst::Intrinsic(IntrinsicOp::CtxBindMem {
                                         pos,
                                         addr,
@@ -330,9 +324,8 @@ mod tests {
                     assert!(loc_exists(&out.module, new));
                     // Mapped instruction is identical to the original.
                     if i < b.insts.len() {
-                        let ni = &out.module.functions[fid.index()].blocks
-                            [bid.index()]
-                        .insts[new.inst];
+                        let ni =
+                            &out.module.functions[fid.index()].blocks[bid.index()].insts[new.inst];
                         assert_eq!(ni, &b.insts[i]);
                     }
                 }

@@ -186,8 +186,7 @@ impl BastionCompiler {
             .collect();
 
         let arg_meta = |callsite, pos: u8, spec: &ArgSpec, nr: Option<u32>| -> ArgMeta {
-            let extended =
-                nr.is_some_and(|n| sysno::extended_positions(n).contains(&pos));
+            let extended = nr.is_some_and(|n| sysno::extended_positions(n).contains(&pos));
             match spec {
                 ArgSpec::Const(v) => ArgMeta::Const(*v),
                 ArgSpec::Mem(_) => {
@@ -280,9 +279,7 @@ impl BastionCompiler {
 fn init_bytes(init: &GlobalInit, size: u64) -> Option<Vec<u8>> {
     match init {
         GlobalInit::Bytes(b) => Some(b.clone()),
-        GlobalInit::Words(ws) => {
-            Some(ws.iter().flat_map(|w| w.to_le_bytes()).collect())
-        }
+        GlobalInit::Words(ws) => Some(ws.iter().flat_map(|w| w.to_le_bytes()).collect()),
         GlobalInit::Zero => Some(vec![0u8; size.min(256) as usize]),
         GlobalInit::Relocated(_) => None,
     }
@@ -381,10 +378,7 @@ mod tests {
         let callers = &md.valid_callers[&execve_entry];
         assert_eq!(callers.len(), 1);
         let site = md.callsites[callers.iter().next().unwrap()];
-        assert_eq!(
-            md.functions[&site.in_func].name,
-            "ngx_execute_proc"
-        );
+        assert_eq!(md.functions[&site.in_func].name, "ngx_execute_proc");
     }
 
     #[test]
@@ -416,10 +410,9 @@ mod tests {
         let default = BastionCompiler::new().compile(m.clone()).unwrap();
         assert_eq!(default.metadata.stats.sensitive_callsites, 0);
 
-        let extended =
-            BastionCompiler::with_sensitive(sysno::extended_sensitive_set())
-                .compile(m)
-                .unwrap();
+        let extended = BastionCompiler::with_sensitive(sysno::extended_sensitive_set())
+            .compile(m)
+            .unwrap();
         assert_eq!(extended.metadata.stats.sensitive_callsites, 1);
     }
 }

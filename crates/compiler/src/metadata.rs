@@ -113,7 +113,7 @@ impl InstrStats {
 }
 
 /// The complete metadata bundle the compiler hands the monitor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ContextMetadata {
     /// Protected module name.
     pub module_name: String,
@@ -207,9 +207,7 @@ impl ContextMetadata {
                 .map(|(&a, v)| {
                     (
                         r(a),
-                        v.iter()
-                            .map(|(p, m)| (*p, rebase_arg(m, delta)))
-                            .collect(),
+                        v.iter().map(|(p, m)| (*p, rebase_arg(m, delta))).collect(),
                     )
                 })
                 .collect(),

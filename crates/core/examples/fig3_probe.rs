@@ -1,11 +1,13 @@
-use bastion::harness::{run_figure3_row, WorkloadSize};
 use bastion::apps::ALL_APPS;
+use bastion::harness::{run_figure3_row, WorkloadSize};
 use bastion_vm::CostModel;
 fn main() {
     for app in ALL_APPS {
         let (base, cols) = run_figure3_row(app, &WorkloadSize::standard(), CostModel::default());
         print!("{:22} base={:10.2}", app.label(), base.metric);
-        for c in &cols { print!(" | {} {:+.2}%", c.protection, c.overhead_vs(&base)); }
+        for c in &cols {
+            print!(" | {} {:+.2}%", c.protection, c.overhead_vs(&base));
+        }
         println!();
     }
 }

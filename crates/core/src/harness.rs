@@ -64,6 +64,9 @@ pub struct AppBenchmark {
     pub metric: f64,
     /// Virtual cycles the measurement took.
     pub cycles: u64,
+    /// Virtual cycles spent in monitor tracing (ptrace stops + remote
+    /// reads + monitor init) — the numerator of the per-trap cost.
+    pub trace_cycles: u64,
     /// Monitor traps delivered during the whole run.
     pub traps: u64,
     /// Executed-syscall counters at the end of the run.
@@ -181,6 +184,7 @@ pub fn run_app_benchmark(
         protection: protection.label,
         metric,
         cycles: world.now(),
+        trace_cycles: world.trace_cycles,
         traps: world.trap_count,
         syscall_counts: world.kernel.counts.clone(),
         monitor,
@@ -211,8 +215,7 @@ pub fn run_table7_row(
     size: &WorkloadSize,
     cost: CostModel,
 ) -> (AppBenchmark, Vec<AppBenchmark>) {
-    let compiler =
-        BastionCompiler::with_sensitive(bastion_ir::sysno::extended_sensitive_set());
+    let compiler = BastionCompiler::with_sensitive(bastion_ir::sysno::extended_sensitive_set());
     let baseline = run_app_benchmark(app, &Protection::vanilla(), size, &compiler, cost);
     let rows = Protection::table7()
         .iter()
@@ -237,8 +240,7 @@ mod tests {
             &compiler,
             cost,
         );
-        let full =
-            run_app_benchmark(App::Webserve, &Protection::full(), &size, &compiler, cost);
+        let full = run_app_benchmark(App::Webserve, &Protection::full(), &size, &compiler, cost);
         assert!(base.metric > 0.0);
         assert!(full.metric > 0.0);
         assert!(full.traps > 0, "sensitive syscalls must trap");
@@ -255,8 +257,7 @@ mod tests {
         let size = WorkloadSize::quick();
         let compiler = BastionCompiler::new();
         let cost = CostModel::default();
-        let base =
-            run_app_benchmark(App::Ftpd, &Protection::vanilla(), &size, &compiler, cost);
+        let base = run_app_benchmark(App::Ftpd, &Protection::vanilla(), &size, &compiler, cost);
         let cet = run_app_benchmark(App::Ftpd, &Protection::cet(), &size, &compiler, cost);
         assert!(!base.higher_is_better());
         // CET alone should be near-free.

@@ -50,26 +50,26 @@ pub mod protection;
 pub use harness::{run_app_benchmark, AppBenchmark, WorkloadSize};
 pub use protection::Protection;
 
-/// Re-export: the IR layer.
-pub use bastion_ir as ir;
-/// Re-export: the MiniC front-end.
-pub use bastion_minic as minic;
 /// Re-export: static analyses.
 pub use bastion_analysis as analysis;
-/// Re-export: the BASTION compiler pass.
-pub use bastion_compiler as compiler;
-/// Re-export: the process VM.
-pub use bastion_vm as vm;
-/// Re-export: the simulated kernel.
-pub use bastion_kernel as kernel;
-/// Re-export: the runtime monitor.
-pub use bastion_monitor as monitor;
-/// Re-export: baseline defenses.
-pub use bastion_defenses as defenses;
 /// Re-export: the workload applications.
 pub use bastion_apps as apps;
 /// Re-export: the attack framework.
 pub use bastion_attacks as attacks;
+/// Re-export: the BASTION compiler pass.
+pub use bastion_compiler as compiler;
+/// Re-export: baseline defenses.
+pub use bastion_defenses as defenses;
+/// Re-export: the IR layer.
+pub use bastion_ir as ir;
+/// Re-export: the simulated kernel.
+pub use bastion_kernel as kernel;
+/// Re-export: the MiniC front-end.
+pub use bastion_minic as minic;
+/// Re-export: the runtime monitor.
+pub use bastion_monitor as monitor;
+/// Re-export: the process VM.
+pub use bastion_vm as vm;
 
 use bastion_compiler::{BastionCompiler, ContextMetadata};
 use bastion_kernel::{Pid, World};
@@ -193,11 +193,7 @@ mod tests {
 
     #[test]
     fn deployment_pipeline_end_to_end() {
-        let d = Deployment::from_minic(
-            "t",
-            &["long main() { return getpid(); }"],
-        )
-        .unwrap();
+        let d = Deployment::from_minic("t", &["long main() { return getpid(); }"]).unwrap();
         let mut world = d.world();
         let pid = d.launch(&mut world, &Protection::full());
         world.run(10_000_000);
@@ -218,11 +214,7 @@ mod tests {
 
     #[test]
     fn sensitive_syscall_traps_under_full_protection() {
-        let d = Deployment::from_minic(
-            "t",
-            &["long main() { return socket(2, 1, 0); }"],
-        )
-        .unwrap();
+        let d = Deployment::from_minic("t", &["long main() { return socket(2, 1, 0); }"]).unwrap();
         let mut world = d.world();
         let pid = d.launch(&mut world, &Protection::full());
         world.run(10_000_000);

@@ -169,7 +169,10 @@ mod tests {
             let _ = bastion_vm::interp::step(&mut m);
         }
         let e = bastion_vm::interp::run(&mut m, 100_000);
-        assert!(matches!(e, Event::Fault(Fault::CfiViolation { .. })), "{e:?}");
+        assert!(
+            matches!(e, Event::Fault(Fault::CfiViolation { .. })),
+            "{e:?}"
+        );
     }
 
     #[test]

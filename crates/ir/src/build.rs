@@ -9,8 +9,8 @@
 
 use crate::inst::{BinOp, Callee, CmpOp, Inst, Operand, Reg, Terminator, Width};
 use crate::module::{
-    Block, BlockId, FuncId, FuncKind, Function, Global, GlobalId, GlobalInit, Local, Module,
-    Param, SlotId,
+    Block, BlockId, FuncId, FuncKind, Function, Global, GlobalId, GlobalInit, Local, Module, Param,
+    SlotId,
 };
 use crate::types::{StructDef, StructId, Ty};
 
@@ -114,7 +114,12 @@ impl ModuleBuilder {
 
     /// Reserves a [`FuncId`] for a function defined later with
     /// [`ModuleBuilder::define`].
-    pub fn declare(&mut self, name: impl Into<String>, params: &[(&str, Ty)], ret_ty: Ty) -> FuncId {
+    pub fn declare(
+        &mut self,
+        name: impl Into<String>,
+        params: &[(&str, Ty)],
+        ret_ty: Ty,
+    ) -> FuncId {
         self.module.functions.push(Function {
             name: name.into(),
             kind: FuncKind::Normal,
@@ -340,12 +345,7 @@ impl<'a> FunctionBuilder<'a> {
     }
 
     /// Store with explicit width.
-    pub fn store_w(
-        &mut self,
-        addr: impl Into<Operand>,
-        src: impl Into<Operand>,
-        width: Width,
-    ) {
+    pub fn store_w(&mut self, addr: impl Into<Operand>, src: impl Into<Operand>, width: Width) {
         self.emit(Inst::Store {
             addr: addr.into(),
             src: src.into(),

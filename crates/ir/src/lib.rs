@@ -56,8 +56,8 @@ pub mod validate;
 pub use inst::{BinOp, Callee, CmpOp, FuncRef, Inst, IntrinsicOp, Operand, Reg, Terminator, Width};
 pub use layout::{CodeAddr, CodeLayout, InstLoc, CALL_SIZE};
 pub use module::{
-    Block, BlockId, FuncId, FuncKind, Function, Global, GlobalId, GlobalInit, Local, Module,
-    Param, SlotId,
+    Block, BlockId, FuncId, FuncKind, Function, Global, GlobalId, GlobalInit, Local, Module, Param,
+    SlotId,
 };
 pub use types::{StructDef, StructId, Ty};
 pub use validate::ValidateError;

@@ -68,11 +68,10 @@ impl Module {
                     })?;
                 }
                 for op in self.term_operands(&b.term) {
-                    self.check_operand(f, op)
-                        .map_err(|m| ValidateError {
-                            func: Some(f.name.clone()),
-                            message: format!("block {bi} terminator: {m}"),
-                        })?;
+                    self.check_operand(f, op).map_err(|m| ValidateError {
+                        func: Some(f.name.clone()),
+                        message: format!("block {bi} terminator: {m}"),
+                    })?;
                 }
                 for s in b.term.successors() {
                     if s.index() >= f.blocks.len() {
@@ -95,7 +94,10 @@ impl Module {
     fn check_operand(&self, f: &crate::module::Function, op: Operand) -> Result<(), String> {
         if let Operand::Reg(r) = op {
             if r.0 >= f.reg_count {
-                return Err(format!("register {r} out of range (reg_count {})", f.reg_count));
+                return Err(format!(
+                    "register {r} out of range (reg_count {})",
+                    f.reg_count
+                ));
             }
         }
         Ok(())

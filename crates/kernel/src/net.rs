@@ -102,7 +102,14 @@ impl Net {
             return None;
         }
         let cid = self.conns.len();
-        self.next_peer_port = self.next_peer_port.wrapping_add(1).max(40000);
+        // Ephemeral ports roll over to the bottom of the range and keep
+        // incrementing (`.max(40000)` here would pin every post-wrap
+        // connection to port 40000, aliasing their peer identities).
+        self.next_peer_port = if self.next_peer_port == u16::MAX {
+            40000
+        } else {
+            self.next_peer_port + 1
+        };
         self.conns.push(Conn {
             peer_port: self.next_peer_port,
             ..Conn::default()
@@ -272,5 +279,30 @@ mod tests {
     fn connect_to_unbound_port_fails() {
         let mut n = Net::new();
         assert!(n.external_connect(9999).is_none());
+    }
+
+    #[test]
+    fn peer_ports_keep_advancing_across_wraparound() {
+        let mut n = Net::new();
+        let l = n.listen(80, 1).unwrap();
+        let mut prev = 0u16;
+        let mut wrapped = false;
+        // Enough connections to cross 65535 from the 40000 starting point.
+        for i in 0..30_000 {
+            let c = n.external_connect(80).unwrap();
+            n.accept(l).unwrap();
+            let p = n.peer_port(c);
+            assert!(p >= 40000, "conn {i}: port {p} left the ephemeral range");
+            if i > 0 {
+                if p < prev {
+                    assert_eq!(p, 40000, "wrap must land at the range bottom");
+                    wrapped = true;
+                } else {
+                    assert_eq!(p, prev + 1, "ports must keep incrementing");
+                }
+            }
+            prev = p;
+        }
+        assert!(wrapped, "test must cross 65535 to exercise the wrap");
     }
 }

@@ -69,7 +69,8 @@ mod tests {
     #[test]
     fn default_and_overrides() {
         let mut f = SeccompFilter::new(SeccompAction::Allow);
-        f.set(59, SeccompAction::Trace).set(101, SeccompAction::Kill);
+        f.set(59, SeccompAction::Trace)
+            .set(101, SeccompAction::Kill);
         assert_eq!(f.eval(0), SeccompAction::Allow);
         assert_eq!(f.eval(59), SeccompAction::Trace);
         assert_eq!(f.eval(101), SeccompAction::Kill);

@@ -223,15 +223,13 @@ impl Kernel {
             sysno::WRITE => self.sys_write(p, args[0], args[1], args[2]),
             sysno::OPEN => self.sys_open(p, args[0], args[1]),
             sysno::OPENAT => self.sys_open(p, args[1], args[2]),
-            sysno::CLOSE => {
-                match p.fds.close(args[0]) {
-                    Some(id) => {
-                        self.deref_ofd(id);
-                        SysOutcome::Done(0)
-                    }
-                    None => SysOutcome::Done(err(errno::EBADF)),
+            sysno::CLOSE => match p.fds.close(args[0]) {
+                Some(id) => {
+                    self.deref_ofd(id);
+                    SysOutcome::Done(0)
                 }
-            }
+                None => SysOutcome::Done(err(errno::EBADF)),
+            },
             sysno::STAT => self.sys_stat(p, args[0], args[1]),
             sysno::LSEEK => self.sys_lseek(p, args[0], args[1] as i64, args[2]),
             sysno::MMAP => self.sys_mmap(p, args),
@@ -458,7 +456,11 @@ impl Kernel {
                 self.console.extend_from_slice(&data);
                 SysOutcome::Done(len)
             }
-            OfdKind::File { path, offset, writable } => {
+            OfdKind::File {
+                path,
+                offset,
+                writable,
+            } => {
                 if !writable {
                     return SysOutcome::Done(err(errno::EBADF));
                 }

@@ -65,8 +65,8 @@ impl<'a> Tracee<'a> {
     /// # Errors
     /// Fails if the range is unmapped in the tracee.
     pub fn read_mem(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), OutOfBounds> {
-        *self.charge +=
-            self.machine.cost.remote_read + (buf.len() as u64 / 64) * self.machine.cost.remote_read_per_64b;
+        *self.charge += self.machine.cost.remote_read
+            + (buf.len() as u64 / 64) * self.machine.cost.remote_read_per_64b;
         self.machine.mem.read(addr, buf)
     }
 
@@ -78,6 +78,41 @@ impl<'a> Tracee<'a> {
         let mut b = [0u8; 8];
         self.read_mem(addr, &mut b)?;
         Ok(u64::from_le_bytes(b))
+    }
+
+    /// Batched frame fetch: the saved frame pointer (at `fp`) and the
+    /// return address (at `fp + 8`) in ONE charged `process_vm_readv`,
+    /// instead of two word reads each paying the full base cost. This is
+    /// the trap-fast-path primitive Table 7 motivates: the base cost of a
+    /// remote read dwarfs its per-byte cost, so fetching the 16-byte frame
+    /// head at once halves the dominant per-frame charge.
+    ///
+    /// # Errors
+    /// Fails if the 16-byte frame head is unmapped in the tracee.
+    pub fn read_frame(&mut self, fp: u64) -> Result<(u64, u64), OutOfBounds> {
+        let mut b = [0u8; 16];
+        self.read_mem(fp, &mut b)?;
+        let saved_fp = u64::from_le_bytes(b[..8].try_into().expect("8 bytes"));
+        let ret = u64::from_le_bytes(b[8..].try_into().expect("8 bytes"));
+        Ok((saved_fp, ret))
+    }
+
+    /// Bounded prefix read in ONE charged `process_vm_readv`: fills `buf`
+    /// with as many bytes from `addr` as are mapped and returns that count
+    /// (0 if `addr` itself is unmapped). Mirrors `process_vm_readv`'s
+    /// partial-read semantics; the charge covers only the bytes actually
+    /// transferred, plus the fixed base cost of the attempt.
+    pub fn read_mem_prefix(&mut self, addr: u64, buf: &mut [u8]) -> usize {
+        let n = self.machine.mem.mapped_prefix_len(addr, buf.len() as u64) as usize;
+        *self.charge +=
+            self.machine.cost.remote_read + (n as u64 / 64) * self.machine.cost.remote_read_per_64b;
+        if n > 0 {
+            self.machine
+                .mem
+                .read(addr, &mut buf[..n])
+                .expect("prefix is mapped");
+        }
+        n
     }
 
     /// The shadow-region base of the tracee (learned at launch, like the
@@ -194,6 +229,41 @@ mod tests {
         let mut big = vec![0u8; 4096];
         t.read_mem(m.image.stack_base, &mut big).unwrap();
         assert!(t.charged() - small > small);
+    }
+
+    #[test]
+    fn read_frame_matches_word_reads_at_half_the_charge() {
+        let m = machine();
+        let mut charge = 0;
+        let mut t = Tracee::new(&m, 1, &mut charge);
+        let saved = t.read_u64(m.fp).unwrap();
+        let ret = t.read_u64(m.fp + 8).unwrap();
+        let two_reads = t.charged();
+        let mut charge2 = 0;
+        let mut t2 = Tracee::new(&m, 1, &mut charge2);
+        assert_eq!(t2.read_frame(m.fp).unwrap(), (saved, ret));
+        assert_eq!(t2.charged() * 2, two_reads);
+    }
+
+    #[test]
+    fn read_mem_prefix_is_partial_and_single_charged() {
+        let m = machine();
+        let mut charge = 0;
+        let mut t = Tracee::new(&m, 1, &mut charge);
+        // A read straddling the top of the stack mapping returns only the
+        // mapped prefix, for one base charge.
+        let mut buf = [0u8; 256];
+        let start = m.image.stack_top - 32;
+        let n = t.read_mem_prefix(start, &mut buf);
+        assert_eq!(n, 32);
+        assert_eq!(
+            t.charged(),
+            m.cost.remote_read // 32 bytes are below the per-64B step
+        );
+        // Fully unmapped start: zero bytes, base charge only.
+        let before = t.charged();
+        assert_eq!(t.read_mem_prefix(0x10, &mut buf), 0);
+        assert_eq!(t.charged() - before, m.cost.remote_read);
     }
 
     #[test]

@@ -137,10 +137,7 @@ impl World {
             if !ran_any {
                 // Nothing runnable; see if a wake changes that.
                 self.wake_blocked();
-                let still_stuck = self
-                    .procs
-                    .iter()
-                    .all(|p| p.state != ProcState::Runnable);
+                let still_stuck = self.procs.iter().all(|p| p.state != ProcState::Runnable);
                 if still_stuck {
                     return if self.alive_count() == 0 {
                         RunStatus::AllExited

@@ -68,10 +68,7 @@ fn echo_server_serves_external_client() {
     world.net_send(c, b"ping!");
     assert_eq!(world.run(10_000_000), RunStatus::AllExited);
     assert_eq!(world.net_recv(c), b"ping!");
-    assert_eq!(
-        world.proc(pid).unwrap().exit,
-        Some(ExitReason::Exited(0))
-    );
+    assert_eq!(world.proc(pid).unwrap().exit, Some(ExitReason::Exited(0)));
     // Syscall counters recorded everything.
     assert_eq!(world.kernel.count_of(sysno::ACCEPT), 1);
     assert_eq!(world.kernel.count_of(sysno::BIND), 1);
@@ -119,7 +116,11 @@ fn fork_runs_parent_and_child() {
     };
     assert!(*code > 1);
     // Child exit status visible.
-    let child = world.procs.iter().find(|p| p.parent == Some(parent)).unwrap();
+    let child = world
+        .procs
+        .iter()
+        .find(|p| p.parent == Some(parent))
+        .unwrap();
     assert_eq!(child.exit, Some(ExitReason::Exited(7)));
 }
 
@@ -285,14 +286,14 @@ fn file_io_through_syscalls() {
     f.finish();
 
     let mut world = World::new(CostModel::default());
-    world.kernel.vfs.put_file("/etc/motd", b"hello world".to_vec(), 0o644);
+    world
+        .kernel
+        .vfs
+        .put_file("/etc/motd", b"hello world".to_vec(), 0o644);
     let pid = spawn(&mut world, mb);
     assert_eq!(world.run(10_000_000), RunStatus::AllExited);
     assert_eq!(world.kernel.console, b"hello world");
-    assert_eq!(
-        world.proc(pid).unwrap().exit,
-        Some(ExitReason::Exited(11))
-    );
+    assert_eq!(world.proc(pid).unwrap().exit, Some(ExitReason::Exited(11)));
 }
 
 #[test]

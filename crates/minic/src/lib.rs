@@ -277,8 +277,7 @@ mod tests {
 
     #[test]
     fn reports_arity_mismatch() {
-        let e =
-            compile_program("bad", &["long main() { return strlen(); }"]).unwrap_err();
+        let e = compile_program("bad", &["long main() { return strlen(); }"]).unwrap_err();
         assert!(matches!(e, FrontError::Lower(_)));
     }
 

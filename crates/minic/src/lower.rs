@@ -9,9 +9,7 @@
 use crate::ast::*;
 use bastion_ir::build::{FunctionBuilder, ModuleBuilder};
 use bastion_ir::module::{GlobalInit, RelocEntry};
-use bastion_ir::{
-    BinOp, CmpOp, FuncId, GlobalId, Operand, SlotId, StructDef, StructId, Ty, Width,
-};
+use bastion_ir::{BinOp, CmpOp, FuncId, GlobalId, Operand, SlotId, StructDef, StructId, Ty, Width};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -58,11 +56,7 @@ impl<'mb> Lowerer<'mb> {
         for (i, f) in mb.module().functions.iter().enumerate() {
             funcs.insert(
                 f.name.clone(),
-                (
-                    bastion_ir::FuncId(i as u32),
-                    CType::Long,
-                    f.params.len(),
-                ),
+                (bastion_ir::FuncId(i as u32), CType::Long, f.params.len()),
             );
         }
         let mut globals = HashMap::new();
@@ -105,9 +99,7 @@ impl<'mb> Lowerer<'mb> {
                 // pointer fields resolve; sizes only need pointee names for
                 // non-pointer fields, which must be previously defined.
                 let mut ir_fields = Vec::new();
-                let id = self
-                    .mb
-                    .struct_def(StructDef::new(name.clone(), Vec::new()));
+                let id = self.mb.struct_def(StructDef::new(name.clone(), Vec::new()));
                 self.structs.insert(
                     name.clone(),
                     StructInfo {
@@ -327,13 +319,10 @@ impl<'mb> Lowerer<'mb> {
             CType::Ptr(p) => Ty::ptr(self.ir_ty(p)?),
             CType::FnPtr => Ty::Func { arity: 0 },
             CType::Struct(name) => {
-                let si = self
-                    .structs
-                    .get(name)
-                    .ok_or_else(|| LowerError {
-                        func: None,
-                        message: format!("unknown struct `{name}`"),
-                    })?;
+                let si = self.structs.get(name).ok_or_else(|| LowerError {
+                    func: None,
+                    message: format!("unknown struct `{name}`"),
+                })?;
                 Ty::Struct(si.id)
             }
             CType::Array(e, n) => Ty::Array(Box::new(self.ir_ty(e)?), *n),
@@ -450,13 +439,10 @@ impl FnCx<'_, '_> {
 
     fn size_of(&self, t: &CType) -> Result<u64, LowerError> {
         let module_structs = |name: &str| -> Result<u64, LowerError> {
-            let si = self
-                .structs
-                .get(name)
-                .ok_or_else(|| LowerError {
-                    func: None,
-                    message: format!("unknown struct `{name}`"),
-                })?;
+            let si = self.structs.get(name).ok_or_else(|| LowerError {
+                func: None,
+                message: format!("unknown struct `{name}`"),
+            })?;
             let mut total = 0;
             for (ft, _) in &si.fields {
                 total += self.size_of(ft)?;
@@ -508,10 +494,13 @@ impl FnCx<'_, '_> {
             Stmt::Decl { ty, name, init } => {
                 let ir_ty = self.decl_ty(ty)?;
                 let slot = self.fb.local(name.clone(), ir_ty);
-                self.scopes
-                    .last_mut()
-                    .expect("scope stack")
-                    .insert(name.clone(), Var { slot, ty: ty.clone() });
+                self.scopes.last_mut().expect("scope stack").insert(
+                    name.clone(),
+                    Var {
+                        slot,
+                        ty: ty.clone(),
+                    },
+                );
                 if let Some(e) = init {
                     let v = self.rvalue(e)?;
                     let addr = self.fb.frame_addr(slot);

@@ -201,7 +201,8 @@ impl Parser {
                             Tok::Punct("-") => match self.bump() {
                                 Tok::Int(v) => items.push(InitItem::Int(-v)),
                                 other => {
-                                    return self.err(format!("expected number after -, got {other}"))
+                                    return self
+                                        .err(format!("expected number after -, got {other}"))
                                 }
                             },
                             Tok::Ident(n) => items.push(InitItem::Name(n)),
@@ -489,9 +490,17 @@ mod tests {
         assert_eq!(u.decls.len(), 6);
         assert!(matches!(&u.decls[0], Decl::Struct { name, fields }
             if name == "ctx" && fields.len() == 2));
-        assert!(matches!(&u.decls[3], Decl::Global { init: GlobalInitAst::List(items), .. }
-            if items.len() == 2));
-        assert!(matches!(&u.decls[4], Decl::Global { init: GlobalInitAst::Int(7), .. }));
+        assert!(
+            matches!(&u.decls[3], Decl::Global { init: GlobalInitAst::List(items), .. }
+            if items.len() == 2)
+        );
+        assert!(matches!(
+            &u.decls[4],
+            Decl::Global {
+                init: GlobalInitAst::Int(7),
+                ..
+            }
+        ));
         assert!(matches!(&u.decls[5], Decl::Func { params, .. } if params.len() == 2));
     }
 
@@ -547,9 +556,27 @@ mod tests {
         let Decl::Func { body, .. } = &u.decls[0] else {
             panic!()
         };
-        assert!(matches!(&body[0], Stmt::Decl { ty: CType::Ptr(_), .. }));
-        assert!(matches!(&body[1], Stmt::Decl { ty: CType::Array(_, 8), .. }));
-        assert!(matches!(&body[3], Stmt::Decl { ty: CType::FnPtr, .. }));
+        assert!(matches!(
+            &body[0],
+            Stmt::Decl {
+                ty: CType::Ptr(_),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &body[1],
+            Stmt::Decl {
+                ty: CType::Array(_, 8),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &body[3],
+            Stmt::Decl {
+                ty: CType::FnPtr,
+                ..
+            }
+        ));
     }
 
     #[test]

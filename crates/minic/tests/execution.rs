@@ -13,7 +13,10 @@ fn run_to_exit(src: &str) -> (World, i64) {
     let pid = world.spawn(machine);
     assert_eq!(world.run(100_000_000), RunStatus::AllExited);
     let Some(ExitReason::Exited(code)) = world.proc(pid).unwrap().exit.clone() else {
-        panic!("program did not exit cleanly: {:?}", world.proc(pid).unwrap().exit);
+        panic!(
+            "program did not exit cleanly: {:?}",
+            world.proc(pid).unwrap().exit
+        );
     };
     (world, code)
 }

@@ -300,10 +300,7 @@ fn multi_source_programs_link() {
     let mut world = World::new(CostModel::default());
     let pid = world.spawn(machine);
     assert_eq!(world.run(10_000_000), RunStatus::AllExited);
-    assert_eq!(
-        world.proc(pid).unwrap().exit,
-        Some(ExitReason::Exited(15))
-    );
+    assert_eq!(world.proc(pid).unwrap().exit, Some(ExitReason::Exited(15)));
 }
 
 #[test]

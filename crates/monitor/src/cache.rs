@@ -1,0 +1,169 @@
+//! Per-callsite verification cache — the memoization half of the trap fast
+//! path.
+//!
+//! Call-Type and Control-Flow verdicts are pure functions of code addresses
+//! and compiler metadata, both of which are fixed for the life of the
+//! process: the same `(syscall nr, callsite)` pair always yields the same
+//! CT verdict, and the same return-address chain always yields the same CF
+//! verdict. SFIP and the eBPF syscall-security work both get their low
+//! overheads from exactly this observation — derive per-site state once,
+//! reuse it on every subsequent trap.
+//!
+//! Two caches are kept:
+//!
+//! * **CT cache** — verdict keyed by `(nr, callsite)`. A hit skips the
+//!   class/callsite re-validation (the remote read that recovers the
+//!   callsite is still paid — it is what identifies the cache key).
+//! * **Walk cache** — verdict keyed by a hash of the observed
+//!   return-address chain (plus how the walk terminated). The chain is
+//!   still *fetched* on every trap — the paper's threat model requires
+//!   looking at the actual stack — but pairwise callee→caller validation
+//!   against metadata is skipped on a hit.
+//!
+//! The walk cache is bypassed entirely when the Argument-Integrity context
+//! is enabled: AI consults argument values and frame slots that legally
+//! change between traps with identical return-address chains, so caching
+//! anything that feeds an AI verdict would be unsound. This is the
+//! conservative invalidation policy the design calls for (see DESIGN.md).
+//!
+//! Deny messages are deterministic functions of the same inputs, so a
+//! cached violation reproduces the exact verdict string of a fresh one.
+
+use crate::ContextKind;
+use std::collections::HashMap;
+
+/// A memoized verification outcome: pass, or the violation it produced.
+pub type CachedVerdict = Result<(), (ContextKind, String)>;
+
+/// Verification cache plus the fast-path counters surfaced in
+/// [`crate::MonitorStats`].
+#[derive(Debug, Default)]
+pub struct VerifyCache {
+    ct: HashMap<(u32, u64), CachedVerdict>,
+    walks: HashMap<u64, CachedVerdict>,
+    /// CT verdicts served from cache.
+    pub ct_hits: u64,
+    /// Walk verdicts served from cache.
+    pub walk_hits: u64,
+    /// Frame heads fetched with one batched read instead of two.
+    pub batched_frame_reads: u64,
+    /// Pointee buffers fetched with one batched read instead of per-byte.
+    pub batched_pointee_reads: u64,
+}
+
+impl VerifyCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        VerifyCache::default()
+    }
+
+    /// Looks up the CT verdict for `(nr, callsite)`, counting a hit.
+    pub fn ct_lookup(&mut self, nr: u32, callsite: u64) -> Option<CachedVerdict> {
+        let v = self.ct.get(&(nr, callsite)).cloned();
+        if v.is_some() {
+            self.ct_hits += 1;
+        }
+        v
+    }
+
+    /// Memoizes the CT verdict for `(nr, callsite)`.
+    pub fn ct_store(&mut self, nr: u32, callsite: u64, verdict: CachedVerdict) {
+        self.ct.insert((nr, callsite), verdict);
+    }
+
+    /// Looks up the walk verdict for a chain hash, counting a hit.
+    pub fn walk_lookup(&mut self, chain_hash: u64) -> Option<CachedVerdict> {
+        let v = self.walks.get(&chain_hash).cloned();
+        if v.is_some() {
+            self.walk_hits += 1;
+        }
+        v
+    }
+
+    /// Memoizes the walk verdict for a chain hash.
+    pub fn walk_store(&mut self, chain_hash: u64, verdict: CachedVerdict) {
+        self.walks.insert(chain_hash, verdict);
+    }
+
+    /// Number of memoized entries (CT + walk), for tests and diagnostics.
+    pub fn len(&self) -> usize {
+        self.ct.len() + self.walks.len()
+    }
+
+    /// Whether nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.ct.is_empty() && self.walks.is_empty()
+    }
+
+    /// Drops all memoized verdicts (counters survive). Conservative
+    /// invalidation hook for configurations that mutate code metadata.
+    pub fn clear(&mut self) {
+        self.ct.clear();
+        self.walks.clear();
+    }
+}
+
+/// Incremental FNV-1a hasher for return-address chains.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainHasher(u64);
+
+impl ChainHasher {
+    /// Starts a chain hash at the trapped stub's entry address.
+    pub fn new(stub_entry: u64) -> Self {
+        let mut h = ChainHasher(0xcbf2_9ce4_8422_2325);
+        h.push(stub_entry);
+        h
+    }
+
+    /// Mixes one address (or terminator discriminant) into the hash.
+    pub fn push(&mut self, word: u64) {
+        for b in word.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The finished 64-bit chain key.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ct_cache_roundtrip_and_hit_count() {
+        let mut c = VerifyCache::new();
+        assert!(c.ct_lookup(1, 0x400).is_none());
+        assert_eq!(c.ct_hits, 0);
+        c.ct_store(1, 0x400, Ok(()));
+        c.ct_store(2, 0x400, Err((ContextKind::CallType, "nope".into())));
+        assert_eq!(c.ct_lookup(1, 0x400), Some(Ok(())));
+        assert!(matches!(c.ct_lookup(2, 0x400), Some(Err(_))));
+        assert_eq!(c.ct_hits, 2);
+        assert_eq!(c.len(), 2);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.ct_hits, 2, "counters survive clear");
+    }
+
+    #[test]
+    fn chain_hash_is_order_and_content_sensitive() {
+        let h = |words: &[u64]| {
+            let mut h = ChainHasher::new(0x1000);
+            for &w in words {
+                h.push(w);
+            }
+            h.finish()
+        };
+        assert_eq!(h(&[1, 2, 3]), h(&[1, 2, 3]));
+        assert_ne!(h(&[1, 2, 3]), h(&[3, 2, 1]));
+        assert_ne!(h(&[1, 2]), h(&[1, 2, 3]));
+        assert_ne!(
+            ChainHasher::new(0x1000).finish(),
+            ChainHasher::new(0x2000).finish()
+        );
+    }
+}

@@ -53,7 +53,10 @@ mod tests {
         let _ = f.call_direct(write, &[z, z, z]);
         f.ret(Some(z));
         f.finish();
-        BastionCompiler::new().compile(mb.finish()).unwrap().metadata
+        BastionCompiler::new()
+            .compile(mb.finish())
+            .unwrap()
+            .metadata
     }
 
     #[test]

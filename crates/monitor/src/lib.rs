@@ -22,6 +22,7 @@
 //! measurable exactly as in the paper. Shadow-table reads are free (the
 //! shadow region is a shared mapping, §7.1).
 
+pub mod cache;
 pub mod filter;
 pub mod verify;
 
@@ -45,6 +46,10 @@ pub struct ContextConfig {
     /// Fetch registers and walk the stack without verifying anything —
     /// Table 7's "fetch process state" row, isolating the ptrace cost.
     pub fetch_state: bool,
+    /// Use the trap fast path: batched frame/pointee remote reads and the
+    /// per-callsite verification cache (see [`cache`]). Off reproduces the
+    /// original per-word, re-derive-everything trap cost for ablations.
+    pub fast_path: bool,
 }
 
 impl ContextConfig {
@@ -55,6 +60,7 @@ impl ContextConfig {
             control_flow: true,
             arg_integrity: true,
             fetch_state: true,
+            fast_path: true,
         }
     }
 
@@ -65,6 +71,7 @@ impl ContextConfig {
             control_flow: false,
             arg_integrity: false,
             fetch_state: true,
+            fast_path: true,
         }
     }
 
@@ -75,6 +82,7 @@ impl ContextConfig {
             control_flow: true,
             arg_integrity: false,
             fetch_state: true,
+            fast_path: true,
         }
     }
 
@@ -86,6 +94,7 @@ impl ContextConfig {
             control_flow: false,
             arg_integrity: false,
             fetch_state: false,
+            fast_path: true,
         }
     }
 
@@ -97,12 +106,20 @@ impl ContextConfig {
             control_flow: false,
             arg_integrity: false,
             fetch_state: true,
+            fast_path: true,
         }
     }
 
     /// Whether any context is verified.
     pub fn verifies(&self) -> bool {
         self.call_type || self.control_flow || self.arg_integrity
+    }
+
+    /// The same configuration with the trap fast path disabled — the
+    /// "before" side of the fast-path ablation.
+    pub fn without_fast_path(mut self) -> Self {
+        self.fast_path = false;
+        self
     }
 }
 
@@ -142,12 +159,22 @@ pub struct MonitorStats {
     pub ai_violations: u64,
     /// Total frames walked across all traps.
     pub frames_walked: u64,
-    /// Minimum walk depth seen.
+    /// Minimum walk depth seen; 0 until a real stack walk has run (walks
+    /// are always ≥ 1 frame deep, so 0 unambiguously means "no walk yet").
     pub min_depth: u64,
     /// Maximum walk depth seen.
     pub max_depth: u64,
     /// Virtual cycles spent initializing (metadata load, §9.2 "≈21 ms").
     pub init_cycles: u64,
+    /// Call-Type verdicts served from the verification cache.
+    pub ct_cache_hits: u64,
+    /// Stack-walk verdicts served from the verification cache.
+    pub walk_cache_hits: u64,
+    /// Frame heads fetched with one batched remote read instead of two.
+    pub batched_frame_reads: u64,
+    /// Pointee buffers fetched with one batched remote read instead of a
+    /// per-byte loop.
+    pub batched_pointee_reads: u64,
 }
 
 impl MonitorStats {
@@ -186,8 +213,7 @@ impl LaunchInfo {
     /// ELF, DWARF, and linked library file information to recover symbol
     /// addresses", §7.1).
     pub fn from_image(image: &bastion_vm::Image, metadata: &ContextMetadata) -> Self {
-        let load_bias =
-            image.layout.code_base().raw() as i64 - metadata.link_base as i64;
+        let load_bias = image.layout.code_base().raw() as i64 - metadata.link_base as i64;
         let globals = image
             .module
             .globals
@@ -242,6 +268,9 @@ pub struct Monitor {
     pub stats: MonitorStats,
     /// Trap log: (nr, verdict ok?) for diagnostics and tests.
     pub log: Vec<(u32, bool)>,
+    /// Fast-path verification cache (interior mutability: verification
+    /// runs behind a shared borrow of the monitor).
+    pub cache: std::cell::RefCell<cache::VerifyCache>,
 }
 
 impl Monitor {
@@ -263,10 +292,10 @@ impl Monitor {
             info,
             stats: MonitorStats {
                 init_cycles,
-                min_depth: u64::MAX,
                 ..MonitorStats::default()
             },
             log: Vec::new(),
+            cache: std::cell::RefCell::new(cache::VerifyCache::new()),
         }
     }
 
@@ -304,18 +333,29 @@ impl Tracer for Monitor {
             return TraceVerdict::Allow;
         }
 
-        match verify::verify_trap(self, tracee, &regs) {
+        let verdict = match verify::verify_trap(self, tracee, &regs) {
             Ok(depth) => {
+                // Depth 0 is a walk-free verdict (CT-only traps); it must
+                // not pollute the §9.2 depth statistics.
                 if depth > 0 {
                     self.stats.frames_walked += depth;
-                    self.stats.min_depth = self.stats.min_depth.min(depth);
+                    if self.stats.min_depth == 0 || depth < self.stats.min_depth {
+                        self.stats.min_depth = depth;
+                    }
                     self.stats.max_depth = self.stats.max_depth.max(depth);
                 }
                 self.log.push((nr, true));
                 TraceVerdict::Allow
             }
             Err((ctx, msg)) => self.deny(ctx, nr, &msg),
-        }
+        };
+        let c = self.cache.borrow();
+        self.stats.ct_cache_hits = c.ct_hits;
+        self.stats.walk_cache_hits = c.walk_hits;
+        self.stats.batched_frame_reads = c.batched_frame_reads;
+        self.stats.batched_pointee_reads = c.batched_pointee_reads;
+        drop(c);
+        verdict
     }
 }
 
@@ -342,6 +382,29 @@ mod tests {
         s.ct_violations = 1;
         s.ai_violations = 2;
         assert_eq!(s.violations(), 3);
+    }
+
+    #[test]
+    fn min_depth_is_zero_before_any_walk() {
+        // A freshly created monitor (and one that only ever sees walk-free
+        // CT verdicts) must report min_depth 0, not a u64::MAX sentinel —
+        // including through serialization.
+        let md = bastion_compiler::ContextMetadata::default();
+        let m = Monitor::new(&md, ContextConfig::ct(), LaunchInfo::default());
+        assert_eq!(m.stats.min_depth, 0);
+        let json = serde_json::to_string(&m.stats).unwrap();
+        assert!(
+            !json.contains("18446744073709551615"),
+            "sentinel leaked: {json}"
+        );
+    }
+
+    #[test]
+    fn fast_path_toggle() {
+        assert!(ContextConfig::full().fast_path);
+        let slow = ContextConfig::full().without_fast_path();
+        assert!(!slow.fast_path);
+        assert!(slow.arg_integrity, "other fields untouched");
     }
 
     #[test]

@@ -1,10 +1,22 @@
 //! Context verification at a trapped syscall (paper §7.2–§7.4).
+//!
+//! Two code paths exist per [`crate::ContextConfig::fast_path`]:
+//!
+//! * the **legacy path** re-derives every verdict from scratch and fetches
+//!   remote state word-by-word (and pointees byte-by-byte) — each access
+//!   paying the full `process_vm_readv` base cost;
+//! * the **trap fast path** fetches each frame head (saved fp + return
+//!   address) in one batched read, fetches pointee buffers in one bounded
+//!   prefix read, and memoizes CT and stack-walk verdicts in the
+//!   [`crate::cache::VerifyCache`]. Verdicts are identical by construction:
+//!   the same state is observed, only fetched and re-checked less often.
 
+use crate::cache::ChainHasher;
 use crate::{ContextKind, Monitor};
 use bastion_compiler::metadata::{ArgMeta, CallsiteKind};
 use bastion_ir::CALL_SIZE;
 use bastion_kernel::{Regs, Tracee};
-use bastion_vm::ShadowTable;
+use bastion_vm::{OutOfBounds, ShadowTable};
 
 type Violation = (ContextKind, String);
 
@@ -20,7 +32,7 @@ pub(crate) fn fetch_only(
     };
     let stub_entry = stub.entry;
     // Walk without CF validation (walk_stack honours cfg.control_flow).
-    let frames = walk_stack(mon, tracee, stub_entry, regs.fp)?;
+    let frames = walk_stack(mon, tracee, stub_entry, regs.fp, None)?;
     Ok(frames.len() as u64)
 }
 
@@ -47,46 +59,53 @@ pub(crate) fn verify_trap(
         .ok_or_else(|| ct_err("trap rip outside known code"))?;
     let stub_entry = stub.entry;
 
-    // ---- Call-Type context (§7.2) ----
-    let class = md.syscall_classes.get(&nr).copied();
     // Recover the callsite by "decoding the call instruction" before the
-    // return address on the stub frame.
-    let ret0 = tracee
-        .read_u64(regs.fp + 8)
-        .map_err(|e| ct_err(&format!("stack unreadable: {e}")))?;
+    // return address on the stub frame. On the fast path the saved frame
+    // pointer comes along in the same batched read — the stack walk needs
+    // it moments later.
+    let (prefetched, ret0) = if mon.cfg.fast_path {
+        let fr = tracee
+            .read_frame(regs.fp)
+            .map_err(|e| ct_err(&format!("stack unreadable: {e}")))?;
+        mon.cache.borrow_mut().batched_frame_reads += 1;
+        (Some(fr), fr.1)
+    } else {
+        let ret = tracee
+            .read_u64(regs.fp + 8)
+            .map_err(|e| ct_err(&format!("stack unreadable: {e}")))?;
+        (None, ret)
+    };
     let callsite0 = ret0.wrapping_sub(CALL_SIZE);
+
+    // ---- Call-Type context (§7.2) ----
     if mon.cfg.call_type {
-        let Some(class) = class else {
-            return Err(ct_err(&format!("syscall {nr} has no call-type entry")));
+        let cached = if mon.cfg.fast_path {
+            mon.cache.borrow_mut().ct_lookup(nr, callsite0)
+        } else {
+            None
         };
-        if !class.callable() {
-            return Err(ct_err(&format!("syscall {nr} is not-callable")));
-        }
-        match md.callsites.get(&callsite0).map(|c| c.kind) {
-            Some(CallsiteKind::Direct(_)) => {
-                if !class.allows_direct() {
-                    return Err(ct_err(&format!("syscall {nr} not directly-callable")));
-                }
-            }
-            Some(CallsiteKind::Indirect) => {
-                if !class.allows_indirect() {
-                    return Err(ct_err(&format!("syscall {nr} not indirectly-callable")));
-                }
-            }
+        match cached {
+            Some(verdict) => verdict?,
             None => {
-                return Err(ct_err(&format!(
-                    "no call instruction at {callsite0:#x} reaching syscall {nr}"
-                )));
+                let verdict = check_call_type(mon, nr, callsite0);
+                if mon.cfg.fast_path {
+                    mon.cache
+                        .borrow_mut()
+                        .ct_store(nr, callsite0, verdict.clone());
+                }
+                verdict?;
             }
         }
     }
 
     if !mon.cfg.control_flow && !mon.cfg.arg_integrity {
-        return Ok(1);
+        // Walk-free verdict: report depth 0 so CT-only configurations do
+        // not pollute the §9.2 depth statistics with phantom walks.
+        return Ok(0);
     }
 
     // ---- Stack walk (shared by CF §7.3 and AI §7.4) ----
-    let frames = walk_stack(mon, tracee, stub_entry, regs.fp)?;
+    let frames = walk_stack(mon, tracee, stub_entry, regs.fp, prefetched)?;
 
     // ---- Argument Integrity context (§7.4) ----
     if mon.cfg.arg_integrity {
@@ -94,6 +113,36 @@ pub(crate) fn verify_trap(
     }
 
     Ok(frames.len() as u64)
+}
+
+/// Call-Type verdict for `(nr, callsite0)` — a pure function of metadata
+/// and code addresses, which is what makes it cacheable.
+fn check_call_type(mon: &Monitor, nr: u32, callsite0: u64) -> Result<(), Violation> {
+    let md = &mon.md;
+    let Some(class) = md.syscall_classes.get(&nr).copied() else {
+        return Err(ct_err(&format!("syscall {nr} has no call-type entry")));
+    };
+    if !class.callable() {
+        return Err(ct_err(&format!("syscall {nr} is not-callable")));
+    }
+    match md.callsites.get(&callsite0).map(|c| c.kind) {
+        Some(CallsiteKind::Direct(_)) => {
+            if !class.allows_direct() {
+                return Err(ct_err(&format!("syscall {nr} not directly-callable")));
+            }
+        }
+        Some(CallsiteKind::Indirect) => {
+            if !class.allows_indirect() {
+                return Err(ct_err(&format!("syscall {nr} not indirectly-callable")));
+            }
+        }
+        None => {
+            return Err(ct_err(&format!(
+                "no call instruction at {callsite0:#x} reaching syscall {nr}"
+            )));
+        }
+    }
+    Ok(())
 }
 
 fn ct_err(msg: &str) -> Violation {
@@ -108,17 +157,36 @@ fn ai_err(msg: String) -> Violation {
     (ContextKind::ArgIntegrity, msg)
 }
 
+/// How a raw chain read terminated.
+enum ChainEnd {
+    /// Null return address: the bottom (`main`) frame.
+    Bottom,
+    /// A return address not preceded by any known call instruction.
+    UnknownCallsite { ret: u64 },
+    /// The next frame head could not be fetched.
+    Unreadable { fp: u64, err: OutOfBounds },
+    /// The 128-frame unwind limit was exceeded.
+    DepthLimit,
+}
+
 /// Unwinds the frame-pointer chain, validating callee→caller pairs when
 /// the Control-Flow context is enabled. The walk terminates at `main`
 /// (null return address) or at the first indirect callsite, whose partial
 /// trace must be permitted (paper: "verifies the partial stack trace
 /// encountered matches the expected one derived at compile time").
+///
+/// `prefetched` optionally carries the `(saved fp, return address)` pair of
+/// the trap frame when the caller already fetched it (fast path).
 fn walk_stack(
     mon: &Monitor,
     tracee: &mut Tracee<'_>,
     stub_entry: u64,
     trap_fp: u64,
+    prefetched: Option<(u64, u64)>,
 ) -> Result<Vec<FrameRec>, Violation> {
+    if mon.cfg.fast_path {
+        return walk_stack_fast(mon, tracee, stub_entry, trap_fp, prefetched);
+    }
     let md = &mon.md;
     let cf = mon.cfg.control_flow;
     let mut frames = Vec::new();
@@ -143,7 +211,9 @@ fn walk_stack(
                     .func_of(cur_entry)
                     .map_or("?", |f| f.name.as_str())
                     .to_string();
-                return Err(cf_err(format!("stack walk bottomed out in `{name}`, not main")));
+                return Err(cf_err(format!(
+                    "stack walk bottomed out in `{name}`, not main"
+                )));
             }
             frames.push(FrameRec {
                 func_entry: cur_entry,
@@ -232,6 +302,181 @@ fn walk_stack(
     Err(cf_err("stack walk exceeded depth limit".into()))
 }
 
+/// Fast-path stack walk: fetch the raw frame chain with batched reads,
+/// then validate it — via the walk cache when the verdict is a pure
+/// function of the chain (AI disabled; argument values legally change
+/// between traps with identical chains, so AI runs bypass the cache).
+fn walk_stack_fast(
+    mon: &Monitor,
+    tracee: &mut Tracee<'_>,
+    stub_entry: u64,
+    trap_fp: u64,
+    prefetched: Option<(u64, u64)>,
+) -> Result<Vec<FrameRec>, Violation> {
+    let (chain, end) = read_chain(mon, tracee, stub_entry, trap_fp, prefetched);
+    if mon.cfg.arg_integrity {
+        validate_chain(mon, &chain, &end)?;
+        return Ok(chain);
+    }
+    // The CF verdict (including its message) is determined by the callsite
+    // sequence and the terminator, so that is exactly what is hashed.
+    let mut h = ChainHasher::new(stub_entry);
+    for f in &chain {
+        if let Some(cs) = f.callsite {
+            h.push(cs);
+        }
+    }
+    let (tag, payload) = match &end {
+        ChainEnd::Bottom => (0, chain.last().map_or(0, |f| f.func_entry)),
+        ChainEnd::UnknownCallsite { ret } => (1, *ret),
+        ChainEnd::Unreadable { fp, .. } => (2, *fp),
+        ChainEnd::DepthLimit => (3, 0),
+    };
+    h.push(tag);
+    h.push(payload);
+    let key = h.finish();
+    if let Some(verdict) = mon.cache.borrow_mut().walk_lookup(key) {
+        verdict?;
+        return Ok(chain);
+    }
+    let verdict = validate_chain(mon, &chain, &end);
+    mon.cache.borrow_mut().walk_store(key, verdict.clone());
+    verdict?;
+    Ok(chain)
+}
+
+/// Fetches the raw frame chain with one batched read per frame, consulting
+/// metadata only to know where the chain ends. Performs no verification.
+fn read_chain(
+    mon: &Monitor,
+    tracee: &mut Tracee<'_>,
+    stub_entry: u64,
+    trap_fp: u64,
+    mut prefetched: Option<(u64, u64)>,
+) -> (Vec<FrameRec>, ChainEnd) {
+    let md = &mon.md;
+    let mut chain = Vec::new();
+    let mut cur_entry = stub_entry;
+    let mut cur_fp = trap_fp;
+    for _ in 0..128 {
+        let (saved, ret) = match prefetched.take() {
+            Some(fr) => fr,
+            None => match tracee.read_frame(cur_fp) {
+                Ok(fr) => {
+                    mon.cache.borrow_mut().batched_frame_reads += 1;
+                    fr
+                }
+                Err(err) => return (chain, ChainEnd::Unreadable { fp: cur_fp, err }),
+            },
+        };
+        if ret == 0 {
+            chain.push(FrameRec {
+                func_entry: cur_entry,
+                callsite: None,
+                fp: cur_fp,
+            });
+            return (chain, ChainEnd::Bottom);
+        }
+        let callsite = ret.wrapping_sub(CALL_SIZE);
+        let Some(cs) = md.callsites.get(&callsite) else {
+            chain.push(FrameRec {
+                func_entry: cur_entry,
+                callsite: None,
+                fp: cur_fp,
+            });
+            return (chain, ChainEnd::UnknownCallsite { ret });
+        };
+        chain.push(FrameRec {
+            func_entry: cur_entry,
+            callsite: Some(callsite),
+            fp: cur_fp,
+        });
+        cur_entry = cs.in_func;
+        cur_fp = saved;
+    }
+    (chain, ChainEnd::DepthLimit)
+}
+
+/// Validates a raw chain exactly as the legacy frame-by-frame walk does:
+/// pairwise callee→caller checks in frame order, then the terminator. A
+/// pure function of `(chain, end)` and metadata — the cacheable half.
+fn validate_chain(mon: &Monitor, chain: &[FrameRec], end: &ChainEnd) -> Result<(), Violation> {
+    let md = &mon.md;
+    let cf = mon.cfg.control_flow;
+    let mut strict = true;
+    for f in chain {
+        // Terminal frames carry no callsite; the terminator covers them.
+        let Some(callsite) = f.callsite else { continue };
+        let kind = md
+            .callsites
+            .get(&callsite)
+            .expect("chain frames reference known callsites")
+            .kind;
+        match kind {
+            CallsiteKind::Indirect => {
+                if cf && !md.indirect_entries.contains(&f.func_entry) {
+                    let name = md
+                        .func_of(f.func_entry)
+                        .map_or("?", |fm| fm.name.as_str())
+                        .to_string();
+                    return Err(cf_err(format!(
+                        "`{name}` entered via indirect call but is not a permitted indirect entry"
+                    )));
+                }
+                strict = false;
+            }
+            CallsiteKind::Direct(target) => {
+                if cf {
+                    if target != f.func_entry {
+                        return Err(cf_err(format!(
+                            "callsite {callsite:#x} calls {target:#x}, not the unwound callee {:#x}",
+                            f.func_entry
+                        )));
+                    }
+                    let valid = !strict
+                        || md
+                            .valid_callers
+                            .get(&f.func_entry)
+                            .is_some_and(|s| s.contains(&callsite));
+                    if !valid {
+                        return Err(cf_err(format!(
+                            "callsite {callsite:#x} is not a valid caller of {:#x}",
+                            f.func_entry
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    match end {
+        ChainEnd::Bottom => {
+            let last = chain.last().expect("bottom implies a walked frame");
+            if cf && last.func_entry != md.main_entry {
+                let name = md
+                    .func_of(last.func_entry)
+                    .map_or("?", |fm| fm.name.as_str())
+                    .to_string();
+                return Err(cf_err(format!(
+                    "stack walk bottomed out in `{name}`, not main"
+                )));
+            }
+            Ok(())
+        }
+        ChainEnd::UnknownCallsite { ret } => {
+            if cf {
+                return Err(cf_err(format!(
+                    "return address {ret:#x} is not preceded by a call"
+                )));
+            }
+            Ok(())
+        }
+        ChainEnd::Unreadable { fp, err } => {
+            Err(cf_err(format!("frame at {fp:#x} unreadable: {err}")))
+        }
+        ChainEnd::DepthLimit => Err(cf_err("stack walk exceeded depth limit".into())),
+    }
+}
+
 /// Verifies argument integrity for the trapped syscall frame and every
 /// walked frame above it.
 fn verify_args(
@@ -248,10 +493,11 @@ fn verify_args(
         .first()
         .and_then(|f| f.callsite)
         .ok_or_else(|| ai_err("no callsite for trapped syscall".into()))?;
-    let site = md
-        .syscall_sites
-        .get(&syscall_cs)
-        .ok_or_else(|| ai_err(format!("sensitive syscall from unlisted site {syscall_cs:#x}")))?;
+    let site = md.syscall_sites.get(&syscall_cs).ok_or_else(|| {
+        ai_err(format!(
+            "sensitive syscall from unlisted site {syscall_cs:#x}"
+        ))
+    })?;
     if site.nr != regs.nr {
         return Err(ai_err(format!(
             "callsite registered for syscall {}, trapped {}",
@@ -391,7 +637,7 @@ fn check_arg(
                         .map_err(|e| ai_err(format!("bound variable unreadable: {e}")))?;
                     if current != legit {
                         return Err(ai_err(format!(
-                            "argument {pos}: variable {addr:#x} corrupted after bind                              ({current:#x} != {legit:#x})"
+                            "argument {pos}: variable {addr:#x} corrupted after bind ({current:#x} != {legit:#x})"
                         )));
                     }
                 }
@@ -407,7 +653,7 @@ fn check_arg(
                 }
             }
             if extended {
-                verify_pointee_shadow(tracee, shadow, pos, actual)?;
+                verify_pointee_shadow(mon, tracee, shadow, pos, actual)?;
             }
         }
         ArgMeta::Global { name, expected } => {
@@ -448,25 +694,38 @@ fn check_arg(
 /// shadow entry must match it (bytes never legitimately written have no
 /// entry and are skipped — see DESIGN.md on the missing-shadow policy).
 fn verify_pointee_shadow(
+    mon: &Monitor,
     tracee: &mut Tracee<'_>,
     shadow: &ShadowTable,
     pos: u8,
     ptr: u64,
 ) -> Result<(), Violation> {
     let mut buf = [0u8; 256];
-    // Read up to 256 bytes; shorter mapped prefixes are fine.
-    let mut n = 0;
-    while n < buf.len() {
-        let mut b = [0u8; 1];
-        if tracee.read_mem(ptr + n as u64, &mut b).is_err() {
-            break;
+    // Read up to 256 bytes; shorter mapped prefixes are fine. The buffer is
+    // scanned up to and including the first NUL, like the legacy loop.
+    let n = if mon.cfg.fast_path {
+        // One bounded prefix read instead of a charged read per byte.
+        mon.cache.borrow_mut().batched_pointee_reads += 1;
+        let mapped = tracee.read_mem_prefix(ptr, &mut buf);
+        buf[..mapped]
+            .iter()
+            .position(|&b| b == 0)
+            .map_or(mapped, |z| z + 1)
+    } else {
+        let mut n = 0;
+        while n < buf.len() {
+            let mut b = [0u8; 1];
+            if tracee.read_mem(ptr + n as u64, &mut b).is_err() {
+                break;
+            }
+            buf[n] = b[0];
+            n += 1;
+            if b[0] == 0 {
+                break;
+            }
         }
-        buf[n] = b[0];
-        n += 1;
-        if b[0] == 0 {
-            break;
-        }
-    }
+        n
+    };
     for (i, &byte) in buf[..n].iter().enumerate() {
         let addr = ptr + i as u64;
         if let Some((legit, size)) = shadow

@@ -74,7 +74,10 @@ fn launch(cfg: ContextConfig) -> Setup {
     let image = Arc::new(Image::load(out.module.clone()).unwrap());
     let machine = Machine::new(image.clone(), CostModel::default());
     let mut world = World::new(CostModel::default());
-    world.kernel.vfs.put_file("/sbin/upgrade", vec![0x7f], 0o755);
+    world
+        .kernel
+        .vfs
+        .put_file("/sbin/upgrade", vec![0x7f], 0o755);
     let pid = world.spawn(machine);
     protect(&mut world, pid, &image, &out.metadata, cfg);
     Setup { world, pid }
@@ -130,15 +133,24 @@ fn not_callable_syscall_is_seccomp_killed() {
     // Compile metadata from the ORIGINAL app (mprotect unused), load the
     // patched module: models an attacker reaching a not-callable stub.
     let out = BastionCompiler::new().compile(app()).unwrap();
-    let image = Arc::new(Image::load({
-        // Instrument the patched module for a loadable image, but keep the
-        // original metadata for the monitor/filter.
-        BastionCompiler::new().compile(m).unwrap().module
-    }).unwrap());
+    let image = Arc::new(
+        Image::load({
+            // Instrument the patched module for a loadable image, but keep the
+            // original metadata for the monitor/filter.
+            BastionCompiler::new().compile(m).unwrap().module
+        })
+        .unwrap(),
+    );
     let machine = Machine::new(image.clone(), CostModel::default());
     let mut world = World::new(CostModel::default());
     let pid = world.spawn(machine);
-    protect(&mut world, pid, &image, &out.metadata, ContextConfig::full());
+    protect(
+        &mut world,
+        pid,
+        &image,
+        &out.metadata,
+        ContextConfig::full(),
+    );
     assert_eq!(world.run(50_000_000), RunStatus::AllExited);
     let exit = world.proc(pid).unwrap().exit.clone().unwrap();
     assert_eq!(
@@ -168,7 +180,10 @@ fn argument_corruption_is_detected_by_ai() {
     let flags_addr = (image.stack_top - 16) - fi.frame_size + fi.slot_offsets[0];
     let mut corrupted = false;
     let mut world = World::new(CostModel::default());
-    world.kernel.vfs.put_file("/sbin/upgrade", vec![0x7f], 0o755);
+    world
+        .kernel
+        .vfs
+        .put_file("/sbin/upgrade", vec![0x7f], 0o755);
 
     // Step until flags holds 0x21 (store executed), let the following
     // ctx_write_mem refresh the shadow copy, then corrupt the variable —
@@ -178,7 +193,9 @@ fn argument_corruption_is_detected_by_ai() {
         if !corrupted && machine.mem.read_u64(flags_addr).unwrap_or(0) == 0x21 {
             let e = bastion_vm::interp::step(&mut machine); // ctx_write_mem
             assert!(matches!(e, bastion_vm::Event::Continue), "premature {e:?}");
-            machine.mem.write_unchecked(flags_addr, &0x7777u64.to_le_bytes());
+            machine
+                .mem
+                .write_unchecked(flags_addr, &0x7777u64.to_le_bytes());
             corrupted = true;
             break;
         }
@@ -188,7 +205,13 @@ fn argument_corruption_is_detected_by_ai() {
     assert!(corrupted, "never observed the legitimate store");
 
     let pid = world.spawn(machine);
-    protect(&mut world, pid, &image, &out.metadata, ContextConfig::full());
+    protect(
+        &mut world,
+        pid,
+        &image,
+        &out.metadata,
+        ContextConfig::full(),
+    );
     assert_eq!(world.run(50_000_000), RunStatus::AllExited);
     let exit = world.proc(pid).unwrap().exit.clone().unwrap();
     match exit {
@@ -215,19 +238,25 @@ fn ct_and_cf_disabled_still_catch_with_ai() {
         use bastion_vm::MemIo;
         if machine.mem.read_u64(flags_addr).unwrap_or(0) == 0x21 {
             let _ = bastion_vm::interp::step(&mut machine); // ctx_write_mem
-            machine.mem.write_unchecked(flags_addr, &0x7777u64.to_le_bytes());
+            machine
+                .mem
+                .write_unchecked(flags_addr, &0x7777u64.to_le_bytes());
             break;
         }
         let _ = bastion_vm::interp::step(&mut machine);
     }
     let mut world = World::new(CostModel::default());
-    world.kernel.vfs.put_file("/sbin/upgrade", vec![0x7f], 0o755);
+    world
+        .kernel
+        .vfs
+        .put_file("/sbin/upgrade", vec![0x7f], 0o755);
     let pid = world.spawn(machine);
     let cfg = ContextConfig {
         call_type: false,
         control_flow: false,
         arg_integrity: true,
         fetch_state: true,
+        fast_path: true,
     };
     protect(&mut world, pid, &image, &out.metadata, cfg);
     assert_eq!(world.run(50_000_000), RunStatus::AllExited);
@@ -253,5 +282,8 @@ fn monitor_collects_depth_statistics() {
     assert!((monitor.stats.avg_depth() - 3.0).abs() < 1e-9);
     assert_eq!(monitor.stats.violations(), 0);
     assert!(monitor.stats.init_cycles > 0);
-    assert_eq!(monitor.log, vec![(sysno::MMAP, true), (sysno::EXECVE, true)]);
+    assert_eq!(
+        monitor.log,
+        vec![(sysno::MMAP, true), (sysno::EXECVE, true)]
+    );
 }

@@ -211,7 +211,9 @@ impl Image {
         if let Some(f) = self.module.func_by_name(name) {
             return Some(self.layout.func_entry(f).raw());
         }
-        self.module.global_by_name(name).map(|g| self.global_addr(g))
+        self.module
+            .global_by_name(name)
+            .map(|g| self.global_addr(g))
     }
 
     /// Frame info for `f`.
@@ -235,7 +237,11 @@ mod tests {
         let mut mb = ModuleBuilder::new("img");
         let target = mb.declare("target", &[], Ty::Void);
         let _s = mb.global_str("msg", "hello");
-        let _w = mb.global("nums", Ty::Array(Box::new(Ty::I64), 3), GlobalInit::Words(vec![1, 2, 3]));
+        let _w = mb.global(
+            "nums",
+            Ty::Array(Box::new(Ty::I64), 3),
+            GlobalInit::Words(vec![1, 2, 3]),
+        );
         let _t = mb.global(
             "table",
             Ty::Array(Box::new(Ty::Func { arity: 0 }), 1),

@@ -8,9 +8,7 @@
 
 use crate::machine::{Fault, Machine};
 use crate::shadow::ShadowTable;
-use bastion_ir::{
-    BinOp, Callee, CmpOp, CodeAddr, Inst, IntrinsicOp, Terminator, Width, CALL_SIZE,
-};
+use bastion_ir::{BinOp, Callee, CmpOp, CodeAddr, Inst, IntrinsicOp, Terminator, Width, CALL_SIZE};
 
 /// The outcome of executing one instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -243,12 +241,9 @@ fn exec_inst(m: &mut Machine, inst: &Inst) -> Event {
                     let sz = (*size).min(8) as usize;
                     let mut buf = [0u8; 8];
                     match crate::mem::MemIo::read(&m.mem, a, &mut buf[..sz]) {
-                        Ok(()) => shadow.write_value(
-                            &mut m.mem,
-                            a,
-                            u64::from_le_bytes(buf),
-                            sz as u8,
-                        ),
+                        Ok(()) => {
+                            shadow.write_value(&mut m.mem, a, u64::from_le_bytes(buf), sz as u8)
+                        }
                         Err(e) => Err(e),
                     }
                 }
@@ -280,10 +275,7 @@ fn next_callsite_addr(m: &Machine) -> Option<u64> {
     let block = &func.blocks[m.pc.block.index()];
     for i in (m.pc.inst + 1)..block.insts.len() {
         if block.insts[i].is_call() {
-            let loc = bastion_ir::InstLoc {
-                inst: i,
-                ..m.pc
-            };
+            let loc = bastion_ir::InstLoc { inst: i, ..m.pc };
             return Some(m.image.layout.addr_of(loc).raw());
         }
     }

@@ -329,8 +329,7 @@ impl Machine {
                 // ROP-style return into a foreign frame: synthesize a
                 // register file so execution continues in the target
                 // function's context over the attacker-controlled stack.
-                let regs =
-                    vec![0u64; self.image.module.func(loc.func).reg_count as usize];
+                let regs = vec![0u64; self.image.module.func(loc.func).reg_count as usize];
                 self.frames.push(Frame {
                     func: loc.func,
                     regs,

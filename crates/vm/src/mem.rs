@@ -132,6 +132,25 @@ impl Memory {
         true
     }
 
+    /// Length of the longest fully mapped prefix of `[addr, addr+len)`.
+    /// Returns 0 if `addr` itself is unmapped. Backs partial remote reads
+    /// (`process_vm_readv` may return fewer bytes than requested).
+    pub fn mapped_prefix_len(&self, addr: u64, len: u64) -> u64 {
+        let end = addr.saturating_add(len);
+        let mut cur = addr;
+        while cur < end {
+            let Some((&rs, &rl)) = self.regions.range(..=cur).next_back() else {
+                break;
+            };
+            let re = rs + rl;
+            if cur >= re {
+                break;
+            }
+            cur = re.min(end);
+        }
+        cur - addr
+    }
+
     /// All mapped regions as `(start, len)` pairs.
     pub fn regions(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.regions.iter().map(|(&s, &l)| (s, l))
@@ -250,6 +269,17 @@ mod tests {
         // And a read of never-written memory yields zeros.
         m.read_unchecked(0xffff_ffff_0000, &mut b);
         assert_eq!(&b, &[0, 0]);
+    }
+
+    #[test]
+    fn mapped_prefix_len_stops_at_gaps() {
+        let mut m = Memory::new();
+        m.map_region(0x1000, 0x1000);
+        m.map_region(0x2000, 0x1000); // contiguous with the first
+        assert_eq!(m.mapped_prefix_len(0x1800, 0x100), 0x100);
+        assert_eq!(m.mapped_prefix_len(0x2f00, 0x1000), 0x100);
+        assert_eq!(m.mapped_prefix_len(0x4000, 64), 0);
+        assert_eq!(m.mapped_prefix_len(0x1000, 0x4000), 0x2000);
     }
 
     #[test]

@@ -62,7 +62,14 @@ impl ShadowTable {
     }
 
     fn bind_key(callsite: u64, pos: u8) -> u64 {
-        BIND_TAG | (callsite << 3) | u64::from(pos & 7)
+        // Position in bits 62..60 under the tag, callsite in the low 60
+        // bits with any bits above 59 XOR-folded back in. Injective for
+        // every canonical code address (callsite < 2^60). The previous
+        // `callsite << 3` packing silently shifted the top callsite bits
+        // out under BIND_TAG — any callsite ≥ 2^60 aliased its low-bits
+        // twin at the same position, returning the wrong binding.
+        const MASK: u64 = (1 << 60) - 1;
+        BIND_TAG | (u64::from(pos & 7) << 60) | ((callsite & MASK) ^ (callsite >> 60))
     }
 
     /// Probes for `key`; returns the address of its entry or of the first
@@ -242,6 +249,26 @@ mod tests {
                 Some((i * 3, 8))
             );
         }
+    }
+
+    #[test]
+    fn high_address_callsites_do_not_alias() {
+        // Under the old `callsite << 3` packing these two callsites mapped
+        // to the same key at the same position (the high bits shifted out
+        // under BIND_TAG), so the second bind clobbered the first.
+        let (mut mem, t) = setup();
+        let low = 0x40_1000u64;
+        let high = (1u64 << 60) | low;
+        t.bind_const(&mut mem, low, 2, 111).unwrap();
+        t.bind_const(&mut mem, high, 2, 222).unwrap();
+        assert_eq!(
+            t.get_binding(&mem, low, 2).unwrap(),
+            Some(Binding::Const(111))
+        );
+        assert_eq!(
+            t.get_binding(&mem, high, 2).unwrap(),
+            Some(Binding::Const(222))
+        );
     }
 
     #[test]

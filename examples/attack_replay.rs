@@ -15,7 +15,11 @@ fn main() {
         let s = cat.iter().find(|s| s.id == id).expect("scenario exists");
         println!("================================================================");
         println!("#{} {}", s.id, s.name);
-        println!("   category: {}   paper citation: {}", s.category.label(), s.citation);
+        println!(
+            "   category: {}   paper citation: {}",
+            s.category.label(),
+            s.citation
+        );
         println!(
             "   Table 6 expects: CT {} CF {} AI {}",
             tick(s.expected.ct),

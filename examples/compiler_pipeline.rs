@@ -33,7 +33,11 @@ long main() {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = bastion::minic::compile_program("figure2", &[FIGURE2])?;
-    println!("== front-end: {} functions, {} globals ==", module.functions.len(), module.globals.len());
+    println!(
+        "== front-end: {} functions, {} globals ==",
+        module.functions.len(),
+        module.globals.len()
+    );
 
     let cg = CallGraph::build(&module);
     println!(

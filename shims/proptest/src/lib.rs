@@ -1,0 +1,308 @@
+//! In-repo `proptest` shim: deterministic random-input testing with the
+//! subset of the proptest surface this workspace uses — the `proptest!`
+//! macro, `prop_assert!`/`prop_assert_eq!`, `any::<T>()`, integer range
+//! strategies, `collection::vec`, tuple strategies, and a crude
+//! character-class string strategy.
+//!
+//! Inputs are generated from a fixed per-test seed (hash of the test name),
+//! so runs are bit-for-bit reproducible — matching the determinism the rest
+//! of the simulator is built on.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Number of generated cases per property.
+pub const CASES: u64 = 64;
+
+/// Deterministic xorshift64* generator seeded from the test name.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from `name` (FNV-1a), so each property gets a
+    /// stable but distinct input stream.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h | 1, // never zero
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn in_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+/// Produces values of `Self::Value` from a [`TestRng`].
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical full-range strategy (see [`any`]).
+pub trait Arbitrary {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                // Shift signed ranges into u64 space to sample uniformly.
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "empty range");
+                let span = (hi - lo) as u64;
+                (lo + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Crude regex-subset string strategy: `"[<class>]{min,max}"`. Only the
+/// shapes this workspace uses are honored — a single character class
+/// (ranges like ` -~` plus `\n` escapes) with a `{min,max}` repeat; anything
+/// unrecognized falls back to printable ASCII of length 0..64.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, min, max) = parse_pattern(self);
+        let len = rng.in_range_u64(min as u64, max as u64 + 1) as usize;
+        (0..len)
+            .map(|_| chars[rng.in_range_u64(0, chars.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+    let default_class: Vec<char> = (b' '..=b'~').map(char::from).collect();
+    let Some(class_end) = pat.find(']') else {
+        return (default_class, 0, 64);
+    };
+    let class = pat.strip_prefix('[').map(|rest| &rest[..class_end - 1]);
+    let chars = match class {
+        Some(body) => {
+            let mut out = Vec::new();
+            let raw: Vec<char> = body.chars().collect();
+            let mut i = 0;
+            while i < raw.len() {
+                if raw[i] == '\\' && i + 1 < raw.len() {
+                    out.push(match raw[i + 1] {
+                        'n' => '\n',
+                        't' => '\t',
+                        c => c,
+                    });
+                    i += 2;
+                } else if i + 2 < raw.len() && raw[i + 1] == '-' {
+                    let (lo, hi) = (raw[i] as u32, raw[i + 2] as u32);
+                    for c in lo..=hi {
+                        out.push(char::from_u32(c).unwrap_or(' '));
+                    }
+                    i += 3;
+                } else {
+                    out.push(raw[i]);
+                    i += 1;
+                }
+            }
+            if out.is_empty() {
+                default_class
+            } else {
+                out
+            }
+        }
+        None => default_class,
+    };
+    // Repeat bounds: `{min,max}` after the class, else a fixed small range.
+    let rest = &pat[class_end + 1..];
+    let bounds = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .and_then(|r| {
+            let (a, b) = r.split_once(',')?;
+            Some((a.trim().parse().ok()?, b.trim().parse().ok()?))
+        });
+    let (min, max) = bounds.unwrap_or((0, 64));
+    (chars, min, max)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `elem`-generated values with length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.in_range_u64(self.size.start as u64, self.size.end as u64) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` that runs the body over [`CASES`] deterministic inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+                for __case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __run = || $body;
+                    if let Err(e) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)) {
+                        eprintln!("proptest: {} failed on case {}", stringify!($name), __case);
+                        ::std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// The glob-import surface tests use: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Arbitrary, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic("y");
+        assert_ne!(TestRng::deterministic("x").next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let v = (5u64..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let s = (-50i64..50).generate(&mut rng);
+            assert!((-50..50).contains(&s));
+        }
+    }
+
+    #[test]
+    fn string_pattern_class_and_bounds() {
+        let mut rng = TestRng::deterministic("strings");
+        for _ in 0..200 {
+            let s = "[ -~\\n]{0,40}".generate(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        /// The macro itself compiles and runs with multiple args.
+        #[test]
+        fn macro_smoke(a in 0u64..10, b in crate::collection::vec(any::<u8>(), 1..4)) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b.len() < 4, true);
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! In-repo `serde` facade.
+//!
+//! The build container has no access to crates.io, so the real serde stack
+//! cannot be fetched. This crate presents the same *surface* the workspace
+//! uses — `serde::{Serialize, Deserialize}` traits plus the derive macros —
+//! over a small JSON-like [`Value`] model. `shims/serde_json` prints and
+//! parses that model as real JSON text, so metadata files round-trip exactly
+//! as they would with the real stack.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// The JSON-like data model every serializable type lowers to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also `Option::None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A negative integer (non-negatives use [`Value::UInt`]).
+    Int(i64),
+    /// A non-negative integer; kept unsigned so `u64::MAX` survives.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered key→value map (object field order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up an object field by name.
+    ///
+    /// # Errors
+    /// Fails if `self` is not an object or the field is absent.
+    pub fn field(&self, name: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::new(format!("missing field `{name}`"))),
+            other => Err(DeError::new(format!(
+                "expected object with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Interprets `self` as an array of exactly `n` elements.
+    ///
+    /// # Errors
+    /// Fails on a non-array or a length mismatch.
+    pub fn as_array(&self, n: usize) -> Result<&[Value], DeError> {
+        match self {
+            Value::Array(items) if items.len() == n => Ok(items),
+            Value::Array(items) => Err(DeError::new(format!(
+                "expected array of {n}, got {}",
+                items.len()
+            ))),
+            other => Err(DeError::new(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Short name of the value's shape, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, DeError> {
+        match *self {
+            Value::UInt(v) => Ok(v),
+            Value::Int(v) if v >= 0 => Ok(v as u64),
+            _ => Err(DeError::new(format!(
+                "expected unsigned integer, got {}",
+                self.kind()
+            ))),
+        }
+    }
+
+    fn as_i64(&self) -> Result<i64, DeError> {
+        match *self {
+            Value::Int(v) => Ok(v),
+            Value::UInt(v) if v <= i64::MAX as u64 => Ok(v as i64),
+            _ => Err(DeError::new(format!(
+                "expected integer, got {}",
+                self.kind()
+            ))),
+        }
+    }
+}
+
+/// A deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(msg: String) -> Self {
+        DeError(msg)
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lowers a value into the [`Value`] data model.
+pub trait Serialize {
+    /// The value-model representation of `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Rebuilds a value from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parses `v` back into `Self`.
+    ///
+    /// # Errors
+    /// Fails if `v` does not have the expected shape.
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+macro_rules! uint_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let raw = v.as_u64()?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+uint_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let raw = v.as_i64()?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+int_impl!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::Float(f) => Ok(f),
+            Value::Int(i) => Ok(i as f64),
+            Value::UInt(u) => Ok(u as f64),
+            _ => Err(DeError::new(format!("expected number, got {}", v.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Box::new(T::deserialize_value(v)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::new(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                const N: usize = 0 $(+ { let _ = $n; 1 })+;
+                let a = v.as_array(N)?;
+                Ok(($($t::deserialize_value(&a[$n])?,)+))
+            }
+        }
+    )*};
+}
+tuple_impl!((0 A) (0 A, 1 B) (0 A, 1 B, 2 C) (0 A, 1 B, 2 C, 3 D));
+
+macro_rules! map_impl {
+    ($name:ident, $($bound:tt)+) => {
+        impl<K: Serialize + $($bound)+, V: Serialize> Serialize for $name<K, V> {
+            fn serialize_value(&self) -> Value {
+                Value::Array(
+                    self.iter()
+                        .map(|(k, v)| Value::Array(vec![k.serialize_value(), v.serialize_value()]))
+                        .collect(),
+                )
+            }
+        }
+        impl<K: Deserialize + $($bound)+, V: Deserialize> Deserialize for $name<K, V> {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => items
+                        .iter()
+                        .map(|pair| {
+                            let kv = pair.as_array(2)?;
+                            Ok((K::deserialize_value(&kv[0])?, V::deserialize_value(&kv[1])?))
+                        })
+                        .collect(),
+                    other => Err(DeError::new(format!("expected map array, got {}", other.kind()))),
+                }
+            }
+        }
+    };
+}
+map_impl!(BTreeMap, Ord);
+map_impl!(HashMap, Eq + std::hash::Hash);
+
+macro_rules! set_impl {
+    ($name:ident, $($bound:tt)+) => {
+        impl<T: Serialize + $($bound)+> Serialize for $name<T> {
+            fn serialize_value(&self) -> Value {
+                Value::Array(self.iter().map(Serialize::serialize_value).collect())
+            }
+        }
+        impl<T: Deserialize + $($bound)+> Deserialize for $name<T> {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+                    other => Err(DeError::new(format!("expected set array, got {}", other.kind()))),
+                }
+            }
+        }
+    };
+}
+set_impl!(BTreeSet, Ord);
+set_impl!(HashSet, Eq + std::hash::Hash);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(
+            u64::deserialize_value(&u64::MAX.serialize_value()),
+            Ok(u64::MAX)
+        );
+        assert_eq!(i64::deserialize_value(&(-5i64).serialize_value()), Ok(-5));
+        assert_eq!(
+            Option::<u32>::deserialize_value(&None::<u32>.serialize_value()),
+            Ok(None)
+        );
+        let m: BTreeMap<u64, String> = [(1, "a".to_string())].into();
+        assert_eq!(BTreeMap::deserialize_value(&m.serialize_value()), Ok(m));
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(u64::deserialize_value(&Value::Str("x".into())).is_err());
+        assert!(Value::Null.field("f").is_err());
+        assert!(Value::Array(vec![]).as_array(1).is_err());
+    }
+}

@@ -1,0 +1,359 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the in-repo serde
+//! facade (see `shims/serde`). The container is offline, so the real serde
+//! stack is unavailable; this derive supports exactly the shapes this
+//! workspace uses — non-generic structs (named, tuple, unit) and enums with
+//! unit / tuple / struct variants — and generates impls of the facade's
+//! value-model traits.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (facade trait) for a concrete struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (facade trait) for a concrete struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(ts: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes (`#[...]`) and visibility.
+    let is_struct = loop {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => break true,
+            TokenTree::Ident(id) if id.to_string() == "enum" => break false,
+            other => panic!("derive shim: unexpected token {other}"),
+        }
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive shim: expected item name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        assert!(
+            p.as_char() != '<',
+            "derive shim: generics are unsupported ({name})"
+        );
+    }
+    if is_struct {
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        Item::Struct { name, fields }
+    } else {
+        let body = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("derive shim: expected enum body, got {other:?}"),
+        };
+        Item::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    }
+}
+
+/// Field names of a named-fields body: every identifier at angle-depth 0
+/// that is immediately followed by a *lone* `:` (a `::` path separator
+/// tokenizes as a `Joint` colon, which excludes qualified types).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut names = Vec::new();
+    let mut angle = 0i32;
+    let mut j = 0;
+    while j < toks.len() {
+        match &toks[j] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                '>' if angle > 0 => angle -= 1,
+                '#' => j += 1, // skip the attribute group that follows
+                _ => {}
+            },
+            TokenTree::Ident(id) if angle == 0 => {
+                if let Some(TokenTree::Punct(p)) = toks.get(j + 1) {
+                    if p.as_char() == ':' && p.spacing() == Spacing::Alone {
+                        names.push(id.to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    names
+}
+
+/// Number of fields in a tuple body: top-level commas (angle-aware) plus
+/// one, minus a trailing comma.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut n = 1;
+    let mut trailing_comma = false;
+    for t in &toks {
+        let mut is_comma = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if angle > 0 => angle -= 1,
+                ',' if angle == 0 => {
+                    n += 1;
+                    is_comma = true;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = is_comma;
+    }
+    if trailing_comma {
+        n -= 1;
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut j = 0;
+    while j < toks.len() {
+        match &toks[j] {
+            TokenTree::Punct(p) if p.as_char() == '#' => j += 2,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                let mut fields = Fields::Unit;
+                if let Some(TokenTree::Group(g)) = toks.get(j + 1) {
+                    fields = match g.delimiter() {
+                        Delimiter::Parenthesis => Fields::Tuple(count_tuple_fields(g.stream())),
+                        Delimiter::Brace => Fields::Named(parse_named_fields(g.stream())),
+                        Delimiter::None | Delimiter::Bracket => Fields::Unit,
+                    };
+                    j += 1;
+                }
+                variants.push(Variant { name, fields });
+                j += 1;
+            }
+            _ => j += 1, // separating commas
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn ser_expr(place: &str) -> String {
+    format!("::serde::Serialize::serialize_value({place})")
+}
+
+fn de_expr(place: &str) -> String {
+    format!("::serde::Deserialize::deserialize_value({place})?")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let pairs: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), {})",
+                                ser_expr(&format!("&self.{f}"))
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+                }
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> =
+                        (0..*n).map(|i| ser_expr(&format!("&self.{i}"))).collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let elems: Vec<String> =
+                                (0..*n).map(|i| ser_expr(&format!("f{i}"))).collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binds = fs.join(", ");
+                            let pairs: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), {})",
+                                        ser_expr(f)
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(vec![{}]))]),",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join("\n")))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let inits: Vec<String> = fs
+                        .iter()
+                        .map(|f| format!("{f}: {}", de_expr(&format!("v.field(\"{f}\")?"))))
+                        .collect();
+                    format!("Ok({name} {{ {} }})", inits.join(", "))
+                }
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> =
+                        (0..*n).map(|i| de_expr(&format!("&a[{i}]"))).collect();
+                    format!("let a = v.as_array({n})?; Ok({name}({}))", elems.join(", "))
+                }
+                Fields::Unit => format!("let _ = v; Ok({name})"),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(n) => {
+                            let elems: Vec<String> =
+                                (0..*n).map(|i| de_expr(&format!("&a[{i}]"))).collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let a = _inner.as_array({n})?; Ok({name}::{vn}({})) }}",
+                                elems.join(", ")
+                            ))
+                        }
+                        Fields::Named(fs) => {
+                            let inits: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!("{f}: {}", de_expr(&format!("_inner.field(\"{f}\")?")))
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let body = format!(
+                "match v {{\n\
+                    ::serde::Value::Str(s) => match s.as_str() {{\n\
+                        {unit}\n\
+                        other => Err(::serde::DeError::new(format!(\"unknown {name} variant {{other}}\"))),\n\
+                    }},\n\
+                    ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                        let (tag, _inner) = &pairs[0];\n\
+                        match tag.as_str() {{\n\
+                            {data}\n\
+                            other => Err(::serde::DeError::new(format!(\"unknown {name} variant {{other}}\"))),\n\
+                        }}\n\
+                    }}\n\
+                    _ => Err(::serde::DeError::new(\"expected {name} variant\".to_string())),\n\
+                }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn deserialize_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}

@@ -44,7 +44,12 @@ fn full_pipeline_legitimate_run() {
     let pid = d.launch(&mut world, &Protection::full());
     world.run(50_000_000);
     let p = world.proc(pid).unwrap();
-    assert_eq!(p.exit, Some(ExitReason::Exited(0)), "console: {:?}", String::from_utf8_lossy(&world.kernel.console));
+    assert_eq!(
+        p.exit,
+        Some(ExitReason::Exited(0)),
+        "console: {:?}",
+        String::from_utf8_lossy(&world.kernel.console)
+    );
     // All five sensitive syscalls trapped and were allowed.
     assert!(world.trap_count >= 5);
     // Privileges actually dropped.
@@ -85,10 +90,7 @@ fn metadata_survives_serialization_and_rebase() {
     let back = bastion::compiler::ContextMetadata::from_json(&json).expect("parses");
     assert_eq!(back, d.metadata);
     let shifted = back.rebased(0x10_0000);
-    assert_eq!(
-        shifted.main_entry,
-        d.metadata.main_entry + 0x10_0000
-    );
+    assert_eq!(shifted.main_entry, d.metadata.main_entry + 0x10_0000);
     assert_eq!(shifted.callsites.len(), d.metadata.callsites.len());
 }
 

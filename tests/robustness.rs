@@ -15,6 +15,7 @@ fn ai_only() -> ContextConfig {
         control_flow: false,
         arg_integrity: true,
         fetch_state: false,
+        fast_path: true,
     }
 }
 
@@ -34,8 +35,14 @@ fn spoofed_callsite_cannot_beat_constant_constraints() {
     // Drive enough transactions that protect_cycle has legitimately run,
     // populating the callsite's argument bindings.
     for i in 0..110 {
-        env.send_request(parked, format!("NEWORDER 1 {i} 2
-").as_bytes());
+        env.send_request(
+            parked,
+            format!(
+                "NEWORDER 1 {i} 2
+"
+            )
+            .as_bytes(),
+        );
     }
     assert!(env.world.kernel.count_of(sysno::MPROTECT) >= 2);
     let cache = env.read_u64(parked.pid, env.sym("page_cache"));
@@ -55,9 +62,7 @@ fn spoofed_callsite_cannot_beat_constant_constraints() {
         .procs
         .iter()
         .find_map(|p| match &p.exit {
-            Some(bastion::kernel::ExitReason::MonitorKill { reason, .. }) => {
-                Some(reason.clone())
-            }
+            Some(bastion::kernel::ExitReason::MonitorKill { reason, .. }) => Some(reason.clone()),
             _ => None,
         })
         .expect("a monitor kill");
@@ -143,8 +148,7 @@ fn service_survives_a_blocked_attack() {
     // One worker died; the listener and remaining workers still serve.
     assert!(env.world.alive_count() >= 2);
     let c = env.world.net_connect(Victim::Webserve.port()).unwrap();
-    env.world
-        .net_send(c, b"GET /index.html HTTP/1.1\r\n\r\n");
+    env.world.net_send(c, b"GET /index.html HTTP/1.1\r\n\r\n");
     env.settle();
     let resp = env.world.net_recv(c);
     assert!(

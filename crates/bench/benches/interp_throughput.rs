@@ -1,0 +1,71 @@
+//! Interpreter dispatch throughput: predecoded fast path vs the legacy
+//! tree-walking oracle, on a call-heavy arithmetic loop.
+
+use bastion::ir::build::ModuleBuilder;
+use bastion::ir::{BinOp, CmpOp, Operand, Ty};
+use bastion::vm::{interp, CostModel, Image, Machine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn microloop() -> Arc<Image> {
+    let mut mb = ModuleBuilder::new("bench_loop");
+    let helper = mb.declare("helper", &[("x", Ty::I64)], Ty::I64);
+    {
+        let mut f = mb.define(helper);
+        let a = f.frame_addr(f.param_slot(0));
+        let v = f.load(a);
+        let d = f.bin(BinOp::Add, v, 1i64);
+        f.ret(Some(d.into()));
+        f.finish();
+    }
+    let mut f = mb.function("main", &[], Ty::I64);
+    let acc = f.local("acc", Ty::I64);
+    let head = f.new_block();
+    let body = f.new_block();
+    let done = f.new_block();
+    let pa = f.frame_addr(acc);
+    f.store(pa, 0i64);
+    f.jmp(head);
+    f.switch_to(head);
+    let pa = f.frame_addr(acc);
+    let cur = f.load(pa);
+    let c = f.cmp(CmpOp::Lt, cur, 1_000_000_000i64);
+    f.br(c, body, done);
+    f.switch_to(body);
+    let pa = f.frame_addr(acc);
+    let cur = f.load(pa);
+    let x = f.bin(BinOp::Mul, cur, 3i64);
+    let bumped = f.call_direct(helper, &[cur.into()]);
+    let _dead = f.bin(BinOp::Xor, x, bumped);
+    f.store(pa, bumped);
+    f.jmp(head);
+    f.switch_to(done);
+    f.ret(Some(Operand::Imm(0)));
+    f.finish();
+    Arc::new(Image::load(mb.finish()).expect("loads"))
+}
+
+const STEPS: u64 = 20_000;
+
+fn bench_interp_throughput(c: &mut Criterion) {
+    let img = microloop();
+    let mut group = c.benchmark_group("interp_throughput");
+    group.bench_function("fast_20k_steps", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(img.clone(), CostModel::default());
+            criterion::black_box(interp::run_bounded(&mut m, STEPS))
+        });
+    });
+    group.bench_function("legacy_20k_steps", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(img.clone(), CostModel::default());
+            for _ in 0..STEPS {
+                criterion::black_box(interp::step(&mut m));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interp_throughput);
+criterion_main!(benches);

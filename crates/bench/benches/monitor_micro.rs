@@ -81,7 +81,7 @@ fn bench_interp(c: &mut Criterion) {
     c.bench_function("interp/arith_loop_100k", |b| {
         b.iter(|| {
             let mut m = Machine::new(image.clone(), CostModel::default());
-            bastion::vm::interp::run(&mut m, 10_000_000)
+            bastion::vm::interp::run(&mut m, 10_000_000).event()
         });
     });
 }
@@ -127,7 +127,7 @@ fn bench_trap_verify(c: &mut Criterion) {
         .expect("instrumentation");
     let image = Arc::new(bastion::vm::Image::load(out.module).expect("image"));
     let mut machine = Machine::new(image.clone(), CostModel::default());
-    match bastion::vm::interp::run(&mut machine, 10_000_000) {
+    match bastion::vm::interp::run(&mut machine, 10_000_000).event() {
         bastion::vm::Event::Syscall { nr, .. } if nr == sysno::MMAP => {}
         e => panic!("expected the mmap trap, got {e:?}"),
     }

@@ -1,0 +1,259 @@
+//! Interpreter throughput benchmark: predecoded fast path vs the legacy
+//! tree-walking interpreter.
+//!
+//! Measures wall-clock steps/sec on a tight arithmetic microloop and on
+//! the real applications (webserve on the Figure 3 workload, dbkv and
+//! ftpd on the quick workload), plus the monitor's virtual cycles/trap.
+//! Writes machine-readable results to `BENCH_interp.json` (or the path
+//! given as the first argument).
+
+use bastion::apps::App;
+use bastion::compiler::BastionCompiler;
+use bastion::harness::{run_app_benchmark, AppBenchmark, WorkloadSize};
+use bastion::ir::build::ModuleBuilder;
+use bastion::ir::{BinOp, CmpOp, Operand, Ty};
+use bastion::kernel::set_thread_legacy_interp;
+use bastion::vm::{interp, CostModel, Image, Machine};
+use bastion::Protection;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One engine's measurement of a fixed workload.
+#[derive(Debug, Serialize)]
+struct EngineRun {
+    steps: u64,
+    wall_secs: f64,
+    steps_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Comparison {
+    workload: String,
+    fast: EngineRun,
+    legacy: EngineRun,
+    /// fast steps/sec over legacy steps/sec.
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct AppRow {
+    app: String,
+    protection: String,
+    /// Paper metric (MB/s, NOTPM, or seconds per 100 MB).
+    metric: f64,
+    virtual_cycles: u64,
+    traps: u64,
+    /// Virtual trace cycles per monitor trap (0 when untraced).
+    cycles_per_trap: f64,
+    fast: EngineRun,
+    legacy: EngineRun,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    bench: String,
+    microloop: Comparison,
+    /// Webserve on the Figure 3 (standard) workload — the headline number.
+    webserve_fig3: Comparison,
+    apps: Vec<AppRow>,
+}
+
+/// A tight loop exercising the hot dispatch path: arithmetic, compares,
+/// frame traffic, and a call per iteration.
+fn microloop_module() -> bastion::ir::Module {
+    let mut mb = ModuleBuilder::new("microloop");
+    let helper = mb.declare("helper", &[("x", Ty::I64)], Ty::I64);
+    {
+        let mut f = mb.define(helper);
+        let a = f.frame_addr(f.param_slot(0));
+        let v = f.load(a);
+        let d = f.bin(BinOp::Add, v, 1i64);
+        f.ret(Some(d.into()));
+        f.finish();
+    }
+    let mut f = mb.function("main", &[], Ty::I64);
+    let acc = f.local("acc", Ty::I64);
+    let head = f.new_block();
+    let body = f.new_block();
+    let done = f.new_block();
+    let pa = f.frame_addr(acc);
+    f.store(pa, 0i64);
+    f.jmp(head);
+    f.switch_to(head);
+    let pa = f.frame_addr(acc);
+    let cur = f.load(pa);
+    let c = f.cmp(CmpOp::Lt, cur, 1_000_000_000i64);
+    f.br(c, body, done);
+    f.switch_to(body);
+    let pa = f.frame_addr(acc);
+    let cur = f.load(pa);
+    let x = f.bin(BinOp::Mul, cur, 3i64);
+    let x = f.bin(BinOp::Xor, x, 0x5aa5i64);
+    let bumped = f.call_direct(helper, &[cur.into()]);
+    let _dead = f.bin(BinOp::And, x, bumped);
+    f.store(pa, bumped);
+    f.jmp(head);
+    f.switch_to(done);
+    f.ret(Some(Operand::Imm(0)));
+    f.finish();
+    mb.finish()
+}
+
+fn time_microloop(img: &Arc<Image>, steps: u64, legacy: bool) -> EngineRun {
+    let mut m = Machine::new(img.clone(), CostModel::default());
+    let t0 = Instant::now();
+    let done = if legacy {
+        let mut n = 0u64;
+        while n < steps {
+            interp::step(&mut m);
+            n += 1;
+        }
+        n
+    } else {
+        let (n, _) = interp::run_bounded(&mut m, steps);
+        n
+    };
+    engine_run(done, t0.elapsed().as_secs_f64())
+}
+
+fn engine_run(steps: u64, wall_secs: f64) -> EngineRun {
+    EngineRun {
+        steps,
+        wall_secs,
+        steps_per_sec: steps as f64 / wall_secs.max(1e-12),
+    }
+}
+
+fn timed_app(
+    app: App,
+    protection: &Protection,
+    size: &WorkloadSize,
+    legacy: bool,
+) -> (AppBenchmark, EngineRun) {
+    let compiler = BastionCompiler::new();
+    set_thread_legacy_interp(legacy);
+    let t0 = Instant::now();
+    let b = run_app_benchmark(app, protection, size, &compiler, CostModel::default());
+    let wall = t0.elapsed().as_secs_f64();
+    set_thread_legacy_interp(false);
+    let run = engine_run(b.steps, wall);
+    (b, run)
+}
+
+fn compare_app(app: App, protection: &Protection, size: &WorkloadSize) -> AppRow {
+    let best = |legacy: bool| {
+        (0..2)
+            .map(|_| timed_app(app, protection, size, legacy))
+            .min_by(|a, b| a.1.wall_secs.total_cmp(&b.1.wall_secs))
+            .expect("two runs")
+    };
+    let (fast_b, fast) = best(false);
+    let (legacy_b, legacy) = best(true);
+    assert_eq!(
+        (fast_b.cycles, fast_b.steps, fast_b.traps),
+        (legacy_b.cycles, legacy_b.steps, legacy_b.traps),
+        "{}: engines diverged",
+        app.id()
+    );
+    let speedup = fast.steps_per_sec / legacy.steps_per_sec;
+    AppRow {
+        app: app.id().to_string(),
+        protection: fast_b.protection.to_string(),
+        metric: fast_b.metric,
+        virtual_cycles: fast_b.cycles,
+        traps: fast_b.traps,
+        cycles_per_trap: if fast_b.traps == 0 {
+            0.0
+        } else {
+            fast_b.trace_cycles as f64 / fast_b.traps as f64
+        },
+        fast,
+        legacy,
+        speedup,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_interp.json".to_string());
+
+    let img = Arc::new(Image::load(microloop_module()).expect("microloop loads"));
+    const MICRO_STEPS: u64 = 3_000_000;
+    // Warm up caches and the branch predictor before the measured runs.
+    time_microloop(&img, MICRO_STEPS / 4, false);
+    time_microloop(&img, MICRO_STEPS / 4, true);
+    let fast = time_microloop(&img, MICRO_STEPS, false);
+    let legacy = time_microloop(&img, MICRO_STEPS, true);
+    let microloop = Comparison {
+        workload: format!("arith+call microloop, {MICRO_STEPS} steps"),
+        speedup: fast.steps_per_sec / legacy.steps_per_sec,
+        fast,
+        legacy,
+    };
+    eprintln!(
+        "microloop: fast {:.1}M steps/s, legacy {:.1}M steps/s, speedup {:.2}x",
+        microloop.fast.steps_per_sec / 1e6,
+        microloop.legacy.steps_per_sec / 1e6,
+        microloop.speedup
+    );
+
+    // Headline: webserve on the Figure 3 (standard) workload, vanilla
+    // hardware config so the measurement is pure interpreter throughput.
+    let fig3 = WorkloadSize::standard();
+    // Best-of-3 per engine: the min wall time is the least-noise estimate.
+    let best = |legacy: bool| {
+        (0..3)
+            .map(|_| timed_app(App::Webserve, &Protection::vanilla(), &fig3, legacy))
+            .min_by(|a, b| a.1.wall_secs.total_cmp(&b.1.wall_secs))
+            .expect("three runs")
+    };
+    let (ws_fast_b, ws_fast) = best(false);
+    let (ws_legacy_b, ws_legacy) = best(true);
+    assert_eq!(ws_fast_b.cycles, ws_legacy_b.cycles, "webserve diverged");
+    let webserve_fig3 = Comparison {
+        workload: format!(
+            "webserve, {} requests x {} connections (Fig. 3 workload)",
+            fig3.http_requests, fig3.http_concurrency
+        ),
+        speedup: ws_fast.steps_per_sec / ws_legacy.steps_per_sec,
+        fast: ws_fast,
+        legacy: ws_legacy,
+    };
+    eprintln!(
+        "webserve fig3: fast {:.1}M steps/s, legacy {:.1}M steps/s, speedup {:.2}x",
+        webserve_fig3.fast.steps_per_sec / 1e6,
+        webserve_fig3.legacy.steps_per_sec / 1e6,
+        webserve_fig3.speedup
+    );
+
+    let quick = WorkloadSize::quick();
+    let apps = vec![
+        compare_app(App::Webserve, &Protection::full(), &quick),
+        compare_app(App::Dbkv, &Protection::full(), &quick),
+        compare_app(App::Ftpd, &Protection::full(), &quick),
+    ];
+    for row in &apps {
+        eprintln!(
+            "{}/{}: fast {:.1}M steps/s, legacy {:.1}M steps/s, speedup {:.2}x, {:.0} cyc/trap",
+            row.app,
+            row.protection,
+            row.fast.steps_per_sec / 1e6,
+            row.legacy.steps_per_sec / 1e6,
+            row.speedup,
+            row.cycles_per_trap
+        );
+    }
+
+    let report = Report {
+        bench: "interp".to_string(),
+        microloop,
+        webserve_fig3,
+        apps,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    eprintln!("wrote {out_path}");
+}

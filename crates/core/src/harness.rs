@@ -64,6 +64,8 @@ pub struct AppBenchmark {
     pub metric: f64,
     /// Virtual cycles the measurement took.
     pub cycles: u64,
+    /// VM instructions retired over the whole run (boot + workload).
+    pub steps: u64,
     /// Virtual cycles spent in monitor tracing (ptrace stops + remote
     /// reads + monitor init) — the numerator of the per-trap cost.
     pub trace_cycles: u64,
@@ -184,6 +186,7 @@ pub fn run_app_benchmark(
         protection: protection.label,
         metric,
         cycles: world.now(),
+        steps: world.steps,
         trace_cycles: world.trace_cycles,
         traps: world.trap_count,
         syscall_counts: world.kernel.counts.clone(),

@@ -142,7 +142,7 @@ mod tests {
         let img = image_with_fnptr();
         let mut m = Machine::new(img, CostModel::default());
         HardeningConfig::llvm_cfi().apply(&mut m);
-        let e = bastion_vm::interp::run(&mut m, 100_000);
+        let e = bastion_vm::interp::run(&mut m, 100_000).event();
         assert_eq!(e, Event::Exited(1));
     }
 
@@ -168,7 +168,7 @@ mod tests {
             }
             let _ = bastion_vm::interp::step(&mut m);
         }
-        let e = bastion_vm::interp::run(&mut m, 100_000);
+        let e = bastion_vm::interp::run(&mut m, 100_000).event();
         assert!(
             matches!(e, Event::Fault(Fault::CfiViolation { .. })),
             "{e:?}"
@@ -214,7 +214,7 @@ mod tests {
             }
             let _ = bastion_vm::interp::step(&mut m);
         }
-        let e = bastion_vm::interp::run(&mut m, 100_000);
+        let e = bastion_vm::interp::run(&mut m, 100_000).event();
         // The hijack SUCCEEDS under coarse CFI — main returns b's value.
         assert_eq!(e, Event::Exited(20));
     }
@@ -226,7 +226,7 @@ mod tests {
         HardeningConfig::cet().apply(&mut m);
         assert!(m.shadow_stack.is_some());
         assert!(m.cfi.is_none());
-        let e = bastion_vm::interp::run(&mut m, 100_000);
+        let e = bastion_vm::interp::run(&mut m, 100_000).event();
         assert_eq!(e, Event::Exited(1));
     }
 }

@@ -198,6 +198,29 @@ impl CodeLayout {
     pub fn is_inst_start(&self, addr: CodeAddr) -> bool {
         self.loc_of(addr).is_some()
     }
+
+    /// Total number of [`INST_SIZE`]-byte units spanned by the code segment,
+    /// alignment padding between functions included. A predecoded flat
+    /// instruction stream indexed by `(addr - base) / INST_SIZE` has exactly
+    /// this many entries.
+    pub fn total_units(&self) -> u64 {
+        (self.end - self.base) / INST_SIZE
+    }
+
+    /// Flat unit index of an instruction location:
+    /// `(addr_of(loc) - code_base) / INST_SIZE`.
+    ///
+    /// # Panics
+    /// Panics if the location does not exist in the laid-out module.
+    pub fn unit_of(&self, loc: InstLoc) -> u64 {
+        (self.addr_of(loc).raw() - self.base) / INST_SIZE
+    }
+
+    /// The code address of flat unit `unit` (inverse of [`Self::unit_of`]
+    /// for in-range units).
+    pub fn addr_of_unit(&self, unit: u64) -> CodeAddr {
+        CodeAddr(self.base + unit * INST_SIZE)
+    }
 }
 
 #[cfg(test)]
@@ -260,6 +283,30 @@ mod tests {
         // Misaligned address inside code.
         let entry = layout.func_entry(FuncId(0));
         assert_eq!(layout.loc_of(CodeAddr(entry.raw() + 2)), None);
+    }
+
+    #[test]
+    fn flat_units_cover_code_and_roundtrip() {
+        let m = sample();
+        let layout = CodeLayout::new(&m);
+        assert_eq!(
+            layout.total_units() * INST_SIZE,
+            layout.code_end().raw() - layout.code_base().raw()
+        );
+        for (fid, f) in m.iter_funcs() {
+            for (bid, b) in f.iter_blocks() {
+                for i in 0..=b.insts.len() {
+                    let loc = InstLoc {
+                        func: fid,
+                        block: bid,
+                        inst: i,
+                    };
+                    let unit = layout.unit_of(loc);
+                    assert!(unit < layout.total_units());
+                    assert_eq!(layout.addr_of_unit(unit), layout.addr_of(loc));
+                }
+            }
+        }
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub mod world;
 pub use process::{ExitReason, Pid, Process};
 pub use seccomp::{SeccompAction, SeccompFilter};
 pub use trace::{Regs, TraceVerdict, Tracee, Tracer};
-pub use world::{ExtConnId, RunStatus, World};
+pub use world::{set_thread_legacy_interp, thread_legacy_interp, ExtConnId, RunStatus, World};

@@ -201,7 +201,7 @@ mod tests {
         f.finish();
         let img = Image::load(mb.finish()).unwrap();
         let mut m = Machine::new(Arc::new(img), CostModel::default());
-        let e = bastion_vm::interp::run(&mut m, 10_000);
+        let e = bastion_vm::interp::run(&mut m, 10_000).event();
         assert!(matches!(e, bastion_vm::Event::Syscall { nr: 1, .. }));
         m
     }

@@ -18,10 +18,30 @@ use crate::seccomp::{SeccompAction, SeccompFilter};
 use crate::syscall::{Kernel, SysOutcome};
 use crate::trace::{TraceVerdict, Tracee, Tracer};
 use bastion_vm::{interp, CostModel, Event, Machine};
+use std::cell::Cell;
 use std::sync::Arc;
 
 /// Handle to an externally-driven (workload generator) connection.
 pub type ExtConnId = ConnId;
+
+thread_local! {
+    /// Default interpreter selection for newly built worlds on this thread.
+    static LEGACY_INTERP_DEFAULT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Makes every [`World`] subsequently constructed on this thread drive its
+/// processes with the legacy tree-walking interpreter instead of the
+/// predecoded fast path. The differential suite uses this to ablate the
+/// whole stack (harness, attack scenarios) without threading a flag through
+/// every constructor; results must be bit-identical either way.
+pub fn set_thread_legacy_interp(on: bool) {
+    LEGACY_INTERP_DEFAULT.with(|c| c.set(on));
+}
+
+/// The current thread-local default for [`set_thread_legacy_interp`].
+pub fn thread_legacy_interp() -> bool {
+    LEGACY_INTERP_DEFAULT.with(Cell::get)
+}
 
 /// Why [`World::run`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,9 +66,15 @@ pub struct World {
     pub trace_cycles: u64,
     /// Number of tracer stops delivered (the "monitor hook" count).
     pub trap_count: u64,
+    /// Total instructions executed across all processes (wall-clock
+    /// throughput denominators in the bench crate).
+    pub steps: u64,
     clock: u64,
     next_pid: Pid,
     quantum: u64,
+    /// Drive processes with the legacy tree-walking interpreter instead of
+    /// the predecoded fast path (differential testing / ablation).
+    legacy_interp: bool,
 }
 
 impl World {
@@ -60,10 +86,24 @@ impl World {
             tracer: None,
             trace_cycles: 0,
             trap_count: 0,
+            steps: 0,
             clock: 0,
             next_pid: 1,
             quantum: 512,
+            legacy_interp: thread_legacy_interp(),
         }
+    }
+
+    /// Selects the interpreter driving this world's processes: `true` for
+    /// the legacy tree-walking reference path, `false` (the default) for
+    /// the predecoded fast path. Both are observably identical.
+    pub fn set_legacy_interp(&mut self, on: bool) {
+        self.legacy_interp = on;
+    }
+
+    /// Whether this world runs on the legacy interpreter.
+    pub fn legacy_interp(&self) -> bool {
+        self.legacy_interp
     }
 
     /// Spawns a process running `machine`; returns its pid.
@@ -154,19 +194,33 @@ impl World {
 
     fn run_quantum(&mut self, idx: usize) {
         let start = self.procs[idx].machine.cycles;
-        let mut steps = 0u64;
-        while steps < self.quantum && self.procs[idx].state == ProcState::Runnable {
-            steps += 1;
-            let ev = interp::step(&mut self.procs[idx].machine);
+        let mut left = self.quantum;
+        while left > 0 && self.procs[idx].state == ProcState::Runnable {
+            // The fast path runs whole bursts inside the fused interpreter
+            // loop; `None` means the quantum budget ran out mid-burst. The
+            // legacy path steps one instruction at a time.
+            let ev = if self.legacy_interp {
+                left -= 1;
+                self.steps += 1;
+                match interp::step(&mut self.procs[idx].machine) {
+                    Event::Continue => None,
+                    e => Some(e),
+                }
+            } else {
+                let (n, ev) = interp::run_bounded(&mut self.procs[idx].machine, left);
+                left -= n;
+                self.steps += n;
+                ev
+            };
             match ev {
-                Event::Continue => {}
-                Event::Syscall { nr, args } => {
+                None | Some(Event::Continue) => {}
+                Some(Event::Syscall { nr, args }) => {
                     self.handle_syscall(idx, nr, args);
                 }
-                Event::Exited(code) => {
+                Some(Event::Exited(code)) => {
                     self.procs[idx].kill(ExitReason::Exited(code));
                 }
-                Event::Fault(f) => {
+                Some(Event::Fault(f)) => {
                     self.procs[idx].kill(ExitReason::Fault(f));
                 }
             }

@@ -16,6 +16,7 @@
 //! keeps working under any slide — the monitor learns the load bias exactly
 //! like reading `/proc/pid/maps`.
 
+use crate::decode::DecodedProgram;
 use crate::mem::Memory;
 use crate::shadow::{ShadowTable, SHADOW_REGION_SIZE};
 use bastion_ir::module::{GlobalInit, RelocEntry};
@@ -92,7 +93,7 @@ impl ImageBuilder {
         }
         let data_end = cursor;
 
-        let frame_info = module
+        let frame_info: Vec<FrameInfo> = module
             .functions
             .iter()
             .map(|f| {
@@ -107,10 +108,12 @@ impl ImageBuilder {
             .collect();
 
         let shadow_base = SHADOW_BASE + (slide << 4);
+        let decoded = DecodedProgram::decode(&module, &layout, &frame_info, &global_addrs);
 
         Ok(Image {
             module: Arc::new(module),
             layout,
+            decoded,
             global_addrs,
             frame_info,
             entry,
@@ -133,6 +136,8 @@ pub struct Image {
     pub module: Arc<Module>,
     /// Instruction address map.
     pub layout: CodeLayout,
+    /// Predecoded flat instruction stream (the interpreter fast path).
+    pub decoded: DecodedProgram,
     /// Load address of each global.
     pub global_addrs: Vec<u64>,
     /// Frame geometry per function.

@@ -1,14 +1,33 @@
 //! The instruction interpreter.
 //!
-//! [`step`] executes exactly one instruction (or terminator) and reports the
-//! resulting [`Event`]. The kernel crate drives the loop: it handles
-//! [`Event::Syscall`] through the simulated Linux syscall layer (seccomp,
-//! tracing, blocking) and resumes the machine with
-//! [`Machine::complete_syscall`]; faults and exits terminate the process.
+//! Two execution paths share one observable semantics:
+//!
+//! * the **predecoded fast path** — [`run`]/[`run_bounded`] dispatch over
+//!   the flat [`crate::decode::DecodedProgram`] built at image load,
+//!   keeping the program counter (as a flat unit index) and the cycle
+//!   counter in locals between events;
+//! * the **legacy reference path** — [`step`] executes exactly one
+//!   instruction by walking the IR tree, and [`run_legacy`] loops it. It is
+//!   kept as the differential-testing oracle and as the single-step
+//!   interface the defenses/monitor tests use.
+//!
+//! Both paths produce bit-identical [`Event`] streams, virtual cycle
+//! counts, and fault behaviour; `tests/differential.rs` asserts this over
+//! the shipped apps, the Table 6 scenarios, and random IR modules.
+//!
+//! The kernel crate drives the loop: it handles [`Event::Syscall`] through
+//! the simulated Linux syscall layer (seccomp, tracing, blocking) and
+//! resumes the machine with [`Machine::complete_syscall`]; faults and exits
+//! terminate the process.
 
+use crate::decode::DecodedInst;
 use crate::machine::{Fault, Machine};
+use crate::mem::MemIo;
 use crate::shadow::ShadowTable;
-use bastion_ir::{BinOp, Callee, CmpOp, CodeAddr, Inst, IntrinsicOp, Terminator, Width, CALL_SIZE};
+use bastion_ir::{
+    BinOp, Callee, CmpOp, CodeAddr, Inst, IntrinsicOp, Operand, Terminator, Width, CALL_SIZE,
+};
+use std::sync::Arc;
 
 /// The outcome of executing one instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +48,37 @@ pub enum Event {
     Fault(Fault),
 }
 
-/// Executes one instruction of `m`.
+/// Why [`run`] returned: a real event, or the step budget ran out with the
+/// machine still runnable. Distinct from [`Event::Continue`] so a wedged
+/// (looping) app can never be mistaken for one that produced an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// A syscall trap, exit, or fault occurred.
+    Event(Event),
+    /// `max_steps` instructions executed without an event; the machine can
+    /// keep running.
+    BudgetExhausted,
+}
+
+impl RunOutcome {
+    /// The event, for callers that know the budget is ample.
+    ///
+    /// # Panics
+    /// Panics if the budget was exhausted without an event.
+    pub fn event(self) -> Event {
+        match self {
+            RunOutcome::Event(e) => e,
+            RunOutcome::BudgetExhausted => panic!("step budget exhausted without an event"),
+        }
+    }
+
+    /// Whether the budget ran out before any event.
+    pub fn exhausted(self) -> bool {
+        matches!(self, RunOutcome::BudgetExhausted)
+    }
+}
+
+/// Executes one instruction of `m` (legacy tree-walking path).
 ///
 /// # Panics
 /// Panics if the machine has already exited or is blocked in a syscall.
@@ -47,16 +96,331 @@ pub fn step(m: &mut Machine) -> Event {
     }
 }
 
-/// Runs until the next non-`Continue` event or until `max_steps` is hit
-/// (returning `Continue` in that case).
-pub fn run(m: &mut Machine, max_steps: u64) -> Event {
+/// Runs the predecoded fast path until the next event or until `max_steps`
+/// instructions have executed.
+pub fn run(m: &mut Machine, max_steps: u64) -> RunOutcome {
+    match run_bounded(m, max_steps) {
+        (_, Some(e)) => RunOutcome::Event(e),
+        (_, None) => RunOutcome::BudgetExhausted,
+    }
+}
+
+/// Runs the legacy tree-walking path until the next event or until
+/// `max_steps` instructions have executed (the differential oracle).
+pub fn run_legacy(m: &mut Machine, max_steps: u64) -> RunOutcome {
     for _ in 0..max_steps {
         match step(m) {
             Event::Continue => {}
-            e => return e,
+            e => return RunOutcome::Event(e),
         }
     }
-    Event::Continue
+    RunOutcome::BudgetExhausted
+}
+
+/// The fused dispatch loop over the predecoded stream. Returns the number
+/// of instructions executed (the event-producing one included) and the
+/// event, if any; `None` means the step budget ran out.
+///
+/// The architectural `pc` and `cycles` live in locals while the loop runs
+/// and are synced back to `m` at every exit point (and before a syscall
+/// trap is recorded, since [`Machine::set_trap`] snapshots `pc`).
+///
+/// # Panics
+/// Panics if the machine has already exited or is blocked in a syscall.
+#[allow(clippy::too_many_lines)]
+pub fn run_bounded(m: &mut Machine, max_steps: u64) -> (u64, Option<Event>) {
+    assert!(m.exited.is_none(), "stepping an exited machine");
+    assert!(!m.in_syscall(), "stepping a machine blocked in a syscall");
+    let image = Arc::clone(&m.image);
+    let prog = &image.decoded;
+    let insts = prog.insts();
+    let cost = m.cost;
+    let mut cycles = m.cycles;
+    let mut idx = prog.unit_of_addr(image.layout.addr_of(m.pc).raw());
+    let mut steps = 0u64;
+
+    macro_rules! exit_at {
+        ($idx:expr, $ev:expr) => {{
+            m.pc = prog.loc_at($idx);
+            m.cycles = cycles;
+            return (steps, Some($ev));
+        }};
+    }
+
+    /// Operand evaluation against an explicit register file, so each arm
+    /// resolves the current frame once instead of once per operand.
+    #[inline(always)]
+    fn ev(regs: &[u64], op: Operand) -> u64 {
+        match op {
+            Operand::Imm(v) => v as u64,
+            Operand::Reg(r) => regs[r.index()],
+        }
+    }
+
+    while steps < max_steps {
+        steps += 1;
+        match insts[idx] {
+            DecodedInst::Mov { dst, src } => {
+                let fr = m.frames.last_mut().expect("no active frame");
+                let v = ev(&fr.regs, src);
+                fr.regs[dst.index()] = v;
+                cycles += cost.inst;
+                idx += 1;
+            }
+            DecodedInst::Bin { dst, op, a, b } => {
+                let fr = m.frames.last_mut().expect("no active frame");
+                let (a, b) = (ev(&fr.regs, a), ev(&fr.regs, b));
+                let v = match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            exit_at!(idx, Event::Fault(Fault::DivByZero));
+                        }
+                        (a as i64).wrapping_div(b as i64) as u64
+                    }
+                    BinOp::Rem => {
+                        if b == 0 {
+                            exit_at!(idx, Event::Fault(Fault::DivByZero));
+                        }
+                        (a as i64).wrapping_rem(b as i64) as u64
+                    }
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    BinOp::Shl => a << (b & 63),
+                    BinOp::Shr => a >> (b & 63),
+                };
+                fr.regs[dst.index()] = v;
+                cycles += cost.inst;
+                idx += 1;
+            }
+            DecodedInst::Cmp { dst, op, a, b } => {
+                let fr = m.frames.last_mut().expect("no active frame");
+                let (a, b) = (ev(&fr.regs, a) as i64, ev(&fr.regs, b) as i64);
+                let v = match op {
+                    CmpOp::Eq => a == b,
+                    CmpOp::Ne => a != b,
+                    CmpOp::Lt => a < b,
+                    CmpOp::Le => a <= b,
+                    CmpOp::Gt => a > b,
+                    CmpOp::Ge => a >= b,
+                };
+                fr.regs[dst.index()] = u64::from(v);
+                cycles += cost.inst;
+                idx += 1;
+            }
+            DecodedInst::Load { dst, addr, width } => {
+                let Machine { frames, mem, .. } = &mut *m;
+                let fr = frames.last_mut().expect("no active frame");
+                let a = ev(&fr.regs, addr);
+                let v = match width {
+                    Width::W8 => {
+                        let mut b = [0u8; 1];
+                        match mem.read(a, &mut b) {
+                            Ok(()) => u64::from(b[0]),
+                            Err(e) => exit_at!(idx, Event::Fault(Fault::Mem(e))),
+                        }
+                    }
+                    Width::W64 => match mem.read_u64(a) {
+                        Ok(v) => v,
+                        Err(e) => exit_at!(idx, Event::Fault(Fault::Mem(e))),
+                    },
+                };
+                fr.regs[dst.index()] = v;
+                cycles += cost.mem;
+                idx += 1;
+            }
+            DecodedInst::Store { addr, src, width } => {
+                let Machine { frames, mem, .. } = &mut *m;
+                let fr = frames.last().expect("no active frame");
+                let a = ev(&fr.regs, addr);
+                let v = ev(&fr.regs, src);
+                let res = match width {
+                    Width::W8 => mem.write(a, &[v as u8]),
+                    Width::W64 => mem.write_u64(a, v),
+                };
+                if let Err(e) = res {
+                    exit_at!(idx, Event::Fault(Fault::Mem(e)));
+                }
+                cycles += cost.mem;
+                idx += 1;
+            }
+            DecodedInst::FrameAddr { dst, neg_off } => {
+                let a = m.fp - neg_off;
+                m.frames.last_mut().expect("no active frame").regs[dst.index()] = a;
+                cycles += cost.inst;
+                idx += 1;
+            }
+            DecodedInst::LoadAddr { dst, addr } => {
+                m.frames.last_mut().expect("no active frame").regs[dst.index()] = addr;
+                cycles += cost.inst;
+                idx += 1;
+            }
+            DecodedInst::FieldAddr { dst, base, off } => {
+                let fr = m.frames.last_mut().expect("no active frame");
+                let v = ev(&fr.regs, base).wrapping_add(off);
+                fr.regs[dst.index()] = v;
+                cycles += cost.inst;
+                idx += 1;
+            }
+            DecodedInst::IndexAddr {
+                dst,
+                base,
+                elem_size,
+                index,
+            } => {
+                let fr = m.frames.last_mut().expect("no active frame");
+                let v =
+                    ev(&fr.regs, base).wrapping_add(ev(&fr.regs, index).wrapping_mul(elem_size));
+                fr.regs[dst.index()] = v;
+                cycles += cost.inst;
+                idx += 1;
+            }
+            DecodedInst::CallDirect {
+                dst,
+                args,
+                target_unit,
+                retaddr,
+            } => {
+                let mut argv = std::mem::take(&mut m.call_scratch);
+                argv.clear();
+                argv.extend(prog.arg_ops(args).iter().map(|&a| m.eval(a)));
+                cycles += cost.call;
+                if m.shadow_stack.is_some() {
+                    cycles += cost.cet;
+                }
+                let loc = prog.loc_at(target_unit as usize);
+                let res = m.do_call_resolved(loc, &argv, dst, CodeAddr(retaddr));
+                m.call_scratch = argv;
+                match res {
+                    Ok(()) => idx = target_unit as usize,
+                    Err(f) => exit_at!(idx, Event::Fault(f)),
+                }
+            }
+            DecodedInst::CallIndirect {
+                dst,
+                args,
+                target,
+                retaddr,
+            } => {
+                let mut argv = std::mem::take(&mut m.call_scratch);
+                argv.clear();
+                argv.extend(prog.arg_ops(args).iter().map(|&a| m.eval(a)));
+                let t = m.eval(target);
+                if let Some(policy) = &m.cfi {
+                    let ok = policy.allows(t, argv.len());
+                    cycles += cost.cfi_check;
+                    if !ok {
+                        m.call_scratch = argv;
+                        exit_at!(
+                            idx,
+                            Event::Fault(Fault::CfiViolation {
+                                target: t,
+                                argc: args.len(),
+                            })
+                        );
+                    }
+                }
+                cycles += cost.call;
+                if m.shadow_stack.is_some() {
+                    cycles += cost.cet;
+                }
+                let Some(loc) = image.layout.loc_of(CodeAddr(t)) else {
+                    m.call_scratch = argv;
+                    exit_at!(idx, Event::Fault(Fault::BadJump(t)));
+                };
+                let res = m.do_call_resolved(loc, &argv, dst, CodeAddr(retaddr));
+                m.call_scratch = argv;
+                match res {
+                    Ok(()) => idx = prog.unit_of_addr(t),
+                    Err(f) => exit_at!(idx, Event::Fault(f)),
+                }
+            }
+            DecodedInst::Syscall { dst, nr, args } => {
+                let mut a = [0u64; 6];
+                for (i, &op) in prog.arg_ops(args).iter().take(6).enumerate() {
+                    a[i] = m.eval(op);
+                }
+                // set_trap snapshots the trapped rip from m.pc: sync first.
+                m.pc = prog.loc_at(idx);
+                m.cycles = cycles;
+                m.set_trap(nr, a, dst);
+                return (steps, Some(Event::Syscall { nr, args: a }));
+            }
+            DecodedInst::CtxWriteMem { addr, size } => {
+                cycles += cost.intrinsic;
+                let shadow = ShadowTable::new(m.gs_base);
+                let a = m.eval(addr);
+                let sz = size.min(8) as usize;
+                let mut buf = [0u8; 8];
+                let res = match m.mem.read(a, &mut buf[..sz]) {
+                    Ok(()) => shadow.write_value(&mut m.mem, a, u64::from_le_bytes(buf), sz as u8),
+                    Err(e) => Err(e),
+                };
+                if let Err(e) = res {
+                    exit_at!(idx, Event::Fault(Fault::Mem(e)));
+                }
+                idx += 1;
+            }
+            DecodedInst::CtxBindMem {
+                pos,
+                addr,
+                callsite,
+            } => {
+                cycles += cost.intrinsic;
+                let shadow = ShadowTable::new(m.gs_base);
+                let a = m.eval(addr);
+                let res = match callsite {
+                    Some(cs) => shadow.bind_mem(&mut m.mem, cs, pos, a),
+                    None => Ok(()),
+                };
+                if let Err(e) = res {
+                    exit_at!(idx, Event::Fault(Fault::Mem(e)));
+                }
+                idx += 1;
+            }
+            DecodedInst::CtxBindConst {
+                pos,
+                value,
+                callsite,
+            } => {
+                cycles += cost.intrinsic;
+                let shadow = ShadowTable::new(m.gs_base);
+                let res = match callsite {
+                    Some(cs) => shadow.bind_const(&mut m.mem, cs, pos, value),
+                    None => Ok(()),
+                };
+                if let Err(e) = res {
+                    exit_at!(idx, Event::Fault(Fault::Mem(e)));
+                }
+                idx += 1;
+            }
+            DecodedInst::Jmp { target } => {
+                cycles += cost.inst;
+                idx = target as usize;
+            }
+            DecodedInst::Br { cond, then_, else_ } => {
+                let c = ev(&m.frames.last().expect("no active frame").regs, cond);
+                cycles += cost.inst;
+                idx = if c != 0 { then_ } else { else_ } as usize;
+            }
+            DecodedInst::Ret { val } => {
+                let v = val.map_or(0, |op| m.eval(op));
+                cycles += cost.call;
+                match m.do_ret(v) {
+                    Ok(Some(code)) => exit_at!(idx, Event::Exited(code)),
+                    Ok(None) => idx = prog.unit_of_addr(image.layout.addr_of(m.pc).raw()),
+                    Err(f) => exit_at!(idx, Event::Fault(f)),
+                }
+            }
+            DecodedInst::Pad => unreachable!("executed inter-function alignment padding"),
+        }
+    }
+    m.pc = prog.loc_at(idx);
+    m.cycles = cycles;
+    (steps, None)
 }
 
 fn exec_inst(m: &mut Machine, inst: &Inst) -> Event {
@@ -319,9 +683,16 @@ mod tests {
     use std::sync::Arc;
 
     fn run_main(mb: ModuleBuilder) -> (Machine, Event) {
-        let img = Image::load(mb.finish()).unwrap();
-        let mut m = Machine::new(Arc::new(img), CostModel::default());
-        let e = run(&mut m, 1_000_000);
+        let img = Arc::new(Image::load(mb.finish()).unwrap());
+        // Drive the legacy oracle alongside the fast path and insist on
+        // identical events, cycles, and stack geometry.
+        let mut legacy = Machine::new(img.clone(), CostModel::default());
+        let le = run_legacy(&mut legacy, 1_000_000).event();
+        let mut m = Machine::new(img, CostModel::default());
+        let e = run(&mut m, 1_000_000).event();
+        assert_eq!(e, le, "fast path event diverged from legacy");
+        assert_eq!(m.cycles, legacy.cycles, "fast path cycles diverged");
+        assert_eq!((m.sp, m.fp), (legacy.sp, legacy.fp));
         (m, e)
     }
 
@@ -412,7 +783,7 @@ mod tests {
         f.finish();
         let img = Image::load(mb.finish()).unwrap();
         let mut m = Machine::new(Arc::new(img), CostModel::default());
-        let e = run(&mut m, 10_000);
+        let e = run(&mut m, 10_000).event();
         assert_eq!(
             e,
             Event::Syscall {
@@ -424,7 +795,7 @@ mod tests {
         assert!(m.in_syscall());
         // The kernel resumes it with a return value.
         m.complete_syscall(5);
-        let e = run(&mut m, 10_000);
+        let e = run(&mut m, 10_000).event();
         assert_eq!(e, Event::Exited(5));
     }
 
@@ -490,7 +861,7 @@ mod tests {
         let img = Image::load(mb.finish()).unwrap();
         let layout_probe = img.clone();
         let mut m = Machine::new(Arc::new(img), CostModel::default());
-        let e = run(&mut m, 100_000);
+        let e = run(&mut m, 100_000).event();
         assert_eq!(e, Event::Exited(0));
         // The shadow table holds x's value and the callsite binding.
         let shadow = ShadowTable::new(m.gs_base);
@@ -511,7 +882,7 @@ mod tests {
         f.finish();
         let img = Image::load(mb.finish()).unwrap();
         let mut m = Machine::new(Arc::new(img), CostModel::default());
-        let e = run(&mut m, 1_000);
+        let e = run(&mut m, 1_000).event();
         assert_eq!(e, Event::Fault(Fault::BadJump(0xdead_0000)));
     }
 
@@ -534,7 +905,7 @@ mod tests {
         f.finish();
         let img = Image::load(mb.finish()).unwrap();
         let mut m = Machine::new(Arc::new(img), CostModel::default());
-        assert_eq!(run(&mut m, 10_000), Event::Exited(55));
+        assert_eq!(run(&mut m, 10_000).event(), Event::Exited(55));
     }
 
     #[test]

@@ -17,8 +17,11 @@
 //! * [`machine::Machine`] — architectural state: pc, sp/fp, per-frame
 //!   virtual registers, syscall argument registers, cycle counter, and the
 //!   optional CET shadow stack / LLVM-CFI policy of `bastion-defenses`;
+//! * [`decode`] — the predecoded flat instruction stream built at image
+//!   load (the interpreter's fast path; see DESIGN.md §6c);
 //! * [`interp`] — the instruction interpreter; executes until the next
-//!   *event* (syscall, exit, fault) that the kernel crate handles;
+//!   *event* (syscall, exit, fault) that the kernel crate handles, via the
+//!   fused predecoded loop or the legacy tree-walking reference path;
 //! * [`shadow`] — the open-addressing shadow-memory hash table (paper §7.1)
 //!   shared by the inlined instrumentation intrinsics and the monitor.
 //!
@@ -41,12 +44,13 @@
 //! f.finish();
 //! let image = Arc::new(Image::load(mb.finish())?);
 //! let mut machine = Machine::new(image, CostModel::default());
-//! assert_eq!(interp::run(&mut machine, 1_000), Event::Exited(42));
+//! assert_eq!(interp::run(&mut machine, 1_000).event(), Event::Exited(42));
 //! # Ok(())
 //! # }
 //! ```
 
 pub mod cost;
+pub mod decode;
 pub mod image;
 pub mod interp;
 pub mod machine;
@@ -54,8 +58,9 @@ pub mod mem;
 pub mod shadow;
 
 pub use cost::CostModel;
+pub use decode::{DecodedInst, DecodedProgram};
 pub use image::{Image, ImageBuilder};
-pub use interp::{step, Event};
+pub use interp::{run, run_bounded, run_legacy, step, Event, RunOutcome};
 pub use machine::{CfiPolicy, Fault, Frame, Machine};
 pub use mem::{MemIo, Memory, OutOfBounds};
 pub use shadow::{ShadowTable, SHADOW_REGION_SIZE};

@@ -126,6 +126,12 @@ pub struct Machine {
     pub trap_pc: u64,
     /// Where the pending syscall's return value goes.
     pending_ret: Option<Reg>,
+    /// Reusable argument buffer for the predecoded call path (avoids a
+    /// per-call allocation; not part of the architectural state).
+    pub(crate) call_scratch: Vec<u64>,
+    /// Recycled register files for popped frames (avoids a heap
+    /// allocation per call; not part of the architectural state).
+    frame_pool: Vec<Vec<u64>>,
     /// CET shadow stack, when the defense is enabled.
     pub shadow_stack: Option<Vec<u64>>,
     /// LLVM-CFI policy, when the baseline defense is enabled.
@@ -158,6 +164,8 @@ impl Machine {
             trap_args: [0; 6],
             trap_pc: 0,
             pending_ret: None,
+            call_scratch: Vec::new(),
+            frame_pool: Vec::new(),
             shadow_stack: None,
             cfi: None,
             exited: None,
@@ -194,6 +202,7 @@ impl Machine {
     ///
     /// # Panics
     /// Panics if the process has fully unwound (use only while running).
+    #[inline]
     pub fn frame(&self) -> &Frame {
         self.frames.last().expect("no active frame")
     }
@@ -203,6 +212,7 @@ impl Machine {
     }
 
     /// Evaluates an operand against the current register file.
+    #[inline]
     pub fn eval(&self, op: Operand) -> u64 {
         match op {
             Operand::Imm(v) => v as u64,
@@ -211,6 +221,7 @@ impl Machine {
     }
 
     /// Writes a register in the current frame.
+    #[inline]
     pub fn set_reg(&mut self, r: Reg, v: u64) {
         self.frame_mut().regs[r.index()] = v;
     }
@@ -227,6 +238,7 @@ impl Machine {
     }
 
     /// Charges `c` virtual cycles.
+    #[inline]
     pub fn charge(&mut self, c: u64) {
         self.cycles += c;
     }
@@ -253,6 +265,22 @@ impl Machine {
             .layout
             .loc_of(target)
             .ok_or(Fault::BadJump(target.raw()))?;
+        self.do_call_resolved(loc, args, ret_dst, retaddr)
+    }
+
+    /// [`Self::do_call`] with the target already resolved to an instruction
+    /// location (the predecoded engine resolves direct-call targets at image
+    /// load and indirect targets before calling in).
+    ///
+    /// # Errors
+    /// Faults on stack overflow or an unmapped stack.
+    pub fn do_call_resolved(
+        &mut self,
+        loc: InstLoc,
+        args: &[u64],
+        ret_dst: Option<Reg>,
+        retaddr: CodeAddr,
+    ) -> Result<(), Fault> {
         let callee = loc.func;
         let fi = &self.image.frame_info[callee.index()];
         if self.sp < self.image.stack_base + fi.frame_size + 64 {
@@ -277,13 +305,24 @@ impl Machine {
         if let Some(ss) = &mut self.shadow_stack {
             ss.push(retaddr.raw());
         }
+        let nregs = func.reg_count as usize;
+        let regs = self.fresh_regs(nregs);
         self.frames.push(Frame {
             func: callee,
-            regs: vec![0u64; func.reg_count as usize],
+            regs,
             ret_dst,
         });
         self.pc = loc;
         Ok(())
+    }
+
+    /// A zeroed register file, recycled from [`Self::frame_pool`] when one
+    /// is available.
+    fn fresh_regs(&mut self, n: usize) -> Vec<u64> {
+        let mut regs = self.frame_pool.pop().unwrap_or_default();
+        regs.clear();
+        regs.resize(n, 0);
+        regs
     }
 
     /// Performs the return sequence, trusting the in-memory frame chain.
@@ -310,6 +349,10 @@ impl Machine {
         self.sp = self.fp + 16;
         self.fp = saved_fp;
         let popped = self.frames.pop().expect("ret without frame");
+        let ret_dst = popped.ret_dst;
+        if self.frame_pool.len() < 64 {
+            self.frame_pool.push(popped.regs);
+        }
         if retaddr == 0 {
             self.exited = Some(val as i64);
             return Ok(Some(val as i64));
@@ -321,7 +364,7 @@ impl Machine {
             .ok_or(Fault::BadJump(retaddr))?;
         match self.frames.last_mut() {
             Some(parent) if parent.func == loc.func => {
-                if let Some(dst) = popped.ret_dst {
+                if let Some(dst) = ret_dst {
                     parent.regs[dst.index()] = val;
                 }
             }
@@ -329,7 +372,7 @@ impl Machine {
                 // ROP-style return into a foreign frame: synthesize a
                 // register file so execution continues in the target
                 // function's context over the attacker-controlled stack.
-                let regs = vec![0u64; self.image.module.func(loc.func).reg_count as usize];
+                let regs = self.fresh_regs(self.image.module.func(loc.func).reg_count as usize);
                 self.frames.push(Frame {
                     func: loc.func,
                     regs,

@@ -6,11 +6,40 @@
 //! manipulate the address space and how wild attacker writes can crash a
 //! victim rather than silently succeeding.
 
+use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Page size in bytes.
 pub const PAGE_SIZE: u64 = 4096;
+
+/// Multiply-shift hasher for page numbers. Page indices are
+/// attacker-influenced only through `mmap` of a simulated process, so a
+/// DoS-resistant hash buys nothing here and SipHash is pure overhead on
+/// the interpreter's per-load/store page lookup.
+#[derive(Default)]
+pub(crate) struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        // The high bits carry the entropy after the multiply; HashMap keys
+        // buckets off the low bits.
+        self.0.rotate_left(32)
+    }
+}
+
+type PageMap = HashMap<u64, Box<[u8; PAGE_SIZE as usize]>, BuildHasherDefault<PageHasher>>;
 
 /// An access outside any mapped region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +83,7 @@ pub trait MemIo {
     ///
     /// # Errors
     /// Fails if any byte is unmapped.
+    #[inline]
     fn read_u64(&self, addr: u64) -> Result<u64, OutOfBounds> {
         let mut b = [0u8; 8];
         self.read(addr, &mut b)?;
@@ -64,6 +94,7 @@ pub trait MemIo {
     ///
     /// # Errors
     /// Fails if any byte is unmapped.
+    #[inline]
     fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), OutOfBounds> {
         self.write(addr, &v.to_le_bytes())
     }
@@ -72,9 +103,14 @@ pub trait MemIo {
 /// The sparse paged address space of one process.
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
-    /// Mapped regions: start → length (non-overlapping, coalesced lazily).
+    pages: PageMap,
+    /// Mapped regions: start → length (disjoint, coalesced on insert).
     regions: BTreeMap<u64, u64>,
+    /// Last region hit by a mapping check, as `(start, end)`. Loop-local
+    /// and sequential accesses land in the same region, so this skips the
+    /// `BTreeMap` range query on the interpreter's load/store hot path.
+    /// `(0, 0)` means empty; invalidated whenever the region set changes.
+    cache: Cell<(u64, u64)>,
 }
 
 impl Memory {
@@ -83,12 +119,28 @@ impl Memory {
         Memory::default()
     }
 
-    /// Maps `[start, start+len)`; overlapping maps are merged permissively.
+    /// Maps `[start, start+len)`; overlapping and adjacent maps are
+    /// coalesced into one region, so a re-map can never shrink an existing
+    /// mapping and a nested map can never shadow its enclosing region from
+    /// the `is_mapped` probe.
     pub fn map_region(&mut self, start: u64, len: u64) {
         if len == 0 {
             return;
         }
-        self.regions.insert(start, len);
+        let mut new_start = start;
+        let mut new_end = start.saturating_add(len);
+        // Absorb every region overlapping or touching [new_start, new_end).
+        while let Some((&rs, &rl)) = self.regions.range(..=new_end).next_back() {
+            let re = rs + rl;
+            if re < new_start {
+                break;
+            }
+            self.regions.remove(&rs);
+            new_start = new_start.min(rs);
+            new_end = new_end.max(re);
+        }
+        self.regions.insert(new_start, new_end - new_start);
+        self.cache.set((0, 0));
     }
 
     /// Unmaps any region starting inside `[start, start+len)` and trims
@@ -110,15 +162,21 @@ impl Memory {
             }
         }
         self.regions = rebuilt;
+        self.cache.set((0, 0));
     }
 
     /// Whether every byte of `[addr, addr+len)` is mapped.
+    #[inline]
     pub fn is_mapped(&self, addr: u64, len: u64) -> bool {
         if len == 0 {
             return true;
         }
-        let mut cur = addr;
         let end = addr.saturating_add(len);
+        let (cs, ce) = self.cache.get();
+        if addr >= cs && end <= ce {
+            return true;
+        }
+        let mut cur = addr;
         while cur < end {
             let Some((&rs, &rl)) = self.regions.range(..=cur).next_back() else {
                 return false;
@@ -126,6 +184,9 @@ impl Memory {
             let re = rs + rl;
             if cur >= re {
                 return false;
+            }
+            if cur == addr {
+                self.cache.set((rs, re));
             }
             cur = re;
         }
@@ -169,25 +230,37 @@ impl Memory {
 
     /// Raw read that ignores the region map (used by the attack framework's
     /// "arbitrary read" primitive and by fault-tolerant monitor probes).
+    /// Copies page-sized chunks, one page-table lookup per page touched.
     pub fn read_unchecked(&self, addr: u64, buf: &mut [u8]) {
-        for (i, b) in buf.iter_mut().enumerate() {
-            let a = addr.wrapping_add(i as u64);
+        let mut done = 0usize;
+        while done < buf.len() {
+            let a = addr.wrapping_add(done as u64);
             let (page, off) = (a / PAGE_SIZE, (a % PAGE_SIZE) as usize);
-            *b = self.pages.get(&page).map_or(0, |p| p[off]);
+            let n = (buf.len() - done).min(PAGE_SIZE as usize - off);
+            match self.pages.get(&page) {
+                Some(p) => buf[done..done + n].copy_from_slice(&p[off..off + n]),
+                None => buf[done..done + n].fill(0),
+            }
+            done += n;
         }
     }
 
     /// Raw write that ignores the region map (attacker primitive).
+    /// Copies page-sized chunks, one page-table lookup per page touched.
     pub fn write_unchecked(&mut self, addr: u64, buf: &[u8]) {
-        for (i, &b) in buf.iter().enumerate() {
-            let a = addr.wrapping_add(i as u64);
+        let mut done = 0usize;
+        while done < buf.len() {
+            let a = addr.wrapping_add(done as u64);
             let (page, off) = (a / PAGE_SIZE, (a % PAGE_SIZE) as usize);
-            self.page_mut(page)[off] = b;
+            let n = (buf.len() - done).min(PAGE_SIZE as usize - off);
+            self.page_mut(page)[off..off + n].copy_from_slice(&buf[done..done + n]);
+            done += n;
         }
     }
 }
 
 impl MemIo for Memory {
+    #[inline]
     fn read(&self, addr: u64, buf: &mut [u8]) -> Result<(), OutOfBounds> {
         if !self.is_mapped(addr, buf.len() as u64) {
             return Err(OutOfBounds { addr, write: false });
@@ -196,11 +269,44 @@ impl MemIo for Memory {
         Ok(())
     }
 
+    #[inline]
     fn write(&mut self, addr: u64, buf: &[u8]) -> Result<(), OutOfBounds> {
         if !self.is_mapped(addr, buf.len() as u64) {
             return Err(OutOfBounds { addr, write: true });
         }
         self.write_unchecked(addr, buf);
+        Ok(())
+    }
+
+    #[inline]
+    fn read_u64(&self, addr: u64) -> Result<u64, OutOfBounds> {
+        if !self.is_mapped(addr, 8) {
+            return Err(OutOfBounds { addr, write: false });
+        }
+        let off = (addr % PAGE_SIZE) as usize;
+        if off <= PAGE_SIZE as usize - 8 {
+            // Within one page: a single lookup and an aligned-free copy.
+            return Ok(match self.pages.get(&(addr / PAGE_SIZE)) {
+                Some(p) => u64::from_le_bytes(p[off..off + 8].try_into().unwrap()),
+                None => 0,
+            });
+        }
+        let mut b = [0u8; 8];
+        self.read_unchecked(addr, &mut b);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    #[inline]
+    fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), OutOfBounds> {
+        if !self.is_mapped(addr, 8) {
+            return Err(OutOfBounds { addr, write: true });
+        }
+        let off = (addr % PAGE_SIZE) as usize;
+        if off <= PAGE_SIZE as usize - 8 {
+            self.page_mut(addr / PAGE_SIZE)[off..off + 8].copy_from_slice(&v.to_le_bytes());
+            return Ok(());
+        }
+        self.write_unchecked(addr, &v.to_le_bytes());
         Ok(())
     }
 }
@@ -286,5 +392,51 @@ mod tests {
     fn zero_length_access_is_ok() {
         let m = Memory::new();
         assert!(m.is_mapped(0x1234, 0));
+    }
+
+    #[test]
+    fn remap_inside_existing_region_does_not_shrink_it() {
+        // Regression: `regions` is keyed by start, so a bare insert of
+        // (0x1000, 0x1000) over (0x1000, 0x3000) used to shrink the map.
+        let mut m = Memory::new();
+        m.map_region(0x1000, 0x3000);
+        m.map_region(0x1000, 0x1000);
+        assert!(m.is_mapped(0x1000, 0x3000));
+        assert!(m.is_mapped(0x3000, 0x1000));
+    }
+
+    #[test]
+    fn nested_map_does_not_hide_enclosing_region() {
+        // Regression: a later-start overlapping insert used to be the entry
+        // `range(..=cur).next_back()` found, hiding the enclosing region.
+        let mut m = Memory::new();
+        m.map_region(0x1000, 0x3000);
+        m.map_region(0x2000, 0x100);
+        assert!(m.is_mapped(0x2800, 0x800));
+        assert!(m.is_mapped(0x1000, 0x3000));
+        assert!(!m.is_mapped(0x4000, 1));
+    }
+
+    #[test]
+    fn bridging_map_coalesces_into_one_region() {
+        let mut m = Memory::new();
+        m.map_region(0x1000, 0x1000);
+        m.map_region(0x3000, 0x1000);
+        assert!(!m.is_mapped(0x2000, 0x100));
+        m.map_region(0x1800, 0x2000); // bridges the gap, overlapping both
+        assert!(m.is_mapped(0x1000, 0x3000));
+        assert_eq!(m.regions().collect::<Vec<_>>(), vec![(0x1000, 0x3000)]);
+    }
+
+    #[test]
+    fn region_cache_is_invalidated_by_unmap() {
+        let mut m = Memory::new();
+        m.map_region(0x1000, 0x1000);
+        assert!(m.is_mapped(0x1800, 8)); // populates the cache
+        m.unmap_region(0x1000, 0x1000);
+        assert!(!m.is_mapped(0x1800, 8));
+        m.map_region(0x1000, 0x800);
+        assert!(m.is_mapped(0x1000, 0x800));
+        assert!(!m.is_mapped(0x1800, 8));
     }
 }

@@ -94,7 +94,7 @@ proptest! {
         let image = std::sync::Arc::new(Image::load(module).unwrap());
         let run = || {
             let mut m = Machine::new(image.clone(), CostModel::default());
-            match bastion::vm::interp::run(&mut m, 1_000_000) {
+            match bastion::vm::interp::run(&mut m, 1_000_000).event() {
                 bastion::vm::Event::Exited(v) => (v, m.cycles),
                 other => panic!("unexpected {other:?}"),
             }

@@ -26,6 +26,8 @@ pub enum Defense {
     MonitorCf,
     /// Monitor denied with an Argument-Integrity violation.
     MonitorAi,
+    /// Monitor denied fail-closed (degraded/fail-closed resilience rung).
+    MonitorFailClosed,
     /// seccomp killed a not-callable syscall.
     Seccomp,
     /// CET #CP fault.
@@ -57,6 +59,7 @@ impl RunOutcome {
                 Defense::MonitorCt
                     | Defense::MonitorCf
                     | Defense::MonitorAi
+                    | Defense::MonitorFailClosed
                     | Defense::Seccomp
                     | Defense::Cet
                     | Defense::Cfi
@@ -338,6 +341,8 @@ impl AttackEnv {
                         Defense::MonitorCf
                     } else if reason.starts_with("AI") {
                         Defense::MonitorAi
+                    } else if reason.starts_with("FC") {
+                        Defense::MonitorFailClosed
                     } else {
                         Defense::Crash(reason.clone())
                     };

@@ -13,6 +13,7 @@ fn ct_only() -> ContextConfig {
         arg_integrity: false,
         fetch_state: false,
         fast_path: true,
+        resilience: bastion_monitor::Resilience::default(),
     }
 }
 
@@ -23,6 +24,7 @@ fn cf_only() -> ContextConfig {
         arg_integrity: false,
         fetch_state: false,
         fast_path: true,
+        resilience: bastion_monitor::Resilience::default(),
     }
 }
 
@@ -33,6 +35,7 @@ fn ai_only() -> ContextConfig {
         arg_integrity: true,
         fetch_state: false,
         fast_path: true,
+        resilience: bastion_monitor::Resilience::default(),
     }
 }
 

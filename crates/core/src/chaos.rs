@@ -1,0 +1,294 @@
+//! Chaos harness: seeded deterministic fault injection against live
+//! deployments (DESIGN.md §6d).
+//!
+//! Two drivers share the [`bastion_kernel::FaultSchedule`] machinery:
+//!
+//! * **benign chaos** — boots a workload application under a monitor
+//!   configuration, installs a fault schedule, and drives traffic with a
+//!   *lenient* load generator that tolerates a degraded or killed server
+//!   (the stock `loadgen` drivers assert liveness, which is exactly what a
+//!   chaos run must not do);
+//! * **attack chaos** — replays Table 6 scenarios with faults targeted at
+//!   the traps the attack itself produces, asserting the monitor's
+//!   fail-closed invariant: **no fault may flip a blocked attack to
+//!   Allow**.
+//!
+//! Fault placement is calibrated, not guessed: the same deterministic
+//! world replays identically, so a clean reference run's trap count pins
+//! the window where the attack's sensitive syscalls trap, and the chaos
+//! run re-targets exactly those traps. Priming traffic (connection
+//! set-up, priming requests) stays fault-free, which keeps the attack
+//! payload itself deliverable — the faults hit the *verification* of the
+//! malicious syscall, the worst case for the monitor.
+
+use bastion_apps::App;
+use bastion_attacks::env::{AttackEnv, RunOutcome};
+use bastion_attacks::scenario::Scenario;
+use bastion_kernel::{FaultKind, FaultSchedule, Trigger, World};
+use bastion_monitor::{ContextConfig, MonitorStats};
+
+/// Cycle slice between net-poll rounds of the lenient driver.
+const SLICE: u64 = 250_000;
+
+/// Recovers monitor statistics from a finished world (detaches the
+/// tracer). `None` when no monitor was attached.
+pub fn monitor_stats(world: &mut World) -> Option<MonitorStats> {
+    world.take_tracer().and_then(|t| {
+        t.as_any()
+            .downcast_ref::<bastion_monitor::Monitor>()
+            .map(|m| m.stats.clone())
+    })
+}
+
+/// Outcome of one benign chaos run.
+#[derive(Debug, Clone)]
+pub struct BenignChaosReport {
+    /// Application driven.
+    pub app: App,
+    /// Requests that received at least one response byte.
+    pub served: u64,
+    /// Requests attempted.
+    pub attempted: u64,
+    /// Faults that actually fired.
+    pub faults_fired: u64,
+    /// Whether any victim process was still alive at the end.
+    pub survived: bool,
+    /// Final monitor statistics (mode, strikes, denies...).
+    pub stats: Option<MonitorStats>,
+}
+
+/// Boots `app` under `cfg`, installs `schedule` *after* a clean boot, and
+/// drives `requests` lenient requests. Never panics on a dead or
+/// degraded server — that is the outcome being measured.
+///
+/// # Panics
+/// Panics only if the application fails to compile or boot *without*
+/// faults (shipped apps are tested to do both).
+pub fn benign_chaos(
+    app: App,
+    cfg: ContextConfig,
+    schedule: FaultSchedule,
+    requests: u64,
+) -> BenignChaosReport {
+    let compiler = bastion_compiler::BastionCompiler::new();
+    let module = app.module().expect("app compiles");
+    let out = compiler.compile(module).expect("instrumentation succeeds");
+    let image = std::sync::Arc::new(bastion_vm::Image::load(out.module).expect("image loads"));
+    let cost = bastion_vm::CostModel::default();
+    let mut world = World::new(cost);
+    app.setup_vfs(&mut world);
+    let machine = bastion_vm::Machine::new(image.clone(), cost);
+    let pid = world.spawn(machine);
+    bastion_monitor::protect(&mut world, pid, &image, &out.metadata, cfg);
+
+    // Boot is fault-free: the chaos clock starts once the server listens.
+    world.run(1_000_000_000);
+    assert!(
+        world.alive_count() > 0,
+        "{} died during clean boot",
+        app.id()
+    );
+    world.install_faults(schedule);
+
+    let request: &[u8] = match app {
+        App::Webserve => b"GET /index.html HTTP/1.1\r\nHost: chaos\r\n\r\n",
+        App::Dbkv => b"NEWORDER 1 17 3\n",
+        // The ftpd control banner + USER round-trip exercises the same
+        // accept/read/write trap mix as a download preamble.
+        App::Ftpd => b"USER chaos\n",
+    };
+    let mut served = 0u64;
+    let mut attempted = 0u64;
+    for _ in 0..requests {
+        if world.alive_count() == 0 {
+            break;
+        }
+        attempted += 1;
+        let Some(conn) = world.net_connect(app.port()) else {
+            // Listener gone or backlog full: give the world a slice and
+            // move on; a killed server simply stops serving.
+            world.run(SLICE);
+            continue;
+        };
+        world.net_send(conn, request);
+        let mut got = false;
+        for _ in 0..32 {
+            world.run(SLICE);
+            if !world.net_recv(conn).is_empty() {
+                got = true;
+                break;
+            }
+            if world.alive_count() == 0 {
+                break;
+            }
+        }
+        if got {
+            served += 1;
+        }
+        world.net_close(conn);
+    }
+    // Let in-flight denials and exits settle.
+    world.run(20_000_000);
+
+    BenignChaosReport {
+        app,
+        served,
+        attempted,
+        faults_fired: world.fault_log().len() as u64,
+        survived: world.alive_count() > 0,
+        stats: monitor_stats(&mut world),
+    }
+}
+
+/// Outcome of one attack-under-faults run.
+#[derive(Debug, Clone)]
+pub struct AttackChaosReport {
+    /// Table 6 row id.
+    pub id: u32,
+    /// Scenario name.
+    pub name: String,
+    /// Schedule label (fault class driven).
+    pub schedule: &'static str,
+    /// PRNG seed of the schedule.
+    pub seed: u64,
+    /// Trap count of the calibration (fault-free) run.
+    pub clean_traps: u64,
+    /// Faults that actually fired.
+    pub faults_fired: u64,
+    /// Defense/success classification of the faulted run.
+    pub outcome: RunOutcome,
+    /// Final monitor statistics.
+    pub stats: Option<MonitorStats>,
+}
+
+impl AttackChaosReport {
+    /// The fail-closed invariant: the malicious effect must not have
+    /// happened. (The *defense label* may legitimately change — e.g. an
+    /// AI deny becoming an FC deny when the substrate is down — but a
+    /// fault must never buy the attacker a success.)
+    pub fn attack_contained(&self) -> bool {
+        !self.outcome.succeeded
+    }
+}
+
+/// The attack scripts' own liveness expectations (`attacks::env`): each
+/// assumes the victim is still serving while the attack stages. A faulted
+/// trap *denies* — i.e. kills — the process it interrupts, so a chaos
+/// replay can legitimately pull a worker out from under the script. That
+/// is a fully contained outcome (the malicious syscall never ran), not a
+/// monitor defect. Any panic **not** in this list propagates: the suite
+/// still fails on a genuine monitor panic.
+const HARNESS_LIVENESS: &[&str] = &[
+    "victim pid",
+    "victim listener bound",
+    "a worker parked reading our connection",
+    "a process parked in accept",
+];
+
+/// Runs `scenario.attack`, absorbing only harness-liveness panics.
+/// Returns the panic message when staging was cut short by a fault.
+fn stage(scenario: &Scenario, env: &mut AttackEnv) -> Option<String> {
+    let hook = std::panic::take_hook();
+    // Silence the default hook for the duration: an absorbed liveness
+    // panic would otherwise spray a backtrace per chaos replay.
+    std::panic::set_hook(Box::new(|_| {}));
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (scenario.attack)(env)));
+    std::panic::set_hook(hook);
+    match r {
+        Ok(()) => None,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if HARNESS_LIVENESS.iter().any(|h| msg.contains(h)) {
+                Some(msg)
+            } else {
+                std::panic::resume_unwind(payload)
+            }
+        }
+    }
+}
+
+/// Runs `scenario` under `cfg` with an optional fault schedule installed
+/// right after boot. Returns the outcome, the trap count since install,
+/// the number of faults fired, and the monitor stats.
+fn run_attack(
+    scenario: &Scenario,
+    cfg: ContextConfig,
+    schedule: Option<FaultSchedule>,
+) -> (RunOutcome, u64, u64, Option<MonitorStats>) {
+    let mut env = AttackEnv::deploy(scenario.victim, Some(cfg), scenario.extended_set, false);
+    // Install even for calibration: an empty schedule injects nothing but
+    // counts traps, pinning the window for the chaos replay.
+    env.world
+        .install_faults(schedule.unwrap_or_else(|| FaultSchedule::new(0)));
+    let staging_failure = stage(scenario, &mut env);
+    env.settle();
+    let outcome = RunOutcome {
+        defense: env.defense_fired(),
+        // An attack whose staging was cut short by a fault never issued
+        // its malicious syscall; evaluating the success probe against the
+        // half-staged world could only mis-report.
+        succeeded: staging_failure.is_none() && (scenario.success)(&env),
+    };
+    let traps = env.world.fault_trap_count();
+    let fired = env.world.fault_log().len() as u64;
+    let stats = monitor_stats(&mut env.world);
+    (outcome, traps, fired, stats)
+}
+
+/// Fault-free reference run: the trap count that calibrates the chaos
+/// window for `scenario` under `cfg`.
+pub fn calibrate(scenario: &Scenario, cfg: ContextConfig) -> u64 {
+    run_attack(scenario, cfg, None).1
+}
+
+/// The per-fault-class schedules of the chaos matrix, all targeting the
+/// calibrated final-trap window (where the attack's own syscalls trap).
+pub fn chaos_schedules(seed: u64, clean_traps: u64) -> Vec<(&'static str, FaultSchedule)> {
+    // Centre the window on the clean run's final trap: for a blocked
+    // attack that is the verification of the malicious syscall itself —
+    // the worst case for the monitor. The trap before it is included so
+    // schedules also exercise staging-infrastructure faults (a denied
+    // serving worker, which the driver tolerates as a contained outcome).
+    let to = clean_traps.max(1);
+    let from = to.saturating_sub(1).max(1);
+    let window = |kind| FaultSchedule::new(seed).with(kind, Trigger::TrapRange { from, to });
+    vec![
+        ("mix", window(FaultKind::Mix)),
+        ("read-error", window(FaultKind::ReadError)),
+        ("torn-read", window(FaultKind::TornRead)),
+        ("frame-corrupt", window(FaultKind::FrameCorrupt)),
+        ("shadow-flip", window(FaultKind::ShadowBitFlip)),
+        ("stall", window(FaultKind::Stall { cycles: 120_000 })),
+    ]
+}
+
+/// Runs the full chaos matrix for one scenario: calibrates once, then
+/// replays under every schedule in [`chaos_schedules`] for every seed.
+pub fn attack_chaos(
+    scenario: &Scenario,
+    cfg: ContextConfig,
+    seeds: &[u64],
+) -> Vec<AttackChaosReport> {
+    let clean_traps = calibrate(scenario, cfg);
+    let mut reports = Vec::new();
+    for &seed in seeds {
+        for (label, schedule) in chaos_schedules(seed, clean_traps) {
+            let (outcome, _, fired, stats) = run_attack(scenario, cfg, Some(schedule));
+            reports.push(AttackChaosReport {
+                id: scenario.id,
+                name: scenario.name.clone(),
+                schedule: label,
+                seed,
+                clean_traps,
+                faults_fired: fired,
+                outcome,
+                stats,
+            });
+        }
+    }
+    reports
+}

@@ -44,9 +44,11 @@
 //! # }
 //! ```
 
+pub mod chaos;
 pub mod harness;
 pub mod protection;
 
+pub use chaos::{attack_chaos, benign_chaos, AttackChaosReport, BenignChaosReport};
 pub use harness::{run_app_benchmark, AppBenchmark, WorkloadSize};
 pub use protection::Protection;
 

@@ -1,0 +1,458 @@
+//! Deterministic, seeded fault injection for the monitor's substrate.
+//!
+//! BASTION's security argument assumes the monitor's view of the tracee —
+//! `PTRACE_GETREGS` snapshots, `process_vm_readv` frame/pointee reads, the
+//! shared shadow mapping — is always intact. This module makes that
+//! assumption *testable*: a [`FaultSchedule`] describes, deterministically,
+//! which substrate accesses misbehave and how, and a [`FaultInjector`]
+//! installed on a [`crate::World`] replays the schedule against every
+//! monitor access. Because worlds are fully deterministic (same module +
+//! same workload ⇒ same trap sequence), a schedule pinned by `(seed,
+//! triggers)` reproduces the exact same fault pattern on every run — chaos
+//! tests are ordinary regression tests.
+//!
+//! Fault classes (tentpole list from the robustness issue):
+//!
+//! * [`FaultKind::ReadError`] — the access fails outright (transient if
+//!   triggered once, permanent if triggered from an index onward);
+//! * [`FaultKind::TornRead`] — a partial remote read: only a prefix of the
+//!   requested bytes is transferred (`process_vm_readv` short-read);
+//! * [`FaultKind::FrameCorrupt`] — the saved frame pointer fetched by
+//!   [`crate::Tracee::read_frame`] is bit-flipped mid-walk;
+//! * [`FaultKind::ShadowBitFlip`] — a bit flips in the shared shadow
+//!   mapping as the monitor reads it;
+//! * [`FaultKind::Stall`] — the access takes far longer than modeled
+//!   (scheduling delay / contention), charged as extra virtual cycles.
+
+/// Which substrate access a fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessClass {
+    /// `PTRACE_GETREGS` register snapshot.
+    GetRegs,
+    /// Plain `process_vm_readv` ([`crate::Tracee::read_mem`] / `read_u64`).
+    ReadMem,
+    /// Batched 16-byte frame-head fetch ([`crate::Tracee::read_frame`]).
+    ReadFrame,
+    /// Bounded prefix read ([`crate::Tracee::read_mem_prefix`]).
+    ReadPrefix,
+    /// A load from the shared shadow mapping.
+    Shadow,
+}
+
+/// What goes wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The access fails (as if the remote mapping vanished / ptrace
+    /// returned `ESRCH`).
+    ReadError,
+    /// Only a prefix of the requested bytes is transferred; the fraction
+    /// kept is drawn from the schedule's seeded stream.
+    TornRead,
+    /// The saved frame pointer in a frame-head fetch is corrupted
+    /// (seeded XOR), derailing the stack walk mid-chain.
+    FrameCorrupt,
+    /// One seeded bit of the bytes read from the shadow mapping flips.
+    ShadowBitFlip,
+    /// The access stalls for `cycles` extra virtual cycles before
+    /// completing normally (drives verification past a trap deadline).
+    Stall {
+        /// Extra virtual cycles charged to the trap.
+        cycles: u64,
+    },
+    /// A seeded mix: each firing picks one of the above kinds applicable
+    /// to the access class from the schedule's random stream.
+    Mix,
+}
+
+impl FaultKind {
+    /// Whether this kind can apply to `class` at all. Shadow reads are
+    /// local loads from a shared mapping — they cannot fail or stall, only
+    /// return corrupted bytes; frame corruption only makes sense on the
+    /// frame-head fetch.
+    fn applies(self, class: AccessClass) -> bool {
+        match self {
+            FaultKind::ReadError | FaultKind::Stall { .. } => class != AccessClass::Shadow,
+            FaultKind::TornRead => matches!(
+                class,
+                AccessClass::ReadMem | AccessClass::ReadFrame | AccessClass::ReadPrefix
+            ),
+            FaultKind::FrameCorrupt => class == AccessClass::ReadFrame,
+            FaultKind::ShadowBitFlip => class == AccessClass::Shadow,
+            FaultKind::Mix => true,
+        }
+    }
+}
+
+/// When a fault fires. Access indices count every substrate access the
+/// injector sees (1-based); trap indices count monitor traps (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// Exactly the `n`-th matching access (a transient fault).
+    OnAccess(u64),
+    /// Every matching access from the `n`-th onward (a permanent fault).
+    FromAccess(u64),
+    /// Every `n`-th matching access (`phase` offsets the comb).
+    EveryNth {
+        /// Period (must be ≥ 1).
+        n: u64,
+        /// Offset of the first firing access.
+        phase: u64,
+    },
+    /// Every access within the `n`-th monitor trap.
+    OnTrap(u64),
+    /// Every access within traps `from..=to`.
+    TrapRange {
+        /// First trap index (1-based, inclusive).
+        from: u64,
+        /// Last trap index (inclusive).
+        to: u64,
+    },
+}
+
+impl Trigger {
+    fn matches(self, access: u64, trap: u64) -> bool {
+        match self {
+            Trigger::OnAccess(n) => access == n,
+            Trigger::FromAccess(n) => access >= n,
+            Trigger::EveryNth { n, phase } => {
+                n > 0 && access >= phase && (access - phase).is_multiple_of(n)
+            }
+            Trigger::OnTrap(n) => trap == n,
+            Trigger::TrapRange { from, to } => trap >= from && trap <= to,
+        }
+    }
+}
+
+/// One fault rule: a kind plus the trigger that fires it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// When it fires.
+    pub trigger: Trigger,
+}
+
+/// A deterministic fault schedule: an ordered rule list plus the seed for
+/// every random draw (torn-read lengths, corruption patterns, mix picks).
+/// The first matching rule per access wins.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// Rules, checked in order.
+    pub specs: Vec<FaultSpec>,
+    /// Seed for the schedule's SplitMix64 stream.
+    pub seed: u64,
+}
+
+impl FaultSchedule {
+    /// An empty schedule with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultSchedule {
+            specs: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Appends a rule (builder style).
+    #[must_use]
+    pub fn with(mut self, kind: FaultKind, trigger: Trigger) -> Self {
+        self.specs.push(FaultSpec { kind, trigger });
+        self
+    }
+
+    /// A sparse chaos mix: one seeded fault every `period` substrate
+    /// accesses, kind drawn per firing. The workhorse schedule of the
+    /// chaos suite.
+    pub fn chaos(seed: u64, period: u64) -> Self {
+        FaultSchedule::new(seed).with(
+            FaultKind::Mix,
+            Trigger::EveryNth {
+                n: period.max(1),
+                phase: 1,
+            },
+        )
+    }
+}
+
+/// A fault that actually fired (for post-run assertions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Global access index (1-based) at which it fired.
+    pub access: u64,
+    /// Monitor trap index (1-based; 0 = outside any trap).
+    pub trap: u64,
+    /// The access class it hit.
+    pub class: AccessClass,
+    /// The resolved kind (never [`FaultKind::Mix`]).
+    pub kind: FaultKind,
+}
+
+/// The concrete mutation a faulted access must apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail the access.
+    Error,
+    /// Transfer only the first `keep` bytes.
+    Torn {
+        /// Bytes actually transferred.
+        keep: usize,
+    },
+    /// XOR the fetched saved frame pointer with this pattern (never 0).
+    Corrupt {
+        /// Corruption pattern.
+        xor: u64,
+    },
+    /// Flip bit `bit` of byte `byte` (indices reduced modulo the buffer).
+    FlipBit {
+        /// Byte offset (mod buffer length).
+        byte: usize,
+        /// Bit index 0..8.
+        bit: u32,
+    },
+    /// Charge `cycles` extra virtual cycles, then complete normally.
+    Stall {
+        /// Extra cycles.
+        cycles: u64,
+    },
+}
+
+/// Replays a [`FaultSchedule`] against a run. Deterministic: the random
+/// stream advances only when a fault fires, so identical runs see identical
+/// faults.
+#[derive(Debug)]
+pub struct FaultInjector {
+    schedule: FaultSchedule,
+    rng: u64,
+    accesses: u64,
+    traps: u64,
+    log: Vec<InjectedFault>,
+}
+
+impl FaultInjector {
+    /// Builds an injector for `schedule`.
+    pub fn new(schedule: FaultSchedule) -> Self {
+        let rng = schedule.seed ^ 0x9E37_79B9_7F4A_7C15;
+        FaultInjector {
+            schedule,
+            rng,
+            accesses: 0,
+            traps: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// SplitMix64 step.
+    fn next_rand(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Marks the start of a monitor trap (called by the world before the
+    /// tracer runs).
+    pub fn begin_trap(&mut self) {
+        self.traps += 1;
+    }
+
+    /// The current trap index (1-based; 0 before the first trap).
+    pub fn trap_index(&self) -> u64 {
+        self.traps
+    }
+
+    /// Total substrate accesses observed so far.
+    pub fn access_count(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Faults that fired so far.
+    pub fn log(&self) -> &[InjectedFault] {
+        &self.log
+    }
+
+    /// Consults the schedule for one substrate access of `class` moving
+    /// `len` bytes. Returns the mutation to apply, if any.
+    pub fn on_access(&mut self, class: AccessClass, len: usize) -> Option<FaultAction> {
+        self.accesses += 1;
+        let (access, trap) = (self.accesses, self.traps);
+        let spec = *self
+            .schedule
+            .specs
+            .iter()
+            .find(|s| s.trigger.matches(access, trap) && s.kind.applies(class))?;
+        let kind = self.resolve(spec.kind, class);
+        let action = self.action_for(kind, len)?;
+        self.log.push(InjectedFault {
+            access,
+            trap,
+            class,
+            kind,
+        });
+        Some(action)
+    }
+
+    /// Resolves [`FaultKind::Mix`] into a concrete kind applicable to
+    /// `class` using the seeded stream.
+    fn resolve(&mut self, kind: FaultKind, class: AccessClass) -> FaultKind {
+        if kind != FaultKind::Mix {
+            return kind;
+        }
+        let stall = FaultKind::Stall {
+            cycles: 2_000 + (self.next_rand() % 30_000),
+        };
+        let pick = self.next_rand();
+        match class {
+            AccessClass::Shadow => FaultKind::ShadowBitFlip,
+            AccessClass::GetRegs => {
+                if pick.is_multiple_of(2) {
+                    FaultKind::ReadError
+                } else {
+                    stall
+                }
+            }
+            AccessClass::ReadMem | AccessClass::ReadPrefix => match pick % 3 {
+                0 => FaultKind::ReadError,
+                1 => FaultKind::TornRead,
+                _ => stall,
+            },
+            AccessClass::ReadFrame => match pick % 4 {
+                0 => FaultKind::ReadError,
+                1 => FaultKind::TornRead,
+                2 => FaultKind::FrameCorrupt,
+                _ => stall,
+            },
+        }
+    }
+
+    /// Turns a concrete kind into the mutation for a `len`-byte access.
+    /// Returns `None` when the access is too small to mutate that way
+    /// (e.g. tearing a read that transfers nothing).
+    fn action_for(&mut self, kind: FaultKind, len: usize) -> Option<FaultAction> {
+        match kind {
+            FaultKind::ReadError => Some(FaultAction::Error),
+            FaultKind::TornRead => {
+                if len == 0 {
+                    return None;
+                }
+                Some(FaultAction::Torn {
+                    keep: (self.next_rand() % len as u64) as usize,
+                })
+            }
+            FaultKind::FrameCorrupt => {
+                let xor = self.next_rand() | 1; // never the identity
+                Some(FaultAction::Corrupt { xor })
+            }
+            FaultKind::ShadowBitFlip => {
+                if len == 0 {
+                    return None;
+                }
+                let r = self.next_rand();
+                Some(FaultAction::FlipBit {
+                    byte: (r >> 3) as usize % len,
+                    bit: (r & 7) as u32,
+                })
+            }
+            FaultKind::Stall { cycles } => Some(FaultAction::Stall { cycles }),
+            FaultKind::Mix => unreachable!("Mix resolved before action_for"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(inj: &mut FaultInjector, class: AccessClass, n: usize) -> Vec<Option<FaultAction>> {
+        (0..n).map(|_| inj.on_access(class, 64)).collect()
+    }
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let s = FaultSchedule::chaos(42, 3);
+        let mut a = FaultInjector::new(s.clone());
+        let mut b = FaultInjector::new(s);
+        a.begin_trap();
+        b.begin_trap();
+        assert_eq!(
+            drain(&mut a, AccessClass::ReadMem, 32),
+            drain(&mut b, AccessClass::ReadMem, 32)
+        );
+        assert_eq!(a.log(), b.log());
+        assert!(!a.log().is_empty());
+    }
+
+    #[test]
+    fn on_access_transient_fires_once() {
+        let s = FaultSchedule::new(1).with(FaultKind::ReadError, Trigger::OnAccess(2));
+        let mut inj = FaultInjector::new(s);
+        let fired: Vec<_> = drain(&mut inj, AccessClass::ReadMem, 5);
+        assert_eq!(
+            fired,
+            vec![None, Some(FaultAction::Error), None, None, None]
+        );
+        assert_eq!(inj.log().len(), 1);
+        assert_eq!(inj.log()[0].access, 2);
+    }
+
+    #[test]
+    fn from_access_is_permanent() {
+        let s = FaultSchedule::new(1).with(FaultKind::ReadError, Trigger::FromAccess(3));
+        let mut inj = FaultInjector::new(s);
+        let fired = drain(&mut inj, AccessClass::GetRegs, 5);
+        assert_eq!(fired.iter().filter(|a| a.is_some()).count(), 3);
+    }
+
+    #[test]
+    fn trap_ranges_gate_by_trap_index() {
+        let s =
+            FaultSchedule::new(7).with(FaultKind::ReadError, Trigger::TrapRange { from: 2, to: 2 });
+        let mut inj = FaultInjector::new(s);
+        inj.begin_trap();
+        assert!(inj.on_access(AccessClass::ReadFrame, 16).is_none());
+        inj.begin_trap();
+        assert!(inj.on_access(AccessClass::ReadFrame, 16).is_some());
+        inj.begin_trap();
+        assert!(inj.on_access(AccessClass::ReadFrame, 16).is_none());
+    }
+
+    #[test]
+    fn kinds_respect_access_classes() {
+        // A frame-corruption rule never fires on plain reads or shadow
+        // loads, only on frame-head fetches.
+        let s = FaultSchedule::new(9).with(FaultKind::FrameCorrupt, Trigger::FromAccess(1));
+        let mut inj = FaultInjector::new(s);
+        assert!(inj.on_access(AccessClass::ReadMem, 8).is_none());
+        assert!(inj.on_access(AccessClass::Shadow, 8).is_none());
+        assert!(matches!(
+            inj.on_access(AccessClass::ReadFrame, 16),
+            Some(FaultAction::Corrupt { xor }) if xor != 0
+        ));
+    }
+
+    #[test]
+    fn shadow_flips_stay_in_bounds() {
+        let s = FaultSchedule::new(3).with(FaultKind::ShadowBitFlip, Trigger::FromAccess(1));
+        let mut inj = FaultInjector::new(s);
+        for _ in 0..64 {
+            match inj.on_access(AccessClass::Shadow, 8) {
+                Some(FaultAction::FlipBit { byte, bit }) => {
+                    assert!(byte < 8);
+                    assert!(bit < 8);
+                }
+                other => panic!("expected FlipBit, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn torn_reads_keep_a_strict_prefix() {
+        let s = FaultSchedule::new(5).with(FaultKind::TornRead, Trigger::FromAccess(1));
+        let mut inj = FaultInjector::new(s);
+        for _ in 0..64 {
+            match inj.on_access(AccessClass::ReadPrefix, 256) {
+                Some(FaultAction::Torn { keep }) => assert!(keep < 256),
+                other => panic!("expected Torn, got {other:?}"),
+            }
+        }
+    }
+}

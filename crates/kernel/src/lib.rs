@@ -25,6 +25,7 @@
 //!   time.
 
 pub mod errno;
+pub mod faults;
 pub mod fs;
 pub mod net;
 pub mod process;
@@ -33,6 +34,10 @@ pub mod syscall;
 pub mod trace;
 pub mod world;
 
+pub use faults::{
+    AccessClass, FaultAction, FaultInjector, FaultKind, FaultSchedule, FaultSpec, InjectedFault,
+    Trigger,
+};
 pub use process::{ExitReason, Pid, Process};
 pub use seccomp::{SeccompAction, SeccompFilter};
 pub use trace::{Regs, TraceVerdict, Tracee, Tracer};

@@ -7,8 +7,10 @@
 //! observation (Table 7): *fetching process state dominates monitor
 //! overhead* because each access implies context switches.
 
+use crate::faults::{AccessClass, FaultAction, FaultInjector};
 use crate::process::Pid;
 use bastion_vm::{Machine, MemIo, OutOfBounds};
+use std::cell::RefCell;
 
 /// The register snapshot `PTRACE_GETREGS` returns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,16 +32,35 @@ pub struct Tracee<'a> {
     machine: &'a Machine,
     pid: Pid,
     charge: &'a mut u64,
+    /// Cycles already on `charge` when this trap's view was created; the
+    /// watchdog deadline is measured against `charged() - start_charge`.
+    start_charge: u64,
+    /// Fault injector, when the world runs under a chaos schedule.
+    faults: Option<&'a RefCell<FaultInjector>>,
 }
 
 impl<'a> Tracee<'a> {
     /// Wraps a stopped machine. `charge` accumulates the virtual cycles the
     /// monitor's accesses cost (added to the world clock by the caller).
     pub fn new(machine: &'a Machine, pid: Pid, charge: &'a mut u64) -> Self {
+        Tracee::with_faults(machine, pid, charge, None)
+    }
+
+    /// Like [`Tracee::new`] but with an optional fault injector every
+    /// substrate access consults.
+    pub fn with_faults(
+        machine: &'a Machine,
+        pid: Pid,
+        charge: &'a mut u64,
+        faults: Option<&'a RefCell<FaultInjector>>,
+    ) -> Self {
+        let start_charge = *charge;
         Tracee {
             machine,
             pid,
             charge,
+            start_charge,
+            faults,
         }
     }
 
@@ -48,7 +69,14 @@ impl<'a> Tracee<'a> {
         self.pid
     }
 
-    /// `PTRACE_GETREGS`: the trapped syscall state.
+    /// Consults the injector (no-op without one).
+    fn fault(&mut self, class: AccessClass, len: usize) -> Option<FaultAction> {
+        self.faults?.borrow_mut().on_access(class, len)
+    }
+
+    /// `PTRACE_GETREGS`: the trapped syscall state. Infallible view for
+    /// harness code; the monitor uses [`Tracee::try_getregs`], which sees
+    /// injected faults.
     pub fn getregs(&mut self) -> Regs {
         *self.charge += self.machine.cost.ptrace_getregs;
         Regs {
@@ -60,13 +88,52 @@ impl<'a> Tracee<'a> {
         }
     }
 
+    /// `PTRACE_GETREGS` as the monitor calls it: same snapshot and charge
+    /// as [`Tracee::getregs`], but an injected fault makes it fail the way
+    /// a dead or detached tracee would.
+    ///
+    /// # Errors
+    /// Fails only under an injected [`AccessClass::GetRegs`] fault.
+    pub fn try_getregs(&mut self) -> Result<Regs, OutOfBounds> {
+        match self.fault(AccessClass::GetRegs, 0) {
+            Some(FaultAction::Error) => {
+                *self.charge += self.machine.cost.ptrace_getregs;
+                Err(OutOfBounds {
+                    addr: 0,
+                    write: false,
+                })
+            }
+            Some(FaultAction::Stall { cycles }) => {
+                *self.charge += cycles;
+                Ok(self.getregs())
+            }
+            _ => Ok(self.getregs()),
+        }
+    }
+
     /// `process_vm_readv`: read remote memory.
     ///
     /// # Errors
-    /// Fails if the range is unmapped in the tracee.
+    /// Fails if the range is unmapped in the tracee, or under an injected
+    /// read fault. Callers of this API need the *whole* buffer, so a torn
+    /// (short) injected read is surfaced as a failure at the cut point —
+    /// never as silently zero-filled bytes a verifier might trust.
     pub fn read_mem(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), OutOfBounds> {
         *self.charge += self.machine.cost.remote_read
             + (buf.len() as u64 / 64) * self.machine.cost.remote_read_per_64b;
+        match self.fault(AccessClass::ReadMem, buf.len()) {
+            Some(FaultAction::Error) => {
+                return Err(OutOfBounds { addr, write: false });
+            }
+            Some(FaultAction::Torn { keep }) => {
+                return Err(OutOfBounds {
+                    addr: addr + keep.min(buf.len()) as u64,
+                    write: false,
+                });
+            }
+            Some(FaultAction::Stall { cycles }) => *self.charge += cycles,
+            _ => {}
+        }
         self.machine.mem.read(addr, buf)
     }
 
@@ -88,31 +155,75 @@ impl<'a> Tracee<'a> {
     /// head at once halves the dominant per-frame charge.
     ///
     /// # Errors
-    /// Fails if the 16-byte frame head is unmapped in the tracee.
+    /// Fails if the 16-byte frame head is unmapped in the tracee, or under
+    /// an injected frame-read fault. An injected corruption XORs the saved
+    /// frame pointer; a torn frame read fails at the cut point — a
+    /// zero-filled tail would fabricate a bottom-of-stack marker the
+    /// walker must never trust.
     pub fn read_frame(&mut self, fp: u64) -> Result<(u64, u64), OutOfBounds> {
+        *self.charge += self.machine.cost.remote_read;
         let mut b = [0u8; 16];
-        self.read_mem(fp, &mut b)?;
-        let saved_fp = u64::from_le_bytes(b[..8].try_into().expect("8 bytes"));
+        let mut fp_xor = 0u64;
+        match self.fault(AccessClass::ReadFrame, 16) {
+            Some(FaultAction::Error) => {
+                return Err(OutOfBounds {
+                    addr: fp,
+                    write: false,
+                });
+            }
+            Some(FaultAction::Torn { keep }) => {
+                return Err(OutOfBounds {
+                    addr: fp + keep.min(16) as u64,
+                    write: false,
+                });
+            }
+            Some(FaultAction::Corrupt { xor }) => fp_xor = xor,
+            Some(FaultAction::Stall { cycles }) => *self.charge += cycles,
+            _ => {}
+        }
+        self.machine.mem.read(fp, &mut b)?;
+        let saved_fp = u64::from_le_bytes(b[..8].try_into().expect("8 bytes")) ^ fp_xor;
         let ret = u64::from_le_bytes(b[8..].try_into().expect("8 bytes"));
         Ok((saved_fp, ret))
     }
 
     /// Bounded prefix read in ONE charged `process_vm_readv`: fills `buf`
     /// with as many bytes from `addr` as are mapped and returns that count
-    /// (0 if `addr` itself is unmapped). Mirrors `process_vm_readv`'s
+    /// (`Ok(0)` if `addr` itself is unmapped). Mirrors `process_vm_readv`'s
     /// partial-read semantics; the charge covers only the bytes actually
     /// transferred, plus the fixed base cost of the attempt.
-    pub fn read_mem_prefix(&mut self, addr: u64, buf: &mut [u8]) -> usize {
-        let n = self.machine.mem.mapped_prefix_len(addr, buf.len() as u64) as usize;
+    ///
+    /// If the mapping check and the copy race with a concurrent unmap (or
+    /// an injected torn read shortens the transfer), the returned count
+    /// shrinks to whatever was actually readable — the call never panics
+    /// and never reports bytes it did not fill.
+    ///
+    /// # Errors
+    /// Fails only under an injected hard read fault; a merely-unmapped
+    /// start is the `Ok(0)` case.
+    pub fn read_mem_prefix(&mut self, addr: u64, buf: &mut [u8]) -> Result<usize, OutOfBounds> {
+        let mut n = self.machine.mem.mapped_prefix_len(addr, buf.len() as u64) as usize;
         *self.charge +=
             self.machine.cost.remote_read + (n as u64 / 64) * self.machine.cost.remote_read_per_64b;
-        if n > 0 {
-            self.machine
-                .mem
-                .read(addr, &mut buf[..n])
-                .expect("prefix is mapped");
+        match self.fault(AccessClass::ReadPrefix, n) {
+            Some(FaultAction::Error) => {
+                return Err(OutOfBounds { addr, write: false });
+            }
+            Some(FaultAction::Torn { keep }) => n = n.min(keep),
+            Some(FaultAction::Stall { cycles }) => *self.charge += cycles,
+            _ => {}
         }
-        n
+        // The copy may still race with an unmap between the length probe
+        // and the transfer: shrink (strictly, so this terminates) until a
+        // whole prefix reads cleanly.
+        while n > 0 {
+            if self.machine.mem.read(addr, &mut buf[..n]).is_ok() {
+                break;
+            }
+            let again = self.machine.mem.mapped_prefix_len(addr, n as u64) as usize;
+            n = if again < n { again } else { n - 1 };
+        }
+        Ok(n)
     }
 
     /// The shadow-region base of the tracee (learned at launch, like the
@@ -124,6 +235,18 @@ impl<'a> Tracee<'a> {
     /// Total cycles charged so far on this trap.
     pub fn charged(&self) -> u64 {
         *self.charge
+    }
+
+    /// Cycles charged since this tracee view was created — the quantity a
+    /// per-trap verification deadline (watchdog) is measured against.
+    pub fn charged_this_trap(&self) -> u64 {
+        *self.charge - self.start_charge
+    }
+
+    /// Charges extra cycles without touching the tracee: retry backoff,
+    /// deliberate waits. Counted like any other monitor-side work.
+    pub fn stall(&mut self, cycles: u64) {
+        *self.charge += cycles;
     }
 }
 
@@ -138,18 +261,32 @@ impl<'a> Tracee<'a> {
 /// [`Tracee::read_mem`], which pays the `process_vm_readv` cost.
 pub struct SharedShadow<'a> {
     machine: &'a Machine,
+    faults: Option<&'a RefCell<FaultInjector>>,
 }
 
 impl<'a> SharedShadow<'a> {
     /// Wraps the stopped machine for shadow-region access.
     pub fn new(machine: &'a Machine) -> Self {
-        SharedShadow { machine }
+        SharedShadow {
+            machine,
+            faults: None,
+        }
     }
 }
 
 impl MemIo for SharedShadow<'_> {
     fn read(&self, addr: u64, buf: &mut [u8]) -> Result<(), OutOfBounds> {
-        self.machine.mem.read(addr, buf)
+        self.machine.mem.read(addr, buf)?;
+        // Shared-mapping loads are local and cannot fail, but a chaos
+        // schedule may flip a bit in what the monitor observes.
+        if let Some(f) = self.faults {
+            if let Some(FaultAction::FlipBit { byte, bit }) =
+                f.borrow_mut().on_access(AccessClass::Shadow, buf.len())
+            {
+                buf[byte % buf.len().max(1)] ^= 1 << bit;
+            }
+        }
+        Ok(())
     }
 
     fn write(&mut self, addr: u64, _buf: &[u8]) -> Result<(), OutOfBounds> {
@@ -159,9 +296,13 @@ impl MemIo for SharedShadow<'_> {
 }
 
 impl Tracee<'_> {
-    /// Shared-mapping view for shadow-table lookups (uncharged).
+    /// Shared-mapping view for shadow-table lookups (uncharged, but
+    /// subject to injected shadow bit-flips).
     pub fn shared_shadow(&self) -> SharedShadow<'_> {
-        SharedShadow::new(self.machine)
+        SharedShadow {
+            machine: self.machine,
+            faults: self.faults,
+        }
     }
 }
 
@@ -254,7 +395,7 @@ mod tests {
         // mapped prefix, for one base charge.
         let mut buf = [0u8; 256];
         let start = m.image.stack_top - 32;
-        let n = t.read_mem_prefix(start, &mut buf);
+        let n = t.read_mem_prefix(start, &mut buf).unwrap();
         assert_eq!(n, 32);
         assert_eq!(
             t.charged(),
@@ -262,8 +403,149 @@ mod tests {
         );
         // Fully unmapped start: zero bytes, base charge only.
         let before = t.charged();
-        assert_eq!(t.read_mem_prefix(0x10, &mut buf), 0);
+        assert_eq!(t.read_mem_prefix(0x10, &mut buf).unwrap(), 0);
         assert_eq!(t.charged() - before, m.cost.remote_read);
+    }
+
+    #[test]
+    fn read_mem_prefix_zero_length_buffer() {
+        let m = machine();
+        let mut charge = 0;
+        let mut t = Tracee::new(&m, 1, &mut charge);
+        let mut empty = [0u8; 0];
+        // A 0-byte request is satisfiable anywhere, mapped or not, for the
+        // base charge of the attempt.
+        assert_eq!(t.read_mem_prefix(m.fp, &mut empty).unwrap(), 0);
+        assert_eq!(t.read_mem_prefix(0x10, &mut empty).unwrap(), 0);
+        assert_eq!(t.charged(), 2 * m.cost.remote_read);
+    }
+
+    #[test]
+    fn read_mem_prefix_partial_page_and_exact_boundary() {
+        let m = machine();
+        let mut charge = 0;
+        let mut t = Tracee::new(&m, 1, &mut charge);
+        let top = m.image.stack_top;
+        // Partial page: a request reaching 7 bytes past the mapping end
+        // keeps the in-bounds part.
+        let mut buf = [0xAAu8; 64];
+        assert_eq!(t.read_mem_prefix(top - 57, &mut buf).unwrap(), 57);
+        // Exact boundary: a request ending at the very last mapped byte is
+        // complete, not partial.
+        assert_eq!(t.read_mem_prefix(top - 64, &mut buf).unwrap(), 64);
+        // Starting exactly at the boundary: nothing is mapped.
+        assert_eq!(t.read_mem_prefix(top, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn injected_transient_read_error_fails_once() {
+        use crate::faults::{FaultInjector, FaultKind, FaultSchedule, Trigger};
+        let m = machine();
+        let inj = RefCell::new(FaultInjector::new(
+            FaultSchedule::new(11).with(FaultKind::ReadError, Trigger::OnAccess(1)),
+        ));
+        let mut charge = 0;
+        let mut t = Tracee::with_faults(&m, 1, &mut charge, Some(&inj));
+        assert!(t.read_u64(m.fp).is_err());
+        // Transient: the retry succeeds.
+        assert!(t.read_u64(m.fp).is_ok());
+        assert_eq!(inj.borrow().log().len(), 1);
+    }
+
+    #[test]
+    fn injected_torn_read_shortens_prefix_and_fails_full_reads() {
+        use crate::faults::{FaultInjector, FaultKind, FaultSchedule, Trigger};
+        let m = machine();
+        let inj = RefCell::new(FaultInjector::new(
+            FaultSchedule::new(23).with(FaultKind::TornRead, Trigger::FromAccess(1)),
+        ));
+        let mut charge = 0;
+        let mut t = Tracee::with_faults(&m, 1, &mut charge, Some(&inj));
+        // The prefix read reports the torn (shorter) count rather than
+        // pretending the whole range was transferred.
+        let mut buf = [0xFFu8; 64];
+        let n = t.read_mem_prefix(m.fp, &mut buf).unwrap();
+        assert!(n < 64, "torn read must shorten the prefix, got {n}");
+        // Full-buffer reads have no partial semantics: a torn transfer is
+        // an error at the cut point, never a zero-filled tail a verifier
+        // could mistake for real memory.
+        let mut b2 = [0xFFu8; 64];
+        assert!(t.read_mem(m.image.stack_base, &mut b2).is_err());
+        assert!(t.read_frame(m.fp).is_err());
+        assert_eq!(inj.borrow().log().len(), 3);
+        assert!(inj
+            .borrow()
+            .log()
+            .iter()
+            .all(|f| f.kind == FaultKind::TornRead));
+    }
+
+    #[test]
+    fn injected_frame_corruption_flips_saved_fp() {
+        use crate::faults::{FaultInjector, FaultKind, FaultSchedule, Trigger};
+        let m = machine();
+        let mut charge = 0;
+        let mut clean_t = Tracee::new(&m, 1, &mut charge);
+        let (clean_fp, clean_ret) = clean_t.read_frame(m.fp).unwrap();
+        let inj = RefCell::new(FaultInjector::new(
+            FaultSchedule::new(31).with(FaultKind::FrameCorrupt, Trigger::OnAccess(1)),
+        ));
+        let mut charge2 = 0;
+        let mut t = Tracee::with_faults(&m, 1, &mut charge2, Some(&inj));
+        let (bad_fp, ret) = t.read_frame(m.fp).unwrap();
+        assert_ne!(bad_fp, clean_fp, "saved fp must be corrupted");
+        assert_eq!(ret, clean_ret, "return address untouched");
+        // The corruption was transient: the next fetch is clean.
+        assert_eq!(t.read_frame(m.fp).unwrap(), (clean_fp, clean_ret));
+    }
+
+    #[test]
+    fn injected_stall_charges_extra_cycles() {
+        use crate::faults::{FaultInjector, FaultKind, FaultSchedule, Trigger};
+        let m = machine();
+        let inj = RefCell::new(FaultInjector::new(
+            FaultSchedule::new(5).with(FaultKind::Stall { cycles: 9_999 }, Trigger::OnAccess(1)),
+        ));
+        let mut charge = 0;
+        let mut t = Tracee::with_faults(&m, 1, &mut charge, Some(&inj));
+        let r = t.try_getregs().unwrap();
+        assert_eq!(r.nr, 1);
+        assert_eq!(t.charged_this_trap(), m.cost.ptrace_getregs + 9_999);
+    }
+
+    #[test]
+    fn injected_getregs_failure_surfaces_as_error() {
+        use crate::faults::{FaultInjector, FaultKind, FaultSchedule, Trigger};
+        let m = machine();
+        let inj = RefCell::new(FaultInjector::new(
+            FaultSchedule::new(5).with(FaultKind::ReadError, Trigger::OnAccess(1)),
+        ));
+        let mut charge = 0;
+        let mut t = Tracee::with_faults(&m, 1, &mut charge, Some(&inj));
+        assert!(t.try_getregs().is_err());
+        assert!(t.try_getregs().is_ok());
+    }
+
+    #[test]
+    fn injected_shadow_bit_flip_corrupts_shared_reads() {
+        use crate::faults::{FaultInjector, FaultKind, FaultSchedule, Trigger};
+        let m = machine();
+        let inj = RefCell::new(FaultInjector::new(
+            FaultSchedule::new(77).with(FaultKind::ShadowBitFlip, Trigger::OnAccess(1)),
+        ));
+        let mut charge = 0;
+        let t = Tracee::with_faults(&m, 1, &mut charge, Some(&inj));
+        let shadow = t.shared_shadow();
+        let mut flipped = [0u8; 8];
+        shadow.read(m.fp, &mut flipped).unwrap();
+        let mut clean = [0u8; 8];
+        m.mem.read(m.fp, &mut clean).unwrap();
+        let diff: u32 = flipped
+            .iter()
+            .zip(clean.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1, "exactly one bit flips");
     }
 
     #[test]

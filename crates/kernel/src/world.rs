@@ -12,13 +12,14 @@
 //! benchmark reports, since the application is synchronously stopped while
 //! the monitor verifies a trapped syscall.
 
+use crate::faults::{FaultInjector, FaultSchedule, InjectedFault};
 use crate::net::{ConnId, ReadOutcome};
 use crate::process::{ExitReason, FdTable, Pid, ProcState, Process, WaitReason};
 use crate::seccomp::{SeccompAction, SeccompFilter};
 use crate::syscall::{Kernel, SysOutcome};
 use crate::trace::{TraceVerdict, Tracee, Tracer};
 use bastion_vm::{interp, CostModel, Event, Machine};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
 /// Handle to an externally-driven (workload generator) connection.
@@ -75,6 +76,9 @@ pub struct World {
     /// Drive processes with the legacy tree-walking interpreter instead of
     /// the predecoded fast path (differential testing / ablation).
     legacy_interp: bool,
+    /// Fault injector replayed against every monitor substrate access
+    /// (chaos testing); `None` on the clean path.
+    faults: Option<RefCell<FaultInjector>>,
 }
 
 impl World {
@@ -91,7 +95,37 @@ impl World {
             next_pid: 1,
             quantum: 512,
             legacy_interp: thread_legacy_interp(),
+            faults: None,
         }
+    }
+
+    /// Installs a fault schedule: every subsequent monitor substrate
+    /// access (register fetches, remote reads, shadow loads) consults it.
+    pub fn install_faults(&mut self, schedule: FaultSchedule) {
+        self.faults = Some(RefCell::new(FaultInjector::new(schedule)));
+    }
+
+    /// Removes any installed fault schedule.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Monitor traps seen since the current schedule was installed (the
+    /// injector's trap counter). Used to calibrate trap-targeted schedules
+    /// against a clean reference run.
+    pub fn fault_trap_count(&self) -> u64 {
+        self.faults
+            .as_ref()
+            .map(|f| f.borrow().trap_index())
+            .unwrap_or(0)
+    }
+
+    /// Faults that fired so far under the installed schedule.
+    pub fn fault_log(&self) -> Vec<InjectedFault> {
+        self.faults
+            .as_ref()
+            .map(|f| f.borrow().log().to_vec())
+            .unwrap_or_default()
     }
 
     /// Selects the interpreter driving this world's processes: `true` for
@@ -247,9 +281,17 @@ impl World {
                 if let (true, Some(tracer)) = (self.procs[idx].traced, self.tracer.as_mut()) {
                     self.trap_count += 1;
                     self.trace_cycles += self.kernel.cost.ptrace_stop;
+                    if let Some(f) = &self.faults {
+                        f.borrow_mut().begin_trap();
+                    }
                     let verdict = {
                         let p = &self.procs[idx];
-                        let mut tracee = Tracee::new(&p.machine, p.pid, &mut self.trace_cycles);
+                        let mut tracee = Tracee::with_faults(
+                            &p.machine,
+                            p.pid,
+                            &mut self.trace_cycles,
+                            self.faults.as_ref(),
+                        );
                         tracer.on_trap(&mut tracee)
                     };
                     if let TraceVerdict::Deny(reason) = verdict {

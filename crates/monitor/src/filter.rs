@@ -55,7 +55,7 @@ mod tests {
         f.finish();
         BastionCompiler::new()
             .compile(mb.finish())
-            .unwrap()
+            .expect("three-stub filter fixture compiles")
             .metadata
     }
 

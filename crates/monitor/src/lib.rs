@@ -33,6 +33,83 @@ use bastion_kernel::{TraceVerdict, Tracee, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// Resilience policy: how the monitor reacts when its *substrate* (ptrace
+/// register fetches, `process_vm_readv` remote reads, the shared shadow
+/// mapping) misbehaves. Everything here is zero-cost on the clean path:
+/// retries and backoff only run after a failed access, and the deadline is
+/// off by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Resilience {
+    /// Retries per substrate access before the error is terminal (covers
+    /// transient `ESRCH`/`EAGAIN`-style failures).
+    pub max_retries: u32,
+    /// Virtual-cycle backoff charged before the first retry; doubles each
+    /// further attempt.
+    pub retry_backoff_cycles: u64,
+    /// Per-trap verification deadline (watchdog) in virtual cycles;
+    /// `None` disables the watchdog.
+    pub deadline_cycles: Option<u64>,
+    /// Deny the trap when the deadline is exceeded (`true`, fail-closed)
+    /// or merely record the overrun (`false`, observe-only).
+    pub deny_on_timeout: bool,
+    /// Substrate strikes (exhausted retries, watchdog overruns, shadow
+    /// corruption) before the monitor drops to `Degraded`.
+    pub degrade_after: u32,
+    /// Strikes before the monitor drops to `FailClosed`.
+    pub fail_closed_after: u32,
+}
+
+impl Default for Resilience {
+    fn default() -> Self {
+        Resilience {
+            max_retries: 2,
+            retry_backoff_cycles: 500,
+            deadline_cycles: None,
+            deny_on_timeout: true,
+            degrade_after: 3,
+            fail_closed_after: 6,
+        }
+    }
+}
+
+impl Resilience {
+    /// A watchdogged policy: like the default but with a per-trap
+    /// verification deadline.
+    pub fn with_deadline(cycles: u64) -> Self {
+        Resilience {
+            deadline_cycles: Some(cycles),
+            ..Resilience::default()
+        }
+    }
+}
+
+/// The monitor's degradation ladder. Ordered: a monitor only ever moves
+/// *down* the ladder (toward fail-closed), never back up within a run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MonitorMode {
+    /// All configured contexts verified normally.
+    #[default]
+    Full,
+    /// The substrate is unreliable: contexts that depend on deep remote
+    /// reads (CF walks, AI shadow checks) are denied outright; Call-Type —
+    /// which needs only the one frame-head read — is still verified.
+    Degraded,
+    /// The substrate is untrusted: every trapped sensitive syscall is
+    /// denied without touching the tracee.
+    FailClosed,
+}
+
+impl MonitorMode {
+    /// Human-readable rung name for stats output.
+    pub fn label(self) -> &'static str {
+        match self {
+            MonitorMode::Full => "full",
+            MonitorMode::Degraded => "degraded",
+            MonitorMode::FailClosed => "fail-closed",
+        }
+    }
+}
+
 /// Which contexts the monitor enforces (the Figure 3 ablation axis:
 /// CT / CT+CF / CT+CF+AI).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -50,6 +127,9 @@ pub struct ContextConfig {
     /// per-callsite verification cache (see [`cache`]). Off reproduces the
     /// original per-word, re-derive-everything trap cost for ablations.
     pub fast_path: bool,
+    /// Substrate-failure policy (retry/backoff, watchdog, degradation
+    /// ladder).
+    pub resilience: Resilience,
 }
 
 impl ContextConfig {
@@ -61,6 +141,7 @@ impl ContextConfig {
             arg_integrity: true,
             fetch_state: true,
             fast_path: true,
+            resilience: Resilience::default(),
         }
     }
 
@@ -72,6 +153,7 @@ impl ContextConfig {
             arg_integrity: false,
             fetch_state: true,
             fast_path: true,
+            resilience: Resilience::default(),
         }
     }
 
@@ -83,6 +165,7 @@ impl ContextConfig {
             arg_integrity: false,
             fetch_state: true,
             fast_path: true,
+            resilience: Resilience::default(),
         }
     }
 
@@ -95,6 +178,7 @@ impl ContextConfig {
             arg_integrity: false,
             fetch_state: false,
             fast_path: true,
+            resilience: Resilience::default(),
         }
     }
 
@@ -107,6 +191,7 @@ impl ContextConfig {
             arg_integrity: false,
             fetch_state: true,
             fast_path: true,
+            resilience: Resilience::default(),
         }
     }
 
@@ -121,6 +206,12 @@ impl ContextConfig {
         self.fast_path = false;
         self
     }
+
+    /// The same configuration with a different resilience policy.
+    pub fn with_resilience(mut self, r: Resilience) -> Self {
+        self.resilience = r;
+        self
+    }
 }
 
 /// Which context a violation was detected under.
@@ -132,15 +223,21 @@ pub enum ContextKind {
     ControlFlow,
     /// Argument Integrity context.
     ArgIntegrity,
+    /// Not a context violation in the tracee: the monitor's own substrate
+    /// failed (unreadable registers/memory after retries, watchdog
+    /// deadline, shadow corruption, degraded/fail-closed mode) and the
+    /// fail-closed policy denies the syscall.
+    FailClosed,
 }
 
 impl ContextKind {
-    /// Short label used in kill reasons ("CT", "CF", "AI").
+    /// Short label used in kill reasons ("CT", "CF", "AI", "FC").
     pub fn label(self) -> &'static str {
         match self {
             ContextKind::CallType => "CT",
             ContextKind::ControlFlow => "CF",
             ContextKind::ArgIntegrity => "AI",
+            ContextKind::FailClosed => "FC",
         }
     }
 }
@@ -175,6 +272,28 @@ pub struct MonitorStats {
     /// Pointee buffers fetched with one batched remote read instead of a
     /// per-byte loop.
     pub batched_pointee_reads: u64,
+    /// Fail-closed denies: traps denied because the monitor's substrate
+    /// failed, not because the tracee violated a context.
+    pub fc_violations: u64,
+    /// Substrate-access retries performed.
+    pub retries: u64,
+    /// Retries that recovered the access (transient faults survived).
+    pub retry_successes: u64,
+    /// Traps denied by the verification-deadline watchdog.
+    pub watchdog_denies: u64,
+    /// Watchdog overruns observed (counted even when `deny_on_timeout` is
+    /// off).
+    pub watchdog_overruns: u64,
+    /// Substrate strikes accumulated (retry exhaustion, watchdog overruns,
+    /// shadow corruption) — the degradation-ladder driver.
+    pub substrate_strikes: u64,
+    /// Shadow-table entries that failed their integrity checksum.
+    pub shadow_quarantines: u64,
+    /// Current degradation-ladder rung.
+    pub mode: MonitorMode,
+    /// Ladder transitions taken (Full→Degraded and Degraded→FailClosed
+    /// each count one).
+    pub mode_transitions: u64,
 }
 
 impl MonitorStats {
@@ -187,10 +306,36 @@ impl MonitorStats {
         }
     }
 
-    /// Total violations across contexts.
+    /// Total violations across contexts (fail-closed denies included:
+    /// they kill the application just like context violations).
     pub fn violations(&self) -> u64 {
-        self.ct_violations + self.cf_violations + self.ai_violations
+        self.ct_violations + self.cf_violations + self.ai_violations + self.fc_violations
     }
+}
+
+/// Mutable resilience state (interior mutability: verification runs behind
+/// a shared borrow of the monitor, like the cache).
+#[derive(Debug, Default)]
+pub struct ResilienceState {
+    /// Current degradation-ladder rung.
+    pub mode: MonitorMode,
+    /// Substrate strikes accumulated.
+    pub strikes: u32,
+    /// Whether the shadow table failed integrity checking and is
+    /// quarantined (AI unverifiable until restart).
+    pub shadow_quarantined: bool,
+    /// Retries performed.
+    pub retries: u64,
+    /// Retries that recovered the access.
+    pub retry_successes: u64,
+    /// Watchdog denies issued.
+    pub watchdog_denies: u64,
+    /// Watchdog overruns observed.
+    pub watchdog_overruns: u64,
+    /// Corrupt shadow entries seen.
+    pub quarantines: u64,
+    /// Ladder transitions taken.
+    pub transitions: u64,
 }
 
 /// Information the monitor learns at launch time about the loaded image
@@ -271,6 +416,9 @@ pub struct Monitor {
     /// Fast-path verification cache (interior mutability: verification
     /// runs behind a shared borrow of the monitor).
     pub cache: std::cell::RefCell<cache::VerifyCache>,
+    /// Resilience state: degradation-ladder rung, strikes, retry/watchdog
+    /// counters.
+    pub res: std::cell::RefCell<ResilienceState>,
 }
 
 impl Monitor {
@@ -296,7 +444,65 @@ impl Monitor {
             },
             log: Vec::new(),
             cache: std::cell::RefCell::new(cache::VerifyCache::new()),
+            res: std::cell::RefCell::new(ResilienceState::default()),
         }
+    }
+
+    /// The current degradation-ladder rung.
+    pub fn mode(&self) -> MonitorMode {
+        self.res.borrow().mode
+    }
+
+    /// Records one substrate strike and walks the degradation ladder if
+    /// the configured thresholds are crossed. Monotone: the mode only ever
+    /// moves toward `FailClosed`.
+    pub(crate) fn substrate_strike(&self) {
+        let r = &mut *self.res.borrow_mut();
+        r.strikes += 1;
+        let pol = self.cfg.resilience;
+        let target = if r.strikes >= pol.fail_closed_after {
+            MonitorMode::FailClosed
+        } else if r.strikes >= pol.degrade_after {
+            MonitorMode::Degraded
+        } else {
+            r.mode
+        };
+        if target > r.mode {
+            r.transitions +=
+                1 + u64::from(target == MonitorMode::FailClosed && r.mode == MonitorMode::Full);
+            r.mode = target;
+        }
+    }
+
+    /// Quarantines the shadow table after an integrity failure: AI becomes
+    /// unverifiable for the rest of the run, and the corruption counts as
+    /// a substrate strike.
+    pub(crate) fn quarantine_shadow(&self) {
+        {
+            let r = &mut *self.res.borrow_mut();
+            r.shadow_quarantined = true;
+            r.quarantines += 1;
+        }
+        self.substrate_strike();
+    }
+
+    /// Copies cache and resilience counters into the public stats block.
+    fn sync_counters(&mut self) {
+        let c = self.cache.borrow();
+        self.stats.ct_cache_hits = c.ct_hits;
+        self.stats.walk_cache_hits = c.walk_hits;
+        self.stats.batched_frame_reads = c.batched_frame_reads;
+        self.stats.batched_pointee_reads = c.batched_pointee_reads;
+        drop(c);
+        let r = self.res.borrow();
+        self.stats.retries = r.retries;
+        self.stats.retry_successes = r.retry_successes;
+        self.stats.watchdog_denies = r.watchdog_denies;
+        self.stats.watchdog_overruns = r.watchdog_overruns;
+        self.stats.substrate_strikes = u64::from(r.strikes);
+        self.stats.shadow_quarantines = r.quarantines;
+        self.stats.mode = r.mode;
+        self.stats.mode_transitions = r.transitions;
     }
 
     fn deny(&mut self, ctx: ContextKind, nr: u32, what: &str) -> TraceVerdict {
@@ -304,6 +510,7 @@ impl Monitor {
             ContextKind::CallType => self.stats.ct_violations += 1,
             ContextKind::ControlFlow => self.stats.cf_violations += 1,
             ContextKind::ArgIntegrity => self.stats.ai_violations += 1,
+            ContextKind::FailClosed => self.stats.fc_violations += 1,
         }
         self.log.push((nr, false));
         TraceVerdict::Deny(format!("{}: {}", ctx.label(), what))
@@ -317,20 +524,56 @@ impl Tracer for Monitor {
 
     fn on_trap(&mut self, tracee: &mut Tracee<'_>) -> TraceVerdict {
         self.stats.traps += 1;
-        let regs = tracee.getregs();
-        let nr = regs.nr;
 
-        // Hook-only configuration: pay the stop, touch nothing else.
-        if !self.cfg.verifies() && !self.cfg.fetch_state {
+        // Non-verifying configurations do not enforce anything, so the
+        // degradation ladder does not apply to them.
+        if !self.cfg.verifies() {
+            let regs = tracee.getregs();
+            let nr = regs.nr;
+            if self.cfg.fetch_state {
+                // Fetch-state configuration: pay for register and stack
+                // fetches without verifying (Table 7 row 2).
+                let _ = verify::fetch_only(self, tracee, &regs);
+            }
             self.log.push((nr, true));
             return TraceVerdict::Allow;
         }
-        // Fetch-state configuration: pay for register and stack fetches
-        // without verifying (Table 7 row 2).
-        if !self.cfg.verifies() {
-            let _ = verify::fetch_only(self, tracee, &regs);
-            self.log.push((nr, true));
-            return TraceVerdict::Allow;
+
+        let mode = self.res.borrow().mode;
+
+        // Fail-closed rung: the substrate is untrusted — deny without
+        // touching the tracee at all.
+        if mode == MonitorMode::FailClosed {
+            let v = self.deny(
+                ContextKind::FailClosed,
+                0,
+                "monitor fail-closed: tracee state untrusted after repeated substrate failures",
+            );
+            self.sync_counters();
+            return v;
+        }
+
+        let regs = match verify::getregs_resilient(self, tracee) {
+            Ok(r) => r,
+            Err((ctx, msg)) => {
+                let v = self.deny(ctx, 0, &msg);
+                self.sync_counters();
+                return v;
+            }
+        };
+        let nr = regs.nr;
+
+        // Degraded rung: contexts needing deep remote reads cannot be
+        // trusted; configs that require them fail closed, while Call-Type
+        // — one frame-head read — keeps being verified below.
+        if mode == MonitorMode::Degraded && (self.cfg.control_flow || self.cfg.arg_integrity) {
+            let v = self.deny(
+                ContextKind::FailClosed,
+                nr,
+                "monitor degraded: control-flow/argument contexts unverifiable",
+            );
+            self.sync_counters();
+            return v;
         }
 
         let verdict = match verify::verify_trap(self, tracee, &regs) {
@@ -349,12 +592,7 @@ impl Tracer for Monitor {
             }
             Err((ctx, msg)) => self.deny(ctx, nr, &msg),
         };
-        let c = self.cache.borrow();
-        self.stats.ct_cache_hits = c.ct_hits;
-        self.stats.walk_cache_hits = c.walk_hits;
-        self.stats.batched_frame_reads = c.batched_frame_reads;
-        self.stats.batched_pointee_reads = c.batched_pointee_reads;
-        drop(c);
+        self.sync_counters();
         verdict
     }
 }
@@ -392,7 +630,7 @@ mod tests {
         let md = bastion_compiler::ContextMetadata::default();
         let m = Monitor::new(&md, ContextConfig::ct(), LaunchInfo::default());
         assert_eq!(m.stats.min_depth, 0);
-        let json = serde_json::to_string(&m.stats).unwrap();
+        let json = serde_json::to_string(&m.stats).expect("MonitorStats serializes");
         assert!(
             !json.contains("18446744073709551615"),
             "sentinel leaked: {json}"

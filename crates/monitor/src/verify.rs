@@ -16,9 +16,117 @@ use crate::{ContextKind, Monitor};
 use bastion_compiler::metadata::{ArgMeta, CallsiteKind};
 use bastion_ir::CALL_SIZE;
 use bastion_kernel::{Regs, Tracee};
+use bastion_vm::shadow::{Binding, ShadowError};
 use bastion_vm::{OutOfBounds, ShadowTable};
 
 type Violation = (ContextKind, String);
+
+// ---- Substrate resilience (fail-closed policy layer) ----
+//
+// Every remote access the verification paths make goes through the helpers
+// below. On the clean path they are pass-through: one attempt, no extra
+// charge, no bookkeeping. Only when an access fails (injected fault or a
+// genuinely hostile/unlucky tracee) do retry-with-backoff, strike counting,
+// and the degradation ladder engage.
+
+/// Runs one substrate access under the configured bounded
+/// retry-with-backoff policy. Exhausting the retries records a substrate
+/// strike (the degradation-ladder driver) and surfaces the final error.
+fn with_retries<T>(
+    mon: &Monitor,
+    tracee: &mut Tracee<'_>,
+    mut op: impl FnMut(&mut Tracee<'_>) -> Result<T, OutOfBounds>,
+) -> Result<T, OutOfBounds> {
+    let pol = mon.cfg.resilience;
+    let mut attempt = 0u32;
+    loop {
+        match op(tracee) {
+            Ok(v) => {
+                if attempt > 0 {
+                    mon.res.borrow_mut().retry_successes += 1;
+                }
+                return Ok(v);
+            }
+            Err(e) => {
+                if attempt >= pol.max_retries {
+                    mon.substrate_strike();
+                    return Err(e);
+                }
+                // Exponential backoff, charged as monitor-side stall time.
+                tracee.stall(pol.retry_backoff_cycles << attempt.min(8));
+                attempt += 1;
+                mon.res.borrow_mut().retries += 1;
+            }
+        }
+    }
+}
+
+/// `PTRACE_GETREGS` with retries; the register snapshot is the monitor's
+/// entry point into the tracee, so its loss is terminal for the trap.
+pub(crate) fn getregs_resilient(mon: &Monitor, tracee: &mut Tracee<'_>) -> Result<Regs, Violation> {
+    with_retries(mon, tracee, |t| t.try_getregs())
+        .map_err(|_| fc_err("tracee registers unreadable after retries; denying trap".to_string()))
+}
+
+/// Watchdog checkpoint: if this trap's verification has charged more
+/// cycles than the configured deadline, record the overrun and (policy
+/// permitting) deny the trap fail-closed. Checked at every verification
+/// stage boundary so a stalled access is caught at the next checkpoint.
+fn check_deadline(mon: &Monitor, tracee: &Tracee<'_>) -> Result<(), Violation> {
+    let pol = mon.cfg.resilience;
+    let Some(deadline) = pol.deadline_cycles else {
+        return Ok(());
+    };
+    if tracee.charged_this_trap() <= deadline {
+        return Ok(());
+    }
+    mon.res.borrow_mut().watchdog_overruns += 1;
+    if !pol.deny_on_timeout {
+        return Ok(());
+    }
+    mon.res.borrow_mut().watchdog_denies += 1;
+    mon.substrate_strike();
+    Err(fc_err(format!(
+        "trap verification exceeded its {deadline}-cycle deadline"
+    )))
+}
+
+/// Maps a checked-shadow-read failure to a violation; corruption
+/// additionally quarantines the shadow table.
+fn shadow_fail(mon: &Monitor, e: ShadowError) -> Violation {
+    match e {
+        ShadowError::Fault(f) => ai_err(format!("shadow read failed: {f}")),
+        ShadowError::Corrupt { .. } => {
+            mon.quarantine_shadow();
+            ai_err(format!("{e}; shadow table quarantined"))
+        }
+    }
+}
+
+/// Integrity-checked binding lookup.
+fn shadow_binding(
+    mon: &Monitor,
+    tracee: &Tracee<'_>,
+    shadow: &ShadowTable,
+    callsite: u64,
+    pos: u8,
+) -> Result<Option<Binding>, Violation> {
+    shadow
+        .get_binding_checked(&tracee.shared_shadow(), callsite, pos)
+        .map_err(|e| shadow_fail(mon, e))
+}
+
+/// Integrity-checked shadow-value lookup.
+fn shadow_value(
+    mon: &Monitor,
+    tracee: &Tracee<'_>,
+    shadow: &ShadowTable,
+    addr: u64,
+) -> Result<Option<(u64, u8)>, Violation> {
+    shadow
+        .read_value_checked(&tracee.shared_shadow(), addr)
+        .map_err(|e| shadow_fail(mon, e))
+}
 
 /// Table 7 row 2: fetch the same process state a full verification would
 /// (top return address plus the frame chain) without checking anything.
@@ -64,18 +172,17 @@ pub(crate) fn verify_trap(
     // pointer comes along in the same batched read — the stack walk needs
     // it moments later.
     let (prefetched, ret0) = if mon.cfg.fast_path {
-        let fr = tracee
-            .read_frame(regs.fp)
+        let fr = with_retries(mon, tracee, |t| t.read_frame(regs.fp))
             .map_err(|e| ct_err(&format!("stack unreadable: {e}")))?;
         mon.cache.borrow_mut().batched_frame_reads += 1;
         (Some(fr), fr.1)
     } else {
-        let ret = tracee
-            .read_u64(regs.fp + 8)
+        let ret = with_retries(mon, tracee, |t| t.read_u64(regs.fp + 8))
             .map_err(|e| ct_err(&format!("stack unreadable: {e}")))?;
         (None, ret)
     };
     let callsite0 = ret0.wrapping_sub(CALL_SIZE);
+    check_deadline(mon, tracee)?;
 
     // ---- Call-Type context (§7.2) ----
     if mon.cfg.call_type {
@@ -106,10 +213,12 @@ pub(crate) fn verify_trap(
 
     // ---- Stack walk (shared by CF §7.3 and AI §7.4) ----
     let frames = walk_stack(mon, tracee, stub_entry, regs.fp, prefetched)?;
+    check_deadline(mon, tracee)?;
 
     // ---- Argument Integrity context (§7.4) ----
     if mon.cfg.arg_integrity {
         verify_args(mon, tracee, regs, &frames)?;
+        check_deadline(mon, tracee)?;
     }
 
     Ok(frames.len() as u64)
@@ -147,6 +256,10 @@ fn check_call_type(mon: &Monitor, nr: u32, callsite0: u64) -> Result<(), Violati
 
 fn ct_err(msg: &str) -> Violation {
     (ContextKind::CallType, msg.to_string())
+}
+
+fn fc_err(msg: String) -> Violation {
+    (ContextKind::FailClosed, msg)
 }
 
 fn cf_err(msg: String) -> Violation {
@@ -201,8 +314,8 @@ fn walk_stack(
     let mut strict = true;
 
     for _ in 0..128 {
-        let ret = tracee
-            .read_u64(cur_fp + 8)
+        check_deadline(mon, tracee)?;
+        let ret = with_retries(mon, tracee, |t| t.read_u64(cur_fp + 8))
             .map_err(|e| cf_err(format!("frame at {cur_fp:#x} unreadable: {e}")))?;
         if ret == 0 {
             // Bottom of the stack: only main's frame terminates here.
@@ -262,8 +375,7 @@ fn walk_stack(
                     callsite: Some(callsite),
                     fp: cur_fp,
                 });
-                let saved = tracee
-                    .read_u64(cur_fp)
+                let saved = with_retries(mon, tracee, |t| t.read_u64(cur_fp))
                     .map_err(|e| cf_err(format!("saved fp unreadable: {e}")))?;
                 cur_entry = cs.in_func;
                 cur_fp = saved;
@@ -291,8 +403,7 @@ fn walk_stack(
                     callsite: Some(callsite),
                     fp: cur_fp,
                 });
-                let saved = tracee
-                    .read_u64(cur_fp)
+                let saved = with_retries(mon, tracee, |t| t.read_u64(cur_fp))
                     .map_err(|e| cf_err(format!("saved fp unreadable: {e}")))?;
                 cur_entry = cs.in_func;
                 cur_fp = saved;
@@ -407,11 +518,16 @@ fn validate_chain(mon: &Monitor, chain: &[FrameRec], end: &ChainEnd) -> Result<(
     for f in chain {
         // Terminal frames carry no callsite; the terminator covers them.
         let Some(callsite) = f.callsite else { continue };
-        let kind = md
-            .callsites
-            .get(&callsite)
-            .expect("chain frames reference known callsites")
-            .kind;
+        // The walker only records callsites it resolved from metadata, so
+        // a miss here means the chain and the metadata disagree (e.g. a
+        // cached chain outliving a rebind, or corrupted monitor state).
+        // That is a verification failure, never a monitor crash.
+        let Some(cs) = md.callsites.get(&callsite) else {
+            return Err(cf_err(format!(
+                "chain frame references unknown callsite {callsite:#x}"
+            )));
+        };
+        let kind = cs.kind;
         match kind {
             CallsiteKind::Indirect => {
                 if cf && !md.indirect_entries.contains(&f.func_entry) {
@@ -450,7 +566,14 @@ fn validate_chain(mon: &Monitor, chain: &[FrameRec], end: &ChainEnd) -> Result<(
     }
     match end {
         ChainEnd::Bottom => {
-            let last = chain.last().expect("bottom implies a walked frame");
+            // An empty chain with a Bottom terminator cannot happen on the
+            // walker's own output, but a malformed cached chain must read
+            // as a violation, not a panic inside the monitor.
+            let Some(last) = chain.last() else {
+                return Err(cf_err(
+                    "stack walk bottomed out without walking any frame".into(),
+                ));
+            };
             if cf && last.func_entry != md.main_entry {
                 let name = md
                     .func_of(last.func_entry)
@@ -487,6 +610,14 @@ fn verify_args(
 ) -> Result<(), Violation> {
     let md = &mon.md;
     let shadow = ShadowTable::new(tracee.gs_base());
+
+    // A quarantined shadow table cannot back any argument claim: fail
+    // closed rather than consult known-corrupt state.
+    if mon.res.borrow().shadow_quarantined {
+        return Err(ai_err(
+            "shadow table quarantined; argument integrity unverifiable".into(),
+        ));
+    }
 
     // 1. The syscall callsite itself: trapped argument registers.
     let syscall_cs = frames
@@ -531,38 +662,30 @@ fn verify_args(
         let Some(specs) = md.prop_sites.get(&created_by) else {
             continue;
         };
+        check_deadline(mon, tracee)?;
         for (pos, am) in specs {
             match am {
-                ArgMeta::Mem => {
-                    match shadow
-                        .get_binding(&tracee.shared_shadow(), created_by, *pos)
-                        .map_err(|e| ai_err(format!("shadow read failed: {e}")))?
-                    {
-                        Some(bastion_vm::shadow::Binding::Mem(addr)) => {
-                            let Some((legit, _)) = shadow
-                                .read_value(&tracee.shared_shadow(), addr)
-                                .map_err(|e| ai_err(format!("shadow read failed: {e}")))?
-                            else {
-                                return Err(ai_err(format!(
-                                    "no shadow copy for bound variable {addr:#x}"
-                                )));
-                            };
-                            let current = tracee
-                                .read_u64(addr)
-                                .map_err(|e| ai_err(format!("bound variable unreadable: {e}")))?;
-                            if current != legit {
-                                return Err(ai_err(format!(
+                ArgMeta::Mem => match shadow_binding(mon, tracee, &shadow, created_by, *pos)? {
+                    Some(Binding::Mem(addr)) => {
+                        let Some((legit, _)) = shadow_value(mon, tracee, &shadow, addr)? else {
+                            return Err(ai_err(format!(
+                                "no shadow copy for bound variable {addr:#x}"
+                            )));
+                        };
+                        let current = with_retries(mon, tracee, |t| t.read_u64(addr))
+                            .map_err(|e| ai_err(format!("bound variable unreadable: {e}")))?;
+                        if current != legit {
+                            return Err(ai_err(format!(
                                     "sensitive variable {addr:#x} corrupted: {current:#x} != shadow {legit:#x}"
                                 )));
-                            }
-                        }
-                        Some(bastion_vm::shadow::Binding::Const(_)) | None => {
-                            return Err(ai_err(format!(
-                                "missing memory binding at prop site {created_by:#x} pos {pos}"
-                            )));
                         }
                     }
-                }
+                    Some(Binding::Const(_)) | None => {
+                        return Err(ai_err(format!(
+                            "missing memory binding at prop site {created_by:#x} pos {pos}"
+                        )));
+                    }
+                },
                 ArgMeta::Const(v) => {
                     // The constant was spilled into the callee's parameter
                     // slot; verify it there using frame geometry metadata.
@@ -574,8 +697,7 @@ fn verify_args(
                         continue;
                     }
                     let slot = callee_f.fp - fm.frame_size + fm.slot_offsets[idx];
-                    let cur = tracee
-                        .read_u64(slot)
+                    let cur = with_retries(mon, tracee, |t| t.read_u64(slot))
                         .map_err(|e| ai_err(format!("param slot unreadable: {e}")))?;
                     if cur != *v as u64 {
                         return Err(ai_err(format!(
@@ -611,15 +733,10 @@ fn check_arg(
             }
         }
         ArgMeta::Mem => {
-            let binding = shadow
-                .get_binding(&tracee.shared_shadow(), callsite, pos)
-                .map_err(|e| ai_err(format!("shadow read failed: {e}")))?;
+            let binding = shadow_binding(mon, tracee, shadow, callsite, pos)?;
             match binding {
-                Some(bastion_vm::shadow::Binding::Mem(addr)) => {
-                    let Some((legit, _)) = shadow
-                        .read_value(&tracee.shared_shadow(), addr)
-                        .map_err(|e| ai_err(format!("shadow read failed: {e}")))?
-                    else {
+                Some(Binding::Mem(addr)) => {
+                    let Some((legit, _)) = shadow_value(mon, tracee, shadow, addr)? else {
                         return Err(ai_err(format!(
                             "argument {pos}: no shadow copy for {addr:#x}"
                         )));
@@ -632,8 +749,7 @@ fn check_arg(
                     // Also verify the variable's *current* memory value —
                     // catches corruption landing between the bind and the
                     // trap (the TOCTOU window §6.3.2 cares about).
-                    let current = tracee
-                        .read_u64(addr)
+                    let current = with_retries(mon, tracee, |t| t.read_u64(addr))
                         .map_err(|e| ai_err(format!("bound variable unreadable: {e}")))?;
                     if current != legit {
                         return Err(ai_err(format!(
@@ -641,7 +757,7 @@ fn check_arg(
                         )));
                     }
                 }
-                Some(bastion_vm::shadow::Binding::Const(c)) => {
+                Some(Binding::Const(c)) => {
                     if actual != c as u64 {
                         return Err(ai_err(format!(
                             "argument {pos}: {actual:#x} != bound constant {c:#x}"
@@ -667,8 +783,7 @@ fn check_arg(
             }
             if let Some(exp) = expected {
                 let mut buf = vec![0u8; exp.len()];
-                tracee
-                    .read_mem(actual, &mut buf)
+                with_retries(mon, tracee, |t| t.read_mem(actual, &mut buf))
                     .map_err(|e| ai_err(format!("argument {pos}: pointee unreadable: {e}")))?;
                 if &buf != exp {
                     return Err(ai_err(format!(
@@ -703,39 +818,53 @@ fn verify_pointee_shadow(
     let mut buf = [0u8; 256];
     // Read up to 256 bytes; shorter mapped prefixes are fine. The buffer is
     // scanned up to and including the first NUL, like the legacy loop.
-    let n = if mon.cfg.fast_path {
+    let (n, nul_found) = if mon.cfg.fast_path {
         // One bounded prefix read instead of a charged read per byte.
         mon.cache.borrow_mut().batched_pointee_reads += 1;
-        let mapped = tracee.read_mem_prefix(ptr, &mut buf);
-        buf[..mapped]
-            .iter()
-            .position(|&b| b == 0)
-            .map_or(mapped, |z| z + 1)
+        let mapped = with_retries(mon, tracee, |t| t.read_mem_prefix(ptr, &mut buf))
+            .map_err(|e| ai_err(format!("argument {pos}: pointee unreadable: {e}")))?;
+        let nul = buf[..mapped].iter().position(|&b| b == 0);
+        (nul.map_or(mapped, |z| z + 1), nul.is_some())
     } else {
         let mut n = 0;
+        let mut nul = false;
         while n < buf.len() {
             let mut b = [0u8; 1];
+            // Deliberately not retried: a failed byte read is the expected
+            // terminator of a string running to the end of its mapping.
             if tracee.read_mem(ptr + n as u64, &mut b).is_err() {
                 break;
             }
             buf[n] = b[0];
             n += 1;
             if b[0] == 0 {
+                nul = true;
                 break;
             }
         }
-        n
+        (n, nul)
     };
     for (i, &byte) in buf[..n].iter().enumerate() {
         let addr = ptr + i as u64;
-        if let Some((legit, size)) = shadow
-            .read_value(&tracee.shared_shadow(), addr)
-            .map_err(|e| ai_err(format!("shadow read failed: {e}")))?
-        {
+        if let Some((legit, size)) = shadow_value(mon, tracee, shadow, addr)? {
             let legit_byte = (legit & 0xff) as u8;
             if size == 1 && legit_byte != byte {
                 return Err(ai_err(format!(
                     "argument {pos}: pointee byte at {addr:#x} corrupted ({byte:#x} != {legit_byte:#x})"
+                )));
+            }
+        }
+    }
+    // The window ended before a terminator (torn read, racing unmap, or a
+    // mapping edge): bytes past it were never compared against their shadow
+    // entries. If any of them IS shadow-backed, a recorded byte escaped
+    // verification — deny rather than trust the truncated window.
+    if !nul_found && n < buf.len() {
+        for i in n..buf.len() {
+            if shadow_value(mon, tracee, shadow, ptr + i as u64)?.is_some() {
+                return Err(ai_err(format!(
+                    "argument {pos}: shadow-backed pointee bytes past {:#x} are unreadable",
+                    ptr + n as u64
                 )));
             }
         }

@@ -257,6 +257,7 @@ fn ct_and_cf_disabled_still_catch_with_ai() {
         arg_integrity: true,
         fetch_state: true,
         fast_path: true,
+        resilience: bastion_monitor::Resilience::default(),
     };
     protect(&mut world, pid, &image, &out.metadata, cfg);
     assert_eq!(world.run(50_000_000), RunStatus::AllExited);

@@ -63,4 +63,4 @@ pub use image::{Image, ImageBuilder};
 pub use interp::{run, run_bounded, run_legacy, step, Event, RunOutcome};
 pub use machine::{CfiPolicy, Fault, Frame, Machine};
 pub use mem::{MemIo, Memory, OutOfBounds};
-pub use shadow::{ShadowTable, SHADOW_REGION_SIZE};
+pub use shadow::{ShadowError, ShadowTable, SHADOW_REGION_SIZE};

@@ -29,6 +29,53 @@ const KIND_VALUE: u64 = 1;
 const KIND_BIND_MEM: u64 = 2;
 const KIND_BIND_CONST: u64 = 3;
 const BIND_TAG: u64 = 1 << 63;
+/// Meta layout: kind in bits 0..8, size in bits 8..16, entry checksum in
+/// bits 16..24 (computed over key, kind|size, and value by
+/// [`entry_sum`]). The checksum lets monitor-side readers detect shadow
+/// corruption (bit flips, hostile scribbles) instead of trusting the
+/// mapping blindly.
+const META_SUM_SHIFT: u64 = 16;
+const META_LOW_MASK: u64 = 0xffff;
+
+/// 8-bit integrity checksum over one shadow entry. A mixed (splitmix-style)
+/// fold so a single flipped bit anywhere in (key, kind|size, value)
+/// changes the sum with high probability.
+fn entry_sum(key: u64, kindsize: u64, value: u64) -> u64 {
+    let mut x = key ^ value.rotate_left(17) ^ (kindsize << 1) ^ 0xB5A1_C3D9_7E4F_0253;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 29;
+    x & 0xff
+}
+
+/// Why a checked shadow read failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShadowError {
+    /// The shadow mapping itself faulted.
+    Fault(OutOfBounds),
+    /// An entry failed its integrity checksum.
+    Corrupt {
+        /// Address of the corrupt entry.
+        addr: u64,
+    },
+}
+
+impl From<OutOfBounds> for ShadowError {
+    fn from(e: OutOfBounds) -> Self {
+        ShadowError::Fault(e)
+    }
+}
+
+impl std::fmt::Display for ShadowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShadowError::Fault(e) => write!(f, "shadow mapping fault at {:#x}", e.addr),
+            ShadowError::Corrupt { addr } => {
+                write!(f, "shadow entry at {addr:#x} failed its checksum")
+            }
+        }
+    }
+}
 
 /// A runtime argument binding recorded for a callsite position.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -105,8 +152,12 @@ impl ShadowTable {
         size: u8,
     ) -> Result<(), OutOfBounds> {
         let (ea, _) = self.probe(mem, addr)?;
+        let kindsize = KIND_VALUE | (u64::from(size) << 8);
         mem.write_u64(ea, addr)?;
-        mem.write_u64(ea + 8, KIND_VALUE | (u64::from(size) << 8))?;
+        mem.write_u64(
+            ea + 8,
+            kindsize | (entry_sum(addr, kindsize, value) << META_SUM_SHIFT),
+        )?;
         mem.write_u64(ea + 16, value)
     }
 
@@ -146,7 +197,10 @@ impl ShadowTable {
         let key = Self::bind_key(callsite, pos);
         let (ea, _) = self.probe(mem, key)?;
         mem.write_u64(ea, key)?;
-        mem.write_u64(ea + 8, KIND_BIND_MEM)?;
+        mem.write_u64(
+            ea + 8,
+            KIND_BIND_MEM | (entry_sum(key, KIND_BIND_MEM, var_addr) << META_SUM_SHIFT),
+        )?;
         mem.write_u64(ea + 16, var_addr)
     }
 
@@ -165,7 +219,10 @@ impl ShadowTable {
         let key = Self::bind_key(callsite, pos);
         let (ea, _) = self.probe(mem, key)?;
         mem.write_u64(ea, key)?;
-        mem.write_u64(ea + 8, KIND_BIND_CONST)?;
+        mem.write_u64(
+            ea + 8,
+            KIND_BIND_CONST | (entry_sum(key, KIND_BIND_CONST, value as u64) << META_SUM_SHIFT),
+        )?;
         mem.write_u64(ea + 16, value as u64)
     }
 
@@ -187,6 +244,104 @@ impl ShadowTable {
         let meta = mem.read_u64(ea + 8)?;
         let value = mem.read_u64(ea + 16)?;
         Ok(match meta & 0xff {
+            KIND_BIND_MEM => Some(Binding::Mem(value)),
+            KIND_BIND_CONST => Some(Binding::Const(value as i64)),
+            _ => None,
+        })
+    }
+
+    /// [`ShadowTable::probe`] with integrity checking: every slot the probe
+    /// path visits is validated, not just the final one. Without this, a
+    /// single flipped bit in a stored *key* silently diverts the probe past
+    /// the real entry to an empty slot — the entry "vanishes" and the bytes
+    /// it shadows would escape verification entirely.
+    fn probe_checked<M: MemIo>(&self, mem: &M, key: u64) -> Result<(u64, bool), ShadowError> {
+        let mut slot = Self::hash(key);
+        for _ in 0..SHADOW_CAPACITY {
+            let ea = self.slot_addr(slot);
+            let k = mem.read_u64(ea)?;
+            if k == key {
+                return Ok((ea, true));
+            }
+            let meta = mem.read_u64(ea + 8)?;
+            let value = mem.read_u64(ea + 16)?;
+            if k == 0 {
+                // An empty-looking slot with live metadata is an occupied
+                // slot whose key was wiped.
+                if meta != 0 || value != 0 {
+                    return Err(ShadowError::Corrupt { addr: ea });
+                }
+                return Ok((ea, false));
+            }
+            // A foreign slot redirects the probe; verify it really is a
+            // healthy foreign entry before trusting the redirection.
+            let kindsize = meta & META_LOW_MASK;
+            if (meta >> META_SUM_SHIFT) & 0xff != entry_sum(k, kindsize, value) {
+                return Err(ShadowError::Corrupt { addr: ea });
+            }
+            slot = slot.wrapping_add(1);
+        }
+        Ok((self.slot_addr(Self::hash(key)), false))
+    }
+
+    /// Reads an entry at `ea` and verifies its checksum against `key`.
+    fn read_entry_checked<M: MemIo>(
+        &self,
+        mem: &M,
+        ea: u64,
+        key: u64,
+    ) -> Result<(u64, u64), ShadowError> {
+        let meta = mem.read_u64(ea + 8)?;
+        let value = mem.read_u64(ea + 16)?;
+        let kindsize = meta & META_LOW_MASK;
+        if (meta >> META_SUM_SHIFT) & 0xff != entry_sum(key, kindsize, value) {
+            return Err(ShadowError::Corrupt { addr: ea });
+        }
+        Ok((kindsize, value))
+    }
+
+    /// [`ShadowTable::read_value`] with integrity checking: the monitor's
+    /// variant. A checksum mismatch is reported as corruption instead of
+    /// being trusted.
+    ///
+    /// # Errors
+    /// Propagates faults on the shadow region itself, and reports entries
+    /// that fail their checksum.
+    pub fn read_value_checked<M: MemIo>(
+        &self,
+        mem: &M,
+        addr: u64,
+    ) -> Result<Option<(u64, u8)>, ShadowError> {
+        let (ea, found) = self.probe_checked(mem, addr)?;
+        if !found {
+            return Ok(None);
+        }
+        let (kindsize, value) = self.read_entry_checked(mem, ea, addr)?;
+        if kindsize & 0xff != KIND_VALUE {
+            return Ok(None);
+        }
+        Ok(Some((value, ((kindsize >> 8) & 0xff) as u8)))
+    }
+
+    /// [`ShadowTable::get_binding`] with integrity checking: the monitor's
+    /// variant.
+    ///
+    /// # Errors
+    /// Propagates faults on the shadow region itself, and reports entries
+    /// that fail their checksum.
+    pub fn get_binding_checked<M: MemIo>(
+        &self,
+        mem: &M,
+        callsite: u64,
+        pos: u8,
+    ) -> Result<Option<Binding>, ShadowError> {
+        let key = Self::bind_key(callsite, pos);
+        let (ea, found) = self.probe_checked(mem, key)?;
+        if !found {
+            return Ok(None);
+        }
+        let (kindsize, value) = self.read_entry_checked(mem, ea, key)?;
+        Ok(match kindsize & 0xff {
             KIND_BIND_MEM => Some(Binding::Mem(value)),
             KIND_BIND_CONST => Some(Binding::Const(value as i64)),
             _ => None,
@@ -276,5 +431,116 @@ mod tests {
         let (mut mem, t) = setup();
         t.write_value(&mut mem, 0x9000, 0x41, 1).unwrap();
         assert_eq!(t.read_value(&mem, 0x9000).unwrap(), Some((0x41, 1)));
+    }
+
+    /// Locates the slot holding `key` by scanning the region (test-only).
+    fn find_entry(mem: &Memory, t: &ShadowTable, key: u64) -> u64 {
+        for slot in 0..SHADOW_CAPACITY {
+            let ea = t.base + slot * ENTRY_SIZE;
+            if mem.read_u64(ea).unwrap() == key {
+                return ea;
+            }
+        }
+        panic!("entry not found");
+    }
+
+    #[test]
+    fn checked_reads_match_unchecked_on_intact_entries() {
+        let (mut mem, t) = setup();
+        t.write_value(&mut mem, 0x7fff_1000, 42, 8).unwrap();
+        t.bind_mem(&mut mem, 0x40_1000, 3, 0x7fff_1000).unwrap();
+        t.bind_const(&mut mem, 0x40_1000, 1, -5).unwrap();
+        assert_eq!(
+            t.read_value_checked(&mem, 0x7fff_1000).unwrap(),
+            Some((42, 8))
+        );
+        assert_eq!(t.read_value_checked(&mem, 0x7fff_2000).unwrap(), None);
+        assert_eq!(
+            t.get_binding_checked(&mem, 0x40_1000, 3).unwrap(),
+            Some(Binding::Mem(0x7fff_1000))
+        );
+        assert_eq!(
+            t.get_binding_checked(&mem, 0x40_1000, 1).unwrap(),
+            Some(Binding::Const(-5))
+        );
+        assert_eq!(t.get_binding_checked(&mem, 0x40_1000, 2).unwrap(), None);
+    }
+
+    #[test]
+    fn checked_reads_detect_value_corruption() {
+        let (mut mem, t) = setup();
+        t.write_value(&mut mem, 0x7fff_1000, 42, 8).unwrap();
+        let ea = find_entry(&mem, &t, 0x7fff_1000);
+        let v = mem.read_u64(ea + 16).unwrap();
+        mem.write_u64(ea + 16, v ^ (1 << 13)).unwrap();
+        // The unchecked reader happily returns the corrupted value; the
+        // checked reader reports it.
+        assert_eq!(
+            t.read_value(&mem, 0x7fff_1000).unwrap(),
+            Some((42 ^ (1 << 13), 8))
+        );
+        assert_eq!(
+            t.read_value_checked(&mem, 0x7fff_1000),
+            Err(ShadowError::Corrupt { addr: ea })
+        );
+    }
+
+    #[test]
+    fn checked_reads_detect_meta_corruption() {
+        let (mut mem, t) = setup();
+        t.bind_const(&mut mem, 0x40_1000, 2, 7).unwrap();
+        let key = ShadowTable::bind_key(0x40_1000, 2);
+        let ea = find_entry(&mem, &t, key);
+        // Flip the binding kind from const to mem — an attack that would
+        // redirect argument validation to an attacker-chosen address.
+        let meta = mem.read_u64(ea + 8).unwrap();
+        mem.write_u64(ea + 8, (meta & !0xff) | 2).unwrap();
+        assert!(matches!(
+            t.get_binding_checked(&mem, 0x40_1000, 2),
+            Err(ShadowError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn checked_probe_detects_key_corruption() {
+        let (mut mem, t) = setup();
+        t.write_value(&mut mem, 0x7fff_1000, 42, 8).unwrap();
+        let ea = find_entry(&mem, &t, 0x7fff_1000);
+        // Flip one key bit: the plain probe now misses the entry entirely
+        // (the byte it shadows would silently escape verification), but the
+        // checked probe refuses to walk past an inconsistent slot.
+        let k = mem.read_u64(ea).unwrap();
+        mem.write_u64(ea, k ^ (1 << 21)).unwrap();
+        assert_eq!(t.read_value(&mem, 0x7fff_1000).unwrap(), None);
+        assert!(matches!(
+            t.read_value_checked(&mem, 0x7fff_1000),
+            Err(ShadowError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn checked_probe_detects_wiped_key() {
+        let (mut mem, t) = setup();
+        t.write_value(&mut mem, 0x7fff_1000, 42, 8).unwrap();
+        let ea = find_entry(&mem, &t, 0x7fff_1000);
+        // Zero the key: the slot now looks empty to the plain probe, but
+        // its live metadata betrays the wipe.
+        mem.write_u64(ea, 0).unwrap();
+        assert_eq!(t.read_value(&mem, 0x7fff_1000).unwrap(), None);
+        assert!(matches!(
+            t.read_value_checked(&mem, 0x7fff_1000),
+            Err(ShadowError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn rebinding_restamps_the_checksum() {
+        let (mut mem, t) = setup();
+        t.bind_const(&mut mem, 0x40_1000, 1, 7).unwrap();
+        t.bind_const(&mut mem, 0x40_1000, 1, 8).unwrap();
+        assert_eq!(
+            t.get_binding_checked(&mem, 0x40_1000, 1).unwrap(),
+            Some(Binding::Const(8))
+        );
     }
 }

@@ -16,6 +16,7 @@ fn ai_only() -> ContextConfig {
         arg_integrity: true,
         fetch_state: false,
         fast_path: true,
+        resilience: bastion_monitor::Resilience::default(),
     }
 }
 

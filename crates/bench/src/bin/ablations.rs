@@ -8,6 +8,8 @@
 //! 4. **Stack-walk termination** at `main`/indirect entries vs. walk depth.
 //! 5. **Trap fast path**: batched remote reads + the verification cache
 //!    vs. the original word-by-word, recheck-everything monitor.
+//! 6. **Phase attribution**: span-traced breakdown of where the monitor's
+//!    trap cycles actually go, legacy vs fast path.
 
 use bastion::apps::{App, ALL_APPS};
 use bastion::compiler::BastionCompiler;
@@ -197,6 +199,51 @@ fn main() {
                 stats.batched_frame_reads,
                 stats.batched_pointee_reads,
             );
+        }
+    }
+
+    println!();
+    println!("Ablation 6: phase attribution — span-traced monitor time per trap phase");
+    println!("(webserve/quick; self cycles exclude child phases; tracing charges nothing)");
+    {
+        use bastion::monitor::ContextConfig;
+        use bastion::obs;
+        let quick = WorkloadSize::quick();
+        let compiler = BastionCompiler::new();
+        for (label, cfg) in [
+            (
+                "legacy (word-by-word)",
+                ContextConfig::full().without_fast_path(),
+            ),
+            ("fast path (batched+cached)", ContextConfig::full()),
+        ] {
+            let mut prot = Protection::full();
+            prot.monitor = Some(cfg);
+            obs::enable(1 << 17);
+            let r = run_app_benchmark(
+                App::Webserve,
+                &prot,
+                &quick,
+                &compiler,
+                CostModel::default(),
+            );
+            let events = obs::take_events();
+            obs::disable();
+            let totals = obs::phase_totals(&events);
+            let trap_time = totals
+                .iter()
+                .find(|t| t.phase == obs::Phase::Trap)
+                .map_or(1, |t| t.cycles.max(1));
+            println!("  {label} ({} traps):", r.traps);
+            for t in totals.iter().filter(|t| t.spans > 0) {
+                println!(
+                    "    {:<18} spans={:<6} self={:<10} ({:5.1}% of trap time)",
+                    t.phase.name(),
+                    t.spans,
+                    t.self_cycles,
+                    t.self_cycles as f64 * 100.0 / trap_time as f64,
+                );
+            }
         }
     }
 }

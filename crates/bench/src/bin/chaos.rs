@@ -56,10 +56,21 @@ fn main() {
     );
     let mut flipped = 0u32;
     let mut fired_total = 0u64;
+    let mut deny_total = 0u64;
+    let mut join_total = 0u64;
+    let mut joins_by_class: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
     for scenario in bastion::attacks::catalog() {
         let reports = attack_chaos(&scenario, ContextConfig::full(), SEEDS);
         let fired: u64 = reports.iter().map(|r| r.faults_fired).sum();
         fired_total += fired;
+        for r in &reports {
+            deny_total += r.deny_records.len() as u64;
+            join_total += r.fault_deny_joins.len() as u64;
+            for &(_, class) in &r.fault_deny_joins {
+                *joins_by_class.entry(class).or_insert(0) += 1;
+            }
+        }
         let contained = reports.iter().all(|r| r.attack_contained());
         let worst = reports
             .iter()
@@ -84,4 +95,16 @@ fn main() {
         std::process::exit(1);
     }
     println!("\nall attacks contained under every fault schedule ({fired_total} faults fired)");
+
+    // ---- deny provenance ----
+    // Joins pair an injected fault with a deny issued for the very trap it
+    // corrupted (`InjectedFault::world_trap` == `DenyRecord::trap_seq`) —
+    // the audit trail showing *which* substrate failure triggered *which*
+    // fail-closed kill.
+    println!(
+        "\ndeny provenance: {deny_total} structured deny records, {join_total} fault->deny joins"
+    );
+    for (class, n) in &joins_by_class {
+        println!("  substrate access {class:<12} implicated in {n} deny(s)");
+    }
 }

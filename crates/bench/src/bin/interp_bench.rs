@@ -51,6 +51,18 @@ struct AppRow {
     speedup: f64,
 }
 
+/// One phase's aggregate from a traced run (see `bastion_obs::phase_totals`).
+#[derive(Debug, Serialize)]
+struct PhaseRow {
+    phase: String,
+    spans: u64,
+    instants: u64,
+    /// Inclusive virtual cycles (children counted).
+    cycles: u64,
+    /// Exclusive virtual cycles (children subtracted).
+    self_cycles: u64,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     bench: String,
@@ -58,6 +70,10 @@ struct Report {
     /// Webserve on the Figure 3 (standard) workload — the headline number.
     webserve_fig3: Comparison,
     apps: Vec<AppRow>,
+    /// Per-phase monitor-time breakdown of a span-traced webserve/quick/full
+    /// run. Tracing never charges virtual cycles, so the traced run's cycle
+    /// counts are bit-identical to the untraced `apps` row.
+    phase_breakdown: Vec<PhaseRow>,
 }
 
 /// A tight loop exercising the hot dispatch path: arithmetic, compares,
@@ -247,11 +263,47 @@ fn main() {
         );
     }
 
+    // Phase breakdown: one span-traced webserve/quick/full run. The traced
+    // run must reproduce the untraced row's cycle counts exactly — the
+    // telemetry layer charges no virtual cycles.
+    bastion::obs::enable(1 << 17);
+    let traced = run_app_benchmark(
+        App::Webserve,
+        &Protection::full(),
+        &quick,
+        &BastionCompiler::new(),
+        CostModel::default(),
+    );
+    let events = bastion::obs::take_events();
+    bastion::obs::disable();
+    assert_eq!(
+        (traced.cycles, traced.traps),
+        (apps[0].virtual_cycles, apps[0].traps),
+        "span tracing perturbed the deterministic clock"
+    );
+    let phase_breakdown: Vec<PhaseRow> = bastion::obs::phase_totals(&events)
+        .iter()
+        .map(|t| PhaseRow {
+            phase: t.phase.name().to_string(),
+            spans: t.spans,
+            instants: t.instants,
+            cycles: t.cycles,
+            self_cycles: t.self_cycles,
+        })
+        .collect();
+    for row in &phase_breakdown {
+        eprintln!(
+            "phase {:<18} spans={:<6} incl={:<10} self={}",
+            row.phase, row.spans, row.cycles, row.self_cycles
+        );
+    }
+
     let report = Report {
         bench: "interp".to_string(),
         microloop,
         webserve_fig3,
         apps,
+        phase_breakdown,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("write report");

@@ -1,0 +1,183 @@
+//! Telemetry smoke test (CI `obs-smoke` step).
+//!
+//! Two runs of webserve/quick under full protection:
+//!
+//! 1. **Clean path** (tracing off) — asserts the telemetry layer recorded
+//!    nothing, then diffs `virtual_cycles`/`traps` against the committed
+//!    `BENCH_interp.json` webserve row: the bench-smoke regression gate.
+//! 2. **Traced** — asserts the traced run's cycle counts are bit-identical
+//!    to the clean run (tracing charges no virtual cycles), exports a
+//!    Chrome trace, validates its shape, and cross-checks the span ring
+//!    against `MonitorStats`: trap spans == traps, cache-hit instants ==
+//!    cache-hit counters, and the per-trap phase sum == monitor time
+//!    (`trace_cycles - init_cycles`).
+//!
+//! Exit status is non-zero on any divergence; usage:
+//! `obs_smoke [BENCH_interp.json] [OBS_trace.json]`.
+
+use bastion::apps::App;
+use bastion::compiler::BastionCompiler;
+use bastion::harness::{run_app_benchmark, AppBenchmark, WorkloadSize};
+use bastion::obs;
+use bastion::obs::Phase;
+use bastion::vm::CostModel;
+use bastion::Protection;
+use serde::{DeError, Deserialize, Value};
+
+/// `Value` passthrough so the shim can parse arbitrary JSON documents.
+struct RawValue(Value);
+
+impl Deserialize for RawValue {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(RawValue(v.clone()))
+    }
+}
+
+fn webserve_quick() -> AppBenchmark {
+    run_app_benchmark(
+        App::Webserve,
+        &Protection::full(),
+        &WorkloadSize::quick(),
+        &BastionCompiler::new(),
+        CostModel::default(),
+    )
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match *v {
+        Value::UInt(u) => Some(u),
+        Value::Int(i) if i >= 0 => Some(i as u64),
+        _ => None,
+    }
+}
+
+/// The committed bench baseline's webserve row: `(virtual_cycles, traps)`.
+fn baseline_row(path: &str) -> Result<(u64, u64), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc: RawValue = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let apps = match doc.0.field("apps") {
+        Ok(Value::Array(items)) => items,
+        _ => return Err(format!("{path}: no `apps` array")),
+    };
+    for row in apps {
+        let is_webserve = matches!(row.field("app"), Ok(Value::Str(s)) if s == "webserve");
+        if !is_webserve {
+            continue;
+        }
+        let cycles = row.field("virtual_cycles").ok().and_then(as_u64);
+        let traps = row.field("traps").ok().and_then(as_u64);
+        if let (Some(c), Some(t)) = (cycles, traps) {
+            return Ok((c, t));
+        }
+        return Err(format!("{path}: webserve row missing cycle fields"));
+    }
+    Err(format!("{path}: no webserve row"))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let bench_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_interp.json".to_string());
+    let trace_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "OBS_trace.json".to_string());
+
+    // ---- clean path: tracing off ----
+    let clean = webserve_quick();
+    if obs::event_count() != 0 {
+        fail("disabled tracer recorded events on the clean path");
+    }
+    println!(
+        "clean path: cycles={} traps={} trace_cycles={}",
+        clean.cycles, clean.traps, clean.trace_cycles
+    );
+    match baseline_row(&bench_path) {
+        Ok((cycles, traps)) => {
+            if (clean.cycles, clean.traps) != (cycles, traps) {
+                fail(&format!(
+                    "clean-path divergence vs {bench_path}: cycles {} vs {}, traps {} vs {}",
+                    clean.cycles, cycles, clean.traps, traps
+                ));
+            }
+            println!("bench-smoke: matches {bench_path} webserve row exactly");
+        }
+        Err(e) => fail(&e),
+    }
+
+    // ---- traced run ----
+    obs::enable(1 << 17);
+    let traced = webserve_quick();
+    let events = obs::take_events();
+    let metrics = obs::metrics_snapshot();
+    obs::disable();
+    if (traced.cycles, traced.traps, traced.trace_cycles)
+        != (clean.cycles, clean.traps, clean.trace_cycles)
+    {
+        fail("span tracing perturbed the deterministic clock");
+    }
+    let stats = traced.monitor.as_ref().unwrap_or_else(|| {
+        fail("traced run has no monitor stats");
+    });
+
+    let json = obs::chrome_trace_json(&events);
+    let shape = match obs::validate_chrome_trace(&json) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("exported trace invalid: {e}")),
+    };
+    if shape.trap_spans != stats.traps {
+        fail(&format!(
+            "trace has {} trap spans but the monitor served {} traps",
+            shape.trap_spans, stats.traps
+        ));
+    }
+
+    // Per-trap phase sums vs MonitorStats: the trap spans partition monitor
+    // time exactly — trace_cycles minus one-time monitor initialization.
+    let totals = obs::phase_totals(&events);
+    let trap_cycles = totals
+        .iter()
+        .find(|t| t.phase == Phase::Trap)
+        .map_or(0, |t| t.cycles);
+    let monitor_time = traced.trace_cycles - stats.init_cycles;
+    if trap_cycles != monitor_time {
+        fail(&format!(
+            "trap span sum {trap_cycles} != monitor time {monitor_time} \
+             (trace_cycles {} - init {})",
+            traced.trace_cycles, stats.init_cycles
+        ));
+    }
+    let instants = |p: Phase| {
+        totals
+            .iter()
+            .find(|t| t.phase == p)
+            .map_or(0, |t| t.instants)
+    };
+    if instants(Phase::CtCacheHit) != stats.ct_cache_hits {
+        fail("ct cache-hit instants diverge from MonitorStats");
+    }
+    if instants(Phase::WalkCacheHit) != stats.walk_cache_hits {
+        fail("walk cache-hit instants diverge from MonitorStats");
+    }
+    let cpt = metrics.histogram("kernel.cycles_per_trap");
+    if cpt.map_or(0, |h| h.count) != stats.traps {
+        fail("kernel.cycles_per_trap histogram count diverges from traps");
+    }
+
+    std::fs::write(&trace_path, &json).unwrap_or_else(|e| fail(&format!("{trace_path}: {e}")));
+    println!(
+        "traced: {} events, {} trap spans, depth {}; trap time {} == trace_cycles {} - init {}",
+        shape.events,
+        shape.trap_spans,
+        shape.max_depth,
+        trap_cycles,
+        traced.trace_cycles,
+        stats.init_cycles
+    );
+    println!("trace written to {trace_path}");
+    println!("obs-smoke OK");
+}

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! bastion compile <file.mc>...  [--metadata out.json] [--ir] [--stats]
-//! bastion run     <file.mc>...  [--protect full|ct|ct-cf|hook|none] [--cet] [--verbose]
+//! bastion run     <file.mc>...  [--protect full|ct|ct-cf|hook|none] [--cet] [--verbose] [--stats]
+//! bastion trace   <file.mc>...  [--protect MODE] [--cet] [--out=trace.json] [--capacity=N]
+//! bastion stats   <file.mc>...  [--protect MODE] [--cet] [--json]
 //! bastion attack  [id]
 //! bastion inspect <file.mc>...  (call-type classes + control-flow edges)
 //! ```
@@ -25,6 +27,8 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "compile" => cmd_compile(rest),
         "run" => cmd_run(rest),
+        "trace" => cmd_trace(rest),
+        "stats" => cmd_stats(rest),
         "attack" => cmd_attack(rest),
         "inspect" => cmd_inspect(rest),
         "help" | "--help" | "-h" => {
@@ -50,9 +54,19 @@ USAGE:
         Compile MiniC sources under the BASTION pass; optionally dump the
         context metadata, the instrumented IR, or Table 5-style statistics.
 
-    bastion run <file.mc>... [--protect MODE] [--cet] [--verbose]
+    bastion run <file.mc>... [--protect MODE] [--cet] [--verbose] [--stats]
         Compile and execute in the simulated world. MODE is one of
-        full (default), ct, ct-cf, hook, none.
+        full (default), ct, ct-cf, hook, none. --stats prints the full
+        monitor statistics; --verbose streams structured deny records as
+        they occur and dumps trap/syscall counts at exit.
+
+    bastion trace <file.mc>... [--protect MODE] [--cet] [--out=trace.json] [--capacity=N]
+        Run with span tracing enabled and export a Chrome trace_event
+        JSON document (open at chrome://tracing or in Perfetto).
+
+    bastion stats <file.mc>... [--protect MODE] [--cet] [--json]
+        Run with telemetry enabled and print the monitor statistics and
+        the metrics registry (--json dumps the metrics as JSON).
 
     bastion attack [ID]
         Run the Table 6 security evaluation (one scenario or all 32).
@@ -137,18 +151,23 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
-    let (files, flags) = split_flags(args);
-    let mode = flag_value(&flags, "protect").unwrap_or("full");
-    let monitor_cfg = match mode {
-        "full" => Some(ContextConfig::full()),
-        "ct" => Some(ContextConfig::ct()),
-        "ct-cf" => Some(ContextConfig::ct_cf()),
-        "hook" => Some(ContextConfig::hook_only()),
-        "none" => None,
-        other => return Err(format!("unknown --protect mode `{other}`")),
-    };
-    let out = compile(&files)?;
+/// Parses `--protect MODE` into a monitor configuration.
+fn parse_protect(flags: &[&str]) -> Result<Option<ContextConfig>, String> {
+    match flag_value(flags, "protect").unwrap_or("full") {
+        "full" => Ok(Some(ContextConfig::full())),
+        "ct" => Ok(Some(ContextConfig::ct())),
+        "ct-cf" => Ok(Some(ContextConfig::ct_cf())),
+        "hook" => Ok(Some(ContextConfig::hook_only())),
+        "none" => Ok(None),
+        other => Err(format!("unknown --protect mode `{other}`")),
+    }
+}
+
+/// Compiles `files` and runs them in a fresh world under the flags'
+/// protection. Returns the finished world and the victim pid.
+fn execute(files: &[&str], flags: &[&str]) -> Result<(World, bastion::kernel::Pid), String> {
+    let monitor_cfg = parse_protect(flags)?;
+    let out = compile(files)?;
     let image = Arc::new(Image::load(out.module).map_err(|e| format!("load: {e}"))?);
     let mut world = World::new(CostModel::default());
     let mut machine = Machine::new(image.clone(), CostModel::default());
@@ -164,7 +183,6 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if !console.is_empty() {
         print!("{console}");
     }
-    let verbose = flags.contains(&"--verbose");
     match world.proc(pid).and_then(|p| p.exit.clone()) {
         Some(ExitReason::Exited(code)) => {
             println!(
@@ -189,6 +207,89 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         Some(ExitReason::Fault(f)) => println!("[crashed: {f}]"),
         None => println!("[still running after budget; status {status:?}]"),
     }
+    Ok((world, pid))
+}
+
+/// Renders one structured deny record the way `--verbose` streams it.
+fn render_deny(rec: &bastion::obs::DenyRecord) -> String {
+    let vals = match (rec.expected, rec.observed) {
+        (Some(e), Some(o)) => format!(" expected={e:#x} observed={o:#x}"),
+        _ => String::new(),
+    };
+    format!(
+        "[deny #{seq}] syscall {nr} ({name}) {ctx}/{rule}{vals} ladder={rung} \
+         retries={r} strikes={s}: {msg}",
+        seq = rec.trap_seq,
+        nr = rec.sysno,
+        name = bastion::ir::sysno::name(rec.sysno).unwrap_or("?"),
+        ctx = rec.context.label(),
+        rule = rec.rule.name(),
+        rung = rec.ladder_rung,
+        r = rec.fault_ctx.retries,
+        s = rec.fault_ctx.strikes,
+        msg = rec.message,
+    )
+}
+
+/// Prints the full monitor statistics block shared by `run --stats` and
+/// the `stats` subcommand.
+fn print_monitor_stats(stats: &bastion::monitor::MonitorStats) {
+    println!("monitor statistics:");
+    println!("  traps:                {}", stats.traps);
+    println!(
+        "  violations:           ct={} cf={} ai={} fc={} watchdog={}",
+        stats.ct_violations,
+        stats.cf_violations,
+        stats.ai_violations,
+        stats.fc_violations,
+        stats.watchdog_denies
+    );
+    println!(
+        "  stack walks:          {} frames (depth min={} max={} avg={:.2})",
+        stats.frames_walked,
+        stats.min_depth,
+        stats.max_depth,
+        stats.avg_depth()
+    );
+    println!(
+        "  verification cache:   ct_hits={} walk_hits={}",
+        stats.ct_cache_hits, stats.walk_cache_hits
+    );
+    println!(
+        "  batched reads:        frames={} pointees={}",
+        stats.batched_frame_reads, stats.batched_pointee_reads
+    );
+    println!(
+        "  substrate resilience: retries={} (recovered {}) strikes={} \
+         watchdog_overruns={} shadow_quarantines={}",
+        stats.retries,
+        stats.retry_successes,
+        stats.substrate_strikes,
+        stats.watchdog_overruns,
+        stats.shadow_quarantines
+    );
+    println!(
+        "  degradation ladder:   rung={} transitions={}",
+        stats.mode.label(),
+        stats.mode_transitions
+    );
+    println!("  init cycles:          {}", stats.init_cycles);
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (files, flags) = split_flags(args);
+    let verbose = flags.contains(&"--verbose");
+    let want_stats = flags.contains(&"--stats");
+    if verbose {
+        // Stream structured deny provenance as it happens; denies are
+        // captured regardless of the tracer enable flag.
+        bastion::obs::set_deny_sink(Box::new(|rec| eprintln!("{}", render_deny(rec))));
+    }
+    let result = execute(&files, &flags);
+    if verbose {
+        bastion::obs::clear_deny_sink();
+    }
+    let (mut world, _pid) = result?;
     if verbose {
         println!("traps: {}", world.trap_count);
         for (nr, n) in &world.kernel.counts {
@@ -196,6 +297,88 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 "  syscall {:<18} x{}",
                 bastion::ir::sysno::name(*nr).unwrap_or("?"),
                 n
+            );
+        }
+    }
+    if want_stats {
+        match bastion::chaos::monitor_report(&mut world) {
+            Some((stats, denies)) => {
+                print_monitor_stats(&stats);
+                if !denies.is_empty() {
+                    println!("deny records: {}", denies.len());
+                    for rec in &denies {
+                        println!("  {}", render_deny(rec));
+                    }
+                }
+            }
+            None => println!("monitor statistics: no monitor attached (--protect none?)"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let (files, flags) = split_flags(args);
+    let capacity = match flag_value(&flags, "capacity") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--capacity={v}: not a number"))?,
+        None => 1 << 16,
+    };
+    let out_path = flag_value(&flags, "out").unwrap_or("trace.json");
+    bastion::obs::enable(capacity);
+    let result = execute(&files, &flags);
+    let events = bastion::obs::take_events();
+    bastion::obs::disable();
+    result?;
+    let json = bastion::obs::chrome_trace_json(&events);
+    let shape = bastion::obs::validate_chrome_trace(&json)
+        .map_err(|e| format!("exported trace failed validation: {e}"))?;
+    std::fs::write(out_path, &json).map_err(|e| format!("{out_path}: {e}"))?;
+    println!(
+        "trace written to {out_path}: {} events ({} trap spans, {} instants, depth {})",
+        shape.events, shape.trap_spans, shape.instants, shape.max_depth
+    );
+    println!("phase breakdown (virtual cycles):");
+    for t in bastion::obs::phase_totals(&events) {
+        println!(
+            "  {:<18} spans={:<6} instants={:<6} incl={:<10} self={}",
+            t.phase.name(),
+            t.spans,
+            t.instants,
+            t.cycles,
+            t.self_cycles
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (files, flags) = split_flags(args);
+    bastion::obs::enable(1 << 16);
+    let result = execute(&files, &flags);
+    let metrics = bastion::obs::metrics_snapshot();
+    bastion::obs::disable();
+    let (mut world, _pid) = result?;
+    match bastion::chaos::monitor_report(&mut world) {
+        Some((stats, _)) => print_monitor_stats(&stats),
+        None => println!("monitor statistics: no monitor attached (--protect none?)"),
+    }
+    if flags.contains(&"--json") {
+        println!("{}", bastion::obs::metrics_json(&metrics));
+    } else {
+        println!("metrics:");
+        for c in &metrics.counters {
+            println!("  {:<28} {}", c.name, c.value);
+        }
+        for h in &metrics.histograms {
+            println!(
+                "  {:<28} count={} min={} max={} mean={:.2}",
+                h.name,
+                h.count,
+                h.min,
+                h.max,
+                h.mean()
             );
         }
     }

@@ -26,6 +26,7 @@ use bastion_attacks::env::{AttackEnv, RunOutcome};
 use bastion_attacks::scenario::Scenario;
 use bastion_kernel::{FaultKind, FaultSchedule, Trigger, World};
 use bastion_monitor::{ContextConfig, MonitorStats};
+use bastion_obs::DenyRecord;
 
 /// Cycle slice between net-poll rounds of the lenient driver.
 const SLICE: u64 = 250_000;
@@ -33,10 +34,18 @@ const SLICE: u64 = 250_000;
 /// Recovers monitor statistics from a finished world (detaches the
 /// tracer). `None` when no monitor was attached.
 pub fn monitor_stats(world: &mut World) -> Option<MonitorStats> {
+    monitor_report(world).map(|(stats, _)| stats)
+}
+
+/// Recovers monitor statistics *and* the deny-provenance audit log from a
+/// finished world (detaches the tracer). `None` when no monitor was
+/// attached. The deny records join against the world's fault log via
+/// `DenyRecord::trap_seq` == `InjectedFault::world_trap`.
+pub fn monitor_report(world: &mut World) -> Option<(MonitorStats, Vec<DenyRecord>)> {
     world.take_tracer().and_then(|t| {
         t.as_any()
             .downcast_ref::<bastion_monitor::Monitor>()
-            .map(|m| m.stats.clone())
+            .map(|m| (m.stats.clone(), m.deny_log.clone()))
     })
 }
 
@@ -159,6 +168,12 @@ pub struct AttackChaosReport {
     pub outcome: RunOutcome,
     /// Final monitor statistics.
     pub stats: Option<MonitorStats>,
+    /// Structured deny records from the faulted run, for fault↔deny joins.
+    pub deny_records: Vec<DenyRecord>,
+    /// `(world_trap, access class label)` of every fault that fired inside
+    /// a trap that also produced a deny record — the provenance join the
+    /// chaos assertions consume.
+    pub fault_deny_joins: Vec<(u64, &'static str)>,
 }
 
 impl AttackChaosReport {
@@ -211,14 +226,23 @@ fn stage(scenario: &Scenario, env: &mut AttackEnv) -> Option<String> {
     }
 }
 
+/// Everything one attack replay produced.
+struct AttackRun {
+    outcome: RunOutcome,
+    traps: u64,
+    fired: u64,
+    stats: Option<MonitorStats>,
+    deny_records: Vec<DenyRecord>,
+    fault_deny_joins: Vec<(u64, &'static str)>,
+}
+
 /// Runs `scenario` under `cfg` with an optional fault schedule installed
-/// right after boot. Returns the outcome, the trap count since install,
-/// the number of faults fired, and the monitor stats.
+/// right after boot.
 fn run_attack(
     scenario: &Scenario,
     cfg: ContextConfig,
     schedule: Option<FaultSchedule>,
-) -> (RunOutcome, u64, u64, Option<MonitorStats>) {
+) -> AttackRun {
     let mut env = AttackEnv::deploy(scenario.victim, Some(cfg), scenario.extended_set, false);
     // Install even for calibration: an empty schedule injects nothing but
     // counts traps, pinning the window for the chaos replay.
@@ -234,15 +258,31 @@ fn run_attack(
         succeeded: staging_failure.is_none() && (scenario.success)(&env),
     };
     let traps = env.world.fault_trap_count();
-    let fired = env.world.fault_log().len() as u64;
-    let stats = monitor_stats(&mut env.world);
-    (outcome, traps, fired, stats)
+    let faults: Vec<_> = env.world.fault_log().to_vec();
+    let (stats, deny_records) = match monitor_report(&mut env.world) {
+        Some((s, d)) => (Some(s), d),
+        None => (None, Vec::new()),
+    };
+    // Join: faults that fired inside a trap that was then denied.
+    let fault_deny_joins = faults
+        .iter()
+        .filter(|f| deny_records.iter().any(|d| d.trap_seq == f.world_trap))
+        .map(|f| (f.world_trap, f.class.label()))
+        .collect();
+    AttackRun {
+        outcome,
+        traps,
+        fired: faults.len() as u64,
+        stats,
+        deny_records,
+        fault_deny_joins,
+    }
 }
 
 /// Fault-free reference run: the trap count that calibrates the chaos
 /// window for `scenario` under `cfg`.
 pub fn calibrate(scenario: &Scenario, cfg: ContextConfig) -> u64 {
-    run_attack(scenario, cfg, None).1
+    run_attack(scenario, cfg, None).traps
 }
 
 /// The per-fault-class schedules of the chaos matrix, all targeting the
@@ -277,16 +317,18 @@ pub fn attack_chaos(
     let mut reports = Vec::new();
     for &seed in seeds {
         for (label, schedule) in chaos_schedules(seed, clean_traps) {
-            let (outcome, _, fired, stats) = run_attack(scenario, cfg, Some(schedule));
+            let run = run_attack(scenario, cfg, Some(schedule));
             reports.push(AttackChaosReport {
                 id: scenario.id,
                 name: scenario.name.clone(),
                 schedule: label,
                 seed,
                 clean_traps,
-                faults_fired: fired,
-                outcome,
-                stats,
+                faults_fired: run.fired,
+                outcome: run.outcome,
+                stats: run.stats,
+                deny_records: run.deny_records,
+                fault_deny_joins: run.fault_deny_joins,
             });
         }
     }

@@ -70,6 +70,8 @@ pub use bastion_kernel as kernel;
 pub use bastion_minic as minic;
 /// Re-export: the runtime monitor.
 pub use bastion_monitor as monitor;
+/// Re-export: the telemetry layer (span tracing, metrics, deny audit log).
+pub use bastion_obs as obs;
 /// Re-export: the process VM.
 pub use bastion_vm as vm;
 

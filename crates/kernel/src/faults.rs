@@ -39,6 +39,19 @@ pub enum AccessClass {
     Shadow,
 }
 
+impl AccessClass {
+    /// Stable snake_case name for fault-log exports and join summaries.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessClass::GetRegs => "getregs",
+            AccessClass::ReadMem => "read_mem",
+            AccessClass::ReadFrame => "read_frame",
+            AccessClass::ReadPrefix => "read_prefix",
+            AccessClass::Shadow => "shadow",
+        }
+    }
+}
+
 /// What goes wrong.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
@@ -178,8 +191,13 @@ impl FaultSchedule {
 pub struct InjectedFault {
     /// Global access index (1-based) at which it fired.
     pub access: u64,
-    /// Monitor trap index (1-based; 0 = outside any trap).
+    /// Trap index since the schedule was installed (1-based; 0 = outside
+    /// any trap). Trap-targeted triggers match on this counter.
     pub trap: u64,
+    /// World-level trap sequence number at fire time (0 = outside any
+    /// trap). Joins with the monitor's `DenyRecord::trap_seq`, which counts
+    /// the same sequence.
+    pub world_trap: u64,
     /// The access class it hit.
     pub class: AccessClass,
     /// The resolved kind (never [`FaultKind::Mix`]).
@@ -224,6 +242,7 @@ pub struct FaultInjector {
     rng: u64,
     accesses: u64,
     traps: u64,
+    world_trap: u64,
     log: Vec<InjectedFault>,
 }
 
@@ -236,6 +255,7 @@ impl FaultInjector {
             rng,
             accesses: 0,
             traps: 0,
+            world_trap: 0,
             log: Vec::new(),
         }
     }
@@ -250,9 +270,12 @@ impl FaultInjector {
     }
 
     /// Marks the start of a monitor trap (called by the world before the
-    /// tracer runs).
-    pub fn begin_trap(&mut self) {
+    /// tracer runs). `world_trap` is the world's trap sequence number,
+    /// recorded into every fault fired during this trap so chaos
+    /// assertions can join the fault log against deny records.
+    pub fn begin_trap(&mut self, world_trap: u64) {
         self.traps += 1;
+        self.world_trap = world_trap;
     }
 
     /// The current trap index (1-based; 0 before the first trap).
@@ -285,6 +308,7 @@ impl FaultInjector {
         self.log.push(InjectedFault {
             access,
             trap,
+            world_trap: self.world_trap,
             class,
             kind,
         });
@@ -371,8 +395,8 @@ mod tests {
         let s = FaultSchedule::chaos(42, 3);
         let mut a = FaultInjector::new(s.clone());
         let mut b = FaultInjector::new(s);
-        a.begin_trap();
-        b.begin_trap();
+        a.begin_trap(1);
+        b.begin_trap(1);
         assert_eq!(
             drain(&mut a, AccessClass::ReadMem, 32),
             drain(&mut b, AccessClass::ReadMem, 32)
@@ -407,12 +431,17 @@ mod tests {
         let s =
             FaultSchedule::new(7).with(FaultKind::ReadError, Trigger::TrapRange { from: 2, to: 2 });
         let mut inj = FaultInjector::new(s);
-        inj.begin_trap();
+        inj.begin_trap(41);
         assert!(inj.on_access(AccessClass::ReadFrame, 16).is_none());
-        inj.begin_trap();
+        inj.begin_trap(42);
         assert!(inj.on_access(AccessClass::ReadFrame, 16).is_some());
-        inj.begin_trap();
+        inj.begin_trap(43);
         assert!(inj.on_access(AccessClass::ReadFrame, 16).is_none());
+        // The fired fault carries the world trap sequence for joining
+        // against deny records.
+        assert_eq!(inj.log().len(), 1);
+        assert_eq!(inj.log()[0].trap, 2);
+        assert_eq!(inj.log()[0].world_trap, 42);
     }
 
     #[test]

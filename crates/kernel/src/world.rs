@@ -18,6 +18,7 @@ use crate::process::{ExitReason, FdTable, Pid, ProcState, Process, WaitReason};
 use crate::seccomp::{SeccompAction, SeccompFilter};
 use crate::syscall::{Kernel, SysOutcome};
 use crate::trace::{TraceVerdict, Tracee, Tracer};
+use bastion_obs::{self as obs, Phase};
 use bastion_vm::{interp, CostModel, Event, Machine};
 use std::cell::{Cell, RefCell};
 use std::sync::Arc;
@@ -268,6 +269,7 @@ impl World {
         let action = match &self.procs[idx].seccomp {
             Some(f) => {
                 self.kernel.cycles += self.kernel.cost.seccomp;
+                obs::counter_add("kernel.seccomp_evals", 1);
                 f.eval(nr)
             }
             None => SeccompAction::Allow,
@@ -280,9 +282,20 @@ impl World {
             SeccompAction::Trace => {
                 if let (true, Some(tracer)) = (self.procs[idx].traced, self.tracer.as_mut()) {
                     self.trap_count += 1;
+                    // The trap span opens on the monitor-time axis before
+                    // the ptrace-stop cost lands, so per-trap durations sum
+                    // to exactly `trace_cycles - init_cycles`.
+                    let trap_start = self.trace_cycles;
+                    obs::span_begin(Phase::Trap, self.trap_count, trap_start);
+                    obs::instant(
+                        Phase::SeccompClassify,
+                        self.trap_count,
+                        trap_start,
+                        u64::from(nr),
+                    );
                     self.trace_cycles += self.kernel.cost.ptrace_stop;
                     if let Some(f) = &self.faults {
-                        f.borrow_mut().begin_trap();
+                        f.borrow_mut().begin_trap(self.trap_count);
                     }
                     let verdict = {
                         let p = &self.procs[idx];
@@ -294,6 +307,17 @@ impl World {
                         );
                         tracer.on_trap(&mut tracee)
                     };
+                    let denied = matches!(verdict, TraceVerdict::Deny(_));
+                    obs::span_end(
+                        Phase::Trap,
+                        self.trap_count,
+                        self.trace_cycles,
+                        u64::from(denied),
+                    );
+                    obs::observe(
+                        "kernel.cycles_per_trap",
+                        self.trace_cycles.saturating_sub(trap_start),
+                    );
                     if let TraceVerdict::Deny(reason) = verdict {
                         self.procs[idx].kill(ExitReason::MonitorKill { nr, reason });
                         return;

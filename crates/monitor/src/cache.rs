@@ -29,11 +29,13 @@
 //! Deny messages are deterministic functions of the same inputs, so a
 //! cached violation reproduces the exact verdict string of a fresh one.
 
-use crate::ContextKind;
+use crate::verify::Violation;
 use std::collections::HashMap;
 
 /// A memoized verification outcome: pass, or the violation it produced.
-pub type CachedVerdict = Result<(), (ContextKind, String)>;
+/// The full structured [`Violation`] is cached, so a hit reproduces the
+/// rule-level provenance of a fresh verdict, not just its message.
+pub type CachedVerdict = Result<(), Violation>;
 
 /// Verification cache plus the fast-path counters surfaced in
 /// [`crate::MonitorStats`].
@@ -139,7 +141,15 @@ mod tests {
         assert!(c.ct_lookup(1, 0x400).is_none());
         assert_eq!(c.ct_hits, 0);
         c.ct_store(1, 0x400, Ok(()));
-        c.ct_store(2, 0x400, Err((ContextKind::CallType, "nope".into())));
+        c.ct_store(
+            2,
+            0x400,
+            Err(Violation::new(
+                crate::ContextKind::CallType,
+                bastion_obs::DenyRule::NotCallable,
+                "nope",
+            )),
+        );
         assert_eq!(c.ct_lookup(1, 0x400), Some(Ok(())));
         assert!(matches!(c.ct_lookup(2, 0x400), Some(Err(_))));
         assert_eq!(c.ct_hits, 2);

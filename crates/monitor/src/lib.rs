@@ -30,6 +30,7 @@ pub use filter::{build_filter, build_filter_with_trace};
 
 use bastion_compiler::ContextMetadata;
 use bastion_kernel::{TraceVerdict, Tracee, Tracer};
+use bastion_obs::{self as obs, DenyContext, DenyRecord, FaultCtx, Phase};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -240,6 +241,17 @@ impl ContextKind {
             ContextKind::FailClosed => "FC",
         }
     }
+
+    /// The observability-layer context tag (same labels, defined in
+    /// `bastion-obs` so the audit log does not depend on this crate).
+    pub fn deny_context(self) -> DenyContext {
+        match self {
+            ContextKind::CallType => DenyContext::CallType,
+            ContextKind::ControlFlow => DenyContext::ControlFlow,
+            ContextKind::ArgIntegrity => DenyContext::ArgIntegrity,
+            ContextKind::FailClosed => DenyContext::FailClosed,
+        }
+    }
 }
 
 /// Counters the monitor accumulates (depth statistics back §9.2's
@@ -413,6 +425,9 @@ pub struct Monitor {
     pub stats: MonitorStats,
     /// Trap log: (nr, verdict ok?) for diagnostics and tests.
     pub log: Vec<(u32, bool)>,
+    /// Deny-provenance audit log: one structured record per deny, in
+    /// order. Always populated (not gated by the telemetry enable flag).
+    pub deny_log: Vec<DenyRecord>,
     /// Fast-path verification cache (interior mutability: verification
     /// runs behind a shared borrow of the monitor).
     pub cache: std::cell::RefCell<cache::VerifyCache>,
@@ -443,6 +458,7 @@ impl Monitor {
                 ..MonitorStats::default()
             },
             log: Vec::new(),
+            deny_log: Vec::new(),
             cache: std::cell::RefCell::new(cache::VerifyCache::new()),
             res: std::cell::RefCell::new(ResilienceState::default()),
         }
@@ -468,10 +484,13 @@ impl Monitor {
             r.mode
         };
         if target > r.mode {
-            r.transitions +=
+            let steps =
                 1 + u64::from(target == MonitorMode::FailClosed && r.mode == MonitorMode::Full);
+            r.transitions += steps;
+            obs::counter_add("monitor.ladder_transitions", steps);
             r.mode = target;
         }
+        obs::counter_add("monitor.substrate_strikes", 1);
     }
 
     /// Quarantines the shadow table after an integrity failure: AI becomes
@@ -505,15 +524,47 @@ impl Monitor {
         self.stats.mode_transitions = r.transitions;
     }
 
-    fn deny(&mut self, ctx: ContextKind, nr: u32, what: &str) -> TraceVerdict {
-        match ctx {
+    /// Converts a structured violation into the kill verdict, appending a
+    /// [`DenyRecord`] to the audit log and streaming it to any installed
+    /// sink. The rendered reason is byte-identical to the legacy
+    /// `"{label}: {msg}"` string.
+    fn deny(&mut self, nr: u32, v: verify::Violation, vcycles: u64) -> TraceVerdict {
+        match v.ctx {
             ContextKind::CallType => self.stats.ct_violations += 1,
             ContextKind::ControlFlow => self.stats.cf_violations += 1,
             ContextKind::ArgIntegrity => self.stats.ai_violations += 1,
             ContextKind::FailClosed => self.stats.fc_violations += 1,
         }
         self.log.push((nr, false));
-        TraceVerdict::Deny(format!("{}: {}", ctx.label(), what))
+        let (fault_ctx, ladder_rung) = {
+            let r = self.res.borrow();
+            (
+                FaultCtx {
+                    retries: r.retries,
+                    strikes: u64::from(r.strikes),
+                    watchdog_overruns: r.watchdog_overruns,
+                    shadow_quarantined: r.shadow_quarantined,
+                },
+                r.mode.label().to_string(),
+            )
+        };
+        let rec = DenyRecord {
+            trap_seq: self.stats.traps,
+            sysno: nr,
+            context: v.ctx.deny_context(),
+            rule: v.rule,
+            expected: v.expected,
+            observed: v.observed,
+            fault_ctx,
+            ladder_rung,
+            message: v.msg,
+        };
+        obs::instant(Phase::Deny, rec.trap_seq, vcycles, 0);
+        obs::counter_add("monitor.denies", 1);
+        obs::emit_deny(&rec);
+        let verdict = TraceVerdict::Deny(rec.render());
+        self.deny_log.push(rec);
+        verdict
     }
 }
 
@@ -545,20 +596,32 @@ impl Tracer for Monitor {
         // touching the tracee at all.
         if mode == MonitorMode::FailClosed {
             let v = self.deny(
-                ContextKind::FailClosed,
                 0,
-                "monitor fail-closed: tracee state untrusted after repeated substrate failures",
+                verify::Violation::new(
+                    ContextKind::FailClosed,
+                    obs::DenyRule::FailClosedMode,
+                    "monitor fail-closed: tracee state untrusted after repeated substrate failures",
+                ),
+                tracee.charged(),
             );
             self.sync_counters();
             return v;
         }
 
-        let regs = match verify::getregs_resilient(self, tracee) {
+        obs::span_begin(Phase::GetRegs, self.stats.traps, tracee.charged());
+        let got = verify::getregs_resilient(self, tracee);
+        obs::span_end(
+            Phase::GetRegs,
+            self.stats.traps,
+            tracee.charged(),
+            u64::from(got.is_err()),
+        );
+        let regs = match got {
             Ok(r) => r,
-            Err((ctx, msg)) => {
-                let v = self.deny(ctx, 0, &msg);
+            Err(v) => {
+                let verdict = self.deny(0, v, tracee.charged());
                 self.sync_counters();
-                return v;
+                return verdict;
             }
         };
         let nr = regs.nr;
@@ -568,9 +631,13 @@ impl Tracer for Monitor {
         // — one frame-head read — keeps being verified below.
         if mode == MonitorMode::Degraded && (self.cfg.control_flow || self.cfg.arg_integrity) {
             let v = self.deny(
-                ContextKind::FailClosed,
                 nr,
-                "monitor degraded: control-flow/argument contexts unverifiable",
+                verify::Violation::new(
+                    ContextKind::FailClosed,
+                    obs::DenyRule::DegradedMode,
+                    "monitor degraded: control-flow/argument contexts unverifiable",
+                ),
+                tracee.charged(),
             );
             self.sync_counters();
             return v;
@@ -586,11 +653,12 @@ impl Tracer for Monitor {
                         self.stats.min_depth = depth;
                     }
                     self.stats.max_depth = self.stats.max_depth.max(depth);
+                    obs::observe("monitor.walk_depth", depth);
                 }
                 self.log.push((nr, true));
                 TraceVerdict::Allow
             }
-            Err((ctx, msg)) => self.deny(ctx, nr, &msg),
+            Err(v) => self.deny(nr, v, tracee.charged()),
         };
         self.sync_counters();
         verdict

@@ -10,16 +10,58 @@
 //!   prefix read, and memoizes CT and stack-walk verdicts in the
 //!   [`crate::cache::VerifyCache`]. Verdicts are identical by construction:
 //!   the same state is observed, only fetched and re-checked less often.
+//!
+//! Every verification stage is bracketed by telemetry spans (DESIGN.md
+//! §6e). The spans carry the monitor-time clock (`Tracee::charged`) and
+//! cost nothing when tracing is disabled — they never charge virtual
+//! cycles, so clean-path trap costs are bit-identical either way.
 
 use crate::cache::ChainHasher;
 use crate::{ContextKind, Monitor};
 use bastion_compiler::metadata::{ArgMeta, CallsiteKind};
 use bastion_ir::CALL_SIZE;
 use bastion_kernel::{Regs, Tracee};
+use bastion_obs::{self as obs, DenyRule, Phase};
 use bastion_vm::shadow::{Binding, ShadowError};
 use bastion_vm::{OutOfBounds, ShadowTable};
 
-type Violation = (ContextKind, String);
+/// A structured context violation: which context fired, rule-level
+/// provenance, optional expected/observed values for comparing rules, and
+/// the legacy message body the kill reason renders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Context that detected the violation.
+    pub ctx: ContextKind,
+    /// The specific rule that fired.
+    pub rule: DenyRule,
+    /// Expected value, when the rule compares two quantities.
+    pub expected: Option<u64>,
+    /// Observed value, when the rule compares two quantities.
+    pub observed: Option<u64>,
+    /// Legacy message body (everything after the "CT: " prefix).
+    pub msg: String,
+}
+
+impl Violation {
+    /// Builds a violation with no expected/observed payload.
+    pub fn new(ctx: ContextKind, rule: DenyRule, msg: impl Into<String>) -> Self {
+        Violation {
+            ctx,
+            rule,
+            expected: None,
+            observed: None,
+            msg: msg.into(),
+        }
+    }
+
+    /// Attaches the expected/observed pair.
+    #[must_use]
+    pub fn vals(mut self, expected: u64, observed: u64) -> Self {
+        self.expected = Some(expected);
+        self.observed = Some(observed);
+        self
+    }
+}
 
 // ---- Substrate resilience (fail-closed policy layer) ----
 //
@@ -52,8 +94,18 @@ fn with_retries<T>(
                     mon.substrate_strike();
                     return Err(e);
                 }
+                let seq = mon.stats.traps;
+                obs::instant(Phase::Retry, seq, tracee.charged(), u64::from(attempt + 1));
                 // Exponential backoff, charged as monitor-side stall time.
+                obs::span_begin(Phase::Backoff, seq, tracee.charged());
                 tracee.stall(pol.retry_backoff_cycles << attempt.min(8));
+                obs::span_end(
+                    Phase::Backoff,
+                    seq,
+                    tracee.charged(),
+                    u64::from(attempt + 1),
+                );
+                obs::counter_add("monitor.retries", 1);
                 attempt += 1;
                 mon.res.borrow_mut().retries += 1;
             }
@@ -64,8 +116,12 @@ fn with_retries<T>(
 /// `PTRACE_GETREGS` with retries; the register snapshot is the monitor's
 /// entry point into the tracee, so its loss is terminal for the trap.
 pub(crate) fn getregs_resilient(mon: &Monitor, tracee: &mut Tracee<'_>) -> Result<Regs, Violation> {
-    with_retries(mon, tracee, |t| t.try_getregs())
-        .map_err(|_| fc_err("tracee registers unreadable after retries; denying trap".to_string()))
+    with_retries(mon, tracee, |t| t.try_getregs()).map_err(|_| {
+        fc_err(
+            DenyRule::RegsUnreadable,
+            "tracee registers unreadable after retries; denying trap".to_string(),
+        )
+    })
 }
 
 /// Watchdog checkpoint: if this trap's verification has charged more
@@ -86,19 +142,27 @@ fn check_deadline(mon: &Monitor, tracee: &Tracee<'_>) -> Result<(), Violation> {
     }
     mon.res.borrow_mut().watchdog_denies += 1;
     mon.substrate_strike();
-    Err(fc_err(format!(
-        "trap verification exceeded its {deadline}-cycle deadline"
-    )))
+    Err(fc_err(
+        DenyRule::WatchdogDeadline,
+        format!("trap verification exceeded its {deadline}-cycle deadline"),
+    )
+    .vals(deadline, tracee.charged_this_trap()))
 }
 
 /// Maps a checked-shadow-read failure to a violation; corruption
 /// additionally quarantines the shadow table.
 fn shadow_fail(mon: &Monitor, e: ShadowError) -> Violation {
     match e {
-        ShadowError::Fault(f) => ai_err(format!("shadow read failed: {f}")),
+        ShadowError::Fault(f) => ai_err(
+            DenyRule::ShadowReadFault,
+            format!("shadow read failed: {f}"),
+        ),
         ShadowError::Corrupt { .. } => {
             mon.quarantine_shadow();
-            ai_err(format!("{e}; shadow table quarantined"))
+            ai_err(
+                DenyRule::ShadowCorrupt,
+                format!("{e}; shadow table quarantined"),
+            )
         }
     }
 }
@@ -146,7 +210,7 @@ pub(crate) fn fetch_only(
 
 /// One unwound frame: `(function entry, callsite that created it, fp)`.
 /// The callsite is `None` for the bottom (`main`) frame.
-struct FrameRec {
+pub(crate) struct FrameRec {
     func_entry: u64,
     callsite: Option<u64>,
     fp: u64,
@@ -160,39 +224,49 @@ pub(crate) fn verify_trap(
 ) -> Result<u64, Violation> {
     let md = &mon.md;
     let nr = regs.nr;
+    let seq = mon.stats.traps;
 
     // Identify the stub the trap occurred in.
     let stub = md
         .func_of(regs.rip)
-        .ok_or_else(|| ct_err("trap rip outside known code"))?;
+        .ok_or_else(|| ct_err(DenyRule::RipOutsideKnownCode, "trap rip outside known code"))?;
     let stub_entry = stub.entry;
 
     // Recover the callsite by "decoding the call instruction" before the
     // return address on the stub frame. On the fast path the saved frame
     // pointer comes along in the same batched read — the stack walk needs
     // it moments later.
-    let (prefetched, ret0) = if mon.cfg.fast_path {
-        let fr = with_retries(mon, tracee, |t| t.read_frame(regs.fp))
-            .map_err(|e| ct_err(&format!("stack unreadable: {e}")))?;
-        mon.cache.borrow_mut().batched_frame_reads += 1;
-        (Some(fr), fr.1)
+    obs::span_begin(Phase::FrameRead, seq, tracee.charged());
+    let fetched = if mon.cfg.fast_path {
+        with_retries(mon, tracee, |t| t.read_frame(regs.fp))
+            .map_err(|e| ct_err(DenyRule::StackUnreadable, &format!("stack unreadable: {e}")))
+            .map(|fr| {
+                mon.cache.borrow_mut().batched_frame_reads += 1;
+                (Some(fr), fr.1)
+            })
     } else {
-        let ret = with_retries(mon, tracee, |t| t.read_u64(regs.fp + 8))
-            .map_err(|e| ct_err(&format!("stack unreadable: {e}")))?;
-        (None, ret)
+        with_retries(mon, tracee, |t| t.read_u64(regs.fp + 8))
+            .map_err(|e| ct_err(DenyRule::StackUnreadable, &format!("stack unreadable: {e}")))
+            .map(|ret| (None, ret))
     };
+    obs::span_end(Phase::FrameRead, seq, tracee.charged(), 0);
+    let (prefetched, ret0) = fetched?;
     let callsite0 = ret0.wrapping_sub(CALL_SIZE);
     check_deadline(mon, tracee)?;
 
     // ---- Call-Type context (§7.2) ----
     if mon.cfg.call_type {
+        obs::span_begin(Phase::CtCheck, seq, tracee.charged());
         let cached = if mon.cfg.fast_path {
             mon.cache.borrow_mut().ct_lookup(nr, callsite0)
         } else {
             None
         };
-        match cached {
-            Some(verdict) => verdict?,
+        let outcome = match cached {
+            Some(verdict) => {
+                obs::instant(Phase::CtCacheHit, seq, tracee.charged(), 0);
+                verdict
+            }
             None => {
                 let verdict = check_call_type(mon, nr, callsite0);
                 if mon.cfg.fast_path {
@@ -200,9 +274,16 @@ pub(crate) fn verify_trap(
                         .borrow_mut()
                         .ct_store(nr, callsite0, verdict.clone());
                 }
-                verdict?;
+                verdict
             }
-        }
+        };
+        obs::span_end(
+            Phase::CtCheck,
+            seq,
+            tracee.charged(),
+            u64::from(outcome.is_err()),
+        );
+        outcome?;
     }
 
     if !mon.cfg.control_flow && !mon.cfg.arg_integrity {
@@ -212,12 +293,28 @@ pub(crate) fn verify_trap(
     }
 
     // ---- Stack walk (shared by CF §7.3 and AI §7.4) ----
-    let frames = walk_stack(mon, tracee, stub_entry, regs.fp, prefetched)?;
+    obs::span_begin(Phase::CfWalk, seq, tracee.charged());
+    let walked = walk_stack(mon, tracee, stub_entry, regs.fp, prefetched);
+    obs::span_end(
+        Phase::CfWalk,
+        seq,
+        tracee.charged(),
+        walked.as_ref().map_or(0, |f| f.len() as u64),
+    );
+    let frames = walked?;
     check_deadline(mon, tracee)?;
 
     // ---- Argument Integrity context (§7.4) ----
     if mon.cfg.arg_integrity {
-        verify_args(mon, tracee, regs, &frames)?;
+        obs::span_begin(Phase::AiDirect, seq, tracee.charged());
+        let checked = verify_args(mon, tracee, regs, &frames);
+        obs::span_end(
+            Phase::AiDirect,
+            seq,
+            tracee.charged(),
+            u64::from(checked.is_err()),
+        );
+        checked?;
         check_deadline(mon, tracee)?;
     }
 
@@ -229,45 +326,58 @@ pub(crate) fn verify_trap(
 fn check_call_type(mon: &Monitor, nr: u32, callsite0: u64) -> Result<(), Violation> {
     let md = &mon.md;
     let Some(class) = md.syscall_classes.get(&nr).copied() else {
-        return Err(ct_err(&format!("syscall {nr} has no call-type entry")));
+        return Err(ct_err(
+            DenyRule::NoCallTypeEntry,
+            &format!("syscall {nr} has no call-type entry"),
+        ));
     };
     if !class.callable() {
-        return Err(ct_err(&format!("syscall {nr} is not-callable")));
+        return Err(ct_err(
+            DenyRule::NotCallable,
+            &format!("syscall {nr} is not-callable"),
+        ));
     }
     match md.callsites.get(&callsite0).map(|c| c.kind) {
         Some(CallsiteKind::Direct(_)) => {
             if !class.allows_direct() {
-                return Err(ct_err(&format!("syscall {nr} not directly-callable")));
+                return Err(ct_err(
+                    DenyRule::NotDirectlyCallable,
+                    &format!("syscall {nr} not directly-callable"),
+                ));
             }
         }
         Some(CallsiteKind::Indirect) => {
             if !class.allows_indirect() {
-                return Err(ct_err(&format!("syscall {nr} not indirectly-callable")));
+                return Err(ct_err(
+                    DenyRule::NotIndirectlyCallable,
+                    &format!("syscall {nr} not indirectly-callable"),
+                ));
             }
         }
         None => {
-            return Err(ct_err(&format!(
-                "no call instruction at {callsite0:#x} reaching syscall {nr}"
-            )));
+            return Err(ct_err(
+                DenyRule::NoCallInstruction,
+                &format!("no call instruction at {callsite0:#x} reaching syscall {nr}"),
+            ));
         }
     }
     Ok(())
 }
 
-fn ct_err(msg: &str) -> Violation {
-    (ContextKind::CallType, msg.to_string())
+fn ct_err(rule: DenyRule, msg: &str) -> Violation {
+    Violation::new(ContextKind::CallType, rule, msg)
 }
 
-fn fc_err(msg: String) -> Violation {
-    (ContextKind::FailClosed, msg)
+fn fc_err(rule: DenyRule, msg: String) -> Violation {
+    Violation::new(ContextKind::FailClosed, rule, msg)
 }
 
-fn cf_err(msg: String) -> Violation {
-    (ContextKind::ControlFlow, msg)
+fn cf_err(rule: DenyRule, msg: String) -> Violation {
+    Violation::new(ContextKind::ControlFlow, rule, msg)
 }
 
-fn ai_err(msg: String) -> Violation {
-    (ContextKind::ArgIntegrity, msg)
+fn ai_err(rule: DenyRule, msg: String) -> Violation {
+    Violation::new(ContextKind::ArgIntegrity, rule, msg)
 }
 
 /// How a raw chain read terminated.
@@ -315,8 +425,12 @@ fn walk_stack(
 
     for _ in 0..128 {
         check_deadline(mon, tracee)?;
-        let ret = with_retries(mon, tracee, |t| t.read_u64(cur_fp + 8))
-            .map_err(|e| cf_err(format!("frame at {cur_fp:#x} unreadable: {e}")))?;
+        let ret = with_retries(mon, tracee, |t| t.read_u64(cur_fp + 8)).map_err(|e| {
+            cf_err(
+                DenyRule::FrameUnreadable,
+                format!("frame at {cur_fp:#x} unreadable: {e}"),
+            )
+        })?;
         if ret == 0 {
             // Bottom of the stack: only main's frame terminates here.
             if cf && cur_entry != md.main_entry {
@@ -324,9 +438,10 @@ fn walk_stack(
                     .func_of(cur_entry)
                     .map_or("?", |f| f.name.as_str())
                     .to_string();
-                return Err(cf_err(format!(
-                    "stack walk bottomed out in `{name}`, not main"
-                )));
+                return Err(cf_err(
+                    DenyRule::BottomNotMain,
+                    format!("stack walk bottomed out in `{name}`, not main"),
+                ));
             }
             frames.push(FrameRec {
                 func_entry: cur_entry,
@@ -338,9 +453,10 @@ fn walk_stack(
         let callsite = ret.wrapping_sub(CALL_SIZE);
         let Some(cs) = md.callsites.get(&callsite) else {
             if cf {
-                return Err(cf_err(format!(
-                    "return address {ret:#x} is not preceded by a call"
-                )));
+                return Err(cf_err(
+                    DenyRule::ReturnNotAfterCall,
+                    format!("return address {ret:#x} is not preceded by a call"),
+                ));
             }
             frames.push(FrameRec {
                 func_entry: cur_entry,
@@ -365,9 +481,12 @@ fn walk_stack(
                         .func_of(cur_entry)
                         .map_or("?", |f| f.name.as_str())
                         .to_string();
-                    return Err(cf_err(format!(
-                        "`{name}` entered via indirect call but is not a permitted indirect entry"
-                    )));
+                    return Err(cf_err(
+                        DenyRule::IllegalIndirectEntry,
+                        format!(
+                            "`{name}` entered via indirect call but is not a permitted indirect entry"
+                        ),
+                    ));
                 }
                 strict = false;
                 frames.push(FrameRec {
@@ -375,17 +494,25 @@ fn walk_stack(
                     callsite: Some(callsite),
                     fp: cur_fp,
                 });
-                let saved = with_retries(mon, tracee, |t| t.read_u64(cur_fp))
-                    .map_err(|e| cf_err(format!("saved fp unreadable: {e}")))?;
+                let saved = with_retries(mon, tracee, |t| t.read_u64(cur_fp)).map_err(|e| {
+                    cf_err(
+                        DenyRule::SavedFpUnreadable,
+                        format!("saved fp unreadable: {e}"),
+                    )
+                })?;
                 cur_entry = cs.in_func;
                 cur_fp = saved;
             }
             CallsiteKind::Direct(target) => {
                 if cf {
                     if target != cur_entry {
-                        return Err(cf_err(format!(
-                            "callsite {callsite:#x} calls {target:#x}, not the unwound callee {cur_entry:#x}"
-                        )));
+                        return Err(cf_err(
+                            DenyRule::CalleeMismatch,
+                            format!(
+                                "callsite {callsite:#x} calls {target:#x}, not the unwound callee {cur_entry:#x}"
+                            ),
+                        )
+                        .vals(target, cur_entry));
                     }
                     let valid = !strict
                         || md
@@ -393,9 +520,12 @@ fn walk_stack(
                             .get(&cur_entry)
                             .is_some_and(|s| s.contains(&callsite));
                     if !valid {
-                        return Err(cf_err(format!(
-                            "callsite {callsite:#x} is not a valid caller of {cur_entry:#x}"
-                        )));
+                        return Err(cf_err(
+                            DenyRule::InvalidCaller,
+                            format!(
+                                "callsite {callsite:#x} is not a valid caller of {cur_entry:#x}"
+                            ),
+                        ));
                     }
                 }
                 frames.push(FrameRec {
@@ -403,14 +533,21 @@ fn walk_stack(
                     callsite: Some(callsite),
                     fp: cur_fp,
                 });
-                let saved = with_retries(mon, tracee, |t| t.read_u64(cur_fp))
-                    .map_err(|e| cf_err(format!("saved fp unreadable: {e}")))?;
+                let saved = with_retries(mon, tracee, |t| t.read_u64(cur_fp)).map_err(|e| {
+                    cf_err(
+                        DenyRule::SavedFpUnreadable,
+                        format!("saved fp unreadable: {e}"),
+                    )
+                })?;
                 cur_entry = cs.in_func;
                 cur_fp = saved;
             }
         }
     }
-    Err(cf_err("stack walk exceeded depth limit".into()))
+    Err(cf_err(
+        DenyRule::DepthLimitExceeded,
+        "stack walk exceeded depth limit".into(),
+    ))
 }
 
 /// Fast-path stack walk: fetch the raw frame chain with batched reads,
@@ -447,6 +584,7 @@ fn walk_stack_fast(
     h.push(payload);
     let key = h.finish();
     if let Some(verdict) = mon.cache.borrow_mut().walk_lookup(key) {
+        obs::instant(Phase::WalkCacheHit, mon.stats.traps, tracee.charged(), 0);
         verdict?;
         return Ok(chain);
     }
@@ -523,9 +661,10 @@ fn validate_chain(mon: &Monitor, chain: &[FrameRec], end: &ChainEnd) -> Result<(
         // cached chain outliving a rebind, or corrupted monitor state).
         // That is a verification failure, never a monitor crash.
         let Some(cs) = md.callsites.get(&callsite) else {
-            return Err(cf_err(format!(
-                "chain frame references unknown callsite {callsite:#x}"
-            )));
+            return Err(cf_err(
+                DenyRule::UnknownChainCallsite,
+                format!("chain frame references unknown callsite {callsite:#x}"),
+            ));
         };
         let kind = cs.kind;
         match kind {
@@ -535,19 +674,26 @@ fn validate_chain(mon: &Monitor, chain: &[FrameRec], end: &ChainEnd) -> Result<(
                         .func_of(f.func_entry)
                         .map_or("?", |fm| fm.name.as_str())
                         .to_string();
-                    return Err(cf_err(format!(
-                        "`{name}` entered via indirect call but is not a permitted indirect entry"
-                    )));
+                    return Err(cf_err(
+                        DenyRule::IllegalIndirectEntry,
+                        format!(
+                            "`{name}` entered via indirect call but is not a permitted indirect entry"
+                        ),
+                    ));
                 }
                 strict = false;
             }
             CallsiteKind::Direct(target) => {
                 if cf {
                     if target != f.func_entry {
-                        return Err(cf_err(format!(
-                            "callsite {callsite:#x} calls {target:#x}, not the unwound callee {:#x}",
-                            f.func_entry
-                        )));
+                        return Err(cf_err(
+                            DenyRule::CalleeMismatch,
+                            format!(
+                                "callsite {callsite:#x} calls {target:#x}, not the unwound callee {:#x}",
+                                f.func_entry
+                            ),
+                        )
+                        .vals(target, f.func_entry));
                     }
                     let valid = !strict
                         || md
@@ -555,10 +701,13 @@ fn validate_chain(mon: &Monitor, chain: &[FrameRec], end: &ChainEnd) -> Result<(
                             .get(&f.func_entry)
                             .is_some_and(|s| s.contains(&callsite));
                     if !valid {
-                        return Err(cf_err(format!(
-                            "callsite {callsite:#x} is not a valid caller of {:#x}",
-                            f.func_entry
-                        )));
+                        return Err(cf_err(
+                            DenyRule::InvalidCaller,
+                            format!(
+                                "callsite {callsite:#x} is not a valid caller of {:#x}",
+                                f.func_entry
+                            ),
+                        ));
                     }
                 }
             }
@@ -571,6 +720,7 @@ fn validate_chain(mon: &Monitor, chain: &[FrameRec], end: &ChainEnd) -> Result<(
             // as a violation, not a panic inside the monitor.
             let Some(last) = chain.last() else {
                 return Err(cf_err(
+                    DenyRule::BottomEmptyChain,
                     "stack walk bottomed out without walking any frame".into(),
                 ));
             };
@@ -579,24 +729,30 @@ fn validate_chain(mon: &Monitor, chain: &[FrameRec], end: &ChainEnd) -> Result<(
                     .func_of(last.func_entry)
                     .map_or("?", |fm| fm.name.as_str())
                     .to_string();
-                return Err(cf_err(format!(
-                    "stack walk bottomed out in `{name}`, not main"
-                )));
+                return Err(cf_err(
+                    DenyRule::BottomNotMain,
+                    format!("stack walk bottomed out in `{name}`, not main"),
+                ));
             }
             Ok(())
         }
         ChainEnd::UnknownCallsite { ret } => {
             if cf {
-                return Err(cf_err(format!(
-                    "return address {ret:#x} is not preceded by a call"
-                )));
+                return Err(cf_err(
+                    DenyRule::ReturnNotAfterCall,
+                    format!("return address {ret:#x} is not preceded by a call"),
+                ));
             }
             Ok(())
         }
-        ChainEnd::Unreadable { fp, err } => {
-            Err(cf_err(format!("frame at {fp:#x} unreadable: {err}")))
-        }
-        ChainEnd::DepthLimit => Err(cf_err("stack walk exceeded depth limit".into())),
+        ChainEnd::Unreadable { fp, err } => Err(cf_err(
+            DenyRule::FrameUnreadable,
+            format!("frame at {fp:#x} unreadable: {err}"),
+        )),
+        ChainEnd::DepthLimit => Err(cf_err(
+            DenyRule::DepthLimitExceeded,
+            "stack walk exceeded depth limit".into(),
+        )),
     }
 }
 
@@ -615,25 +771,33 @@ fn verify_args(
     // closed rather than consult known-corrupt state.
     if mon.res.borrow().shadow_quarantined {
         return Err(ai_err(
+            DenyRule::ShadowQuarantined,
             "shadow table quarantined; argument integrity unverifiable".into(),
         ));
     }
 
     // 1. The syscall callsite itself: trapped argument registers.
-    let syscall_cs = frames
-        .first()
-        .and_then(|f| f.callsite)
-        .ok_or_else(|| ai_err("no callsite for trapped syscall".into()))?;
+    let syscall_cs = frames.first().and_then(|f| f.callsite).ok_or_else(|| {
+        ai_err(
+            DenyRule::NoSyscallCallsite,
+            "no callsite for trapped syscall".into(),
+        )
+    })?;
     let site = md.syscall_sites.get(&syscall_cs).ok_or_else(|| {
-        ai_err(format!(
-            "sensitive syscall from unlisted site {syscall_cs:#x}"
-        ))
+        ai_err(
+            DenyRule::UnlistedSyscallSite,
+            format!("sensitive syscall from unlisted site {syscall_cs:#x}"),
+        )
     })?;
     if site.nr != regs.nr {
-        return Err(ai_err(format!(
-            "callsite registered for syscall {}, trapped {}",
-            site.nr, regs.nr
-        )));
+        return Err(ai_err(
+            DenyRule::SysnoMismatch,
+            format!(
+                "callsite registered for syscall {}, trapped {}",
+                site.nr, regs.nr
+            ),
+        )
+        .vals(u64::from(site.nr), u64::from(regs.nr)));
     }
     let extended = bastion_ir::sysno::extended_positions(regs.nr);
     for (i, am) in site.args.iter().enumerate() {
@@ -668,22 +832,35 @@ fn verify_args(
                 ArgMeta::Mem => match shadow_binding(mon, tracee, &shadow, created_by, *pos)? {
                     Some(Binding::Mem(addr)) => {
                         let Some((legit, _)) = shadow_value(mon, tracee, &shadow, addr)? else {
-                            return Err(ai_err(format!(
-                                "no shadow copy for bound variable {addr:#x}"
-                            )));
+                            return Err(ai_err(
+                                DenyRule::NoShadowCopy,
+                                format!("no shadow copy for bound variable {addr:#x}"),
+                            ));
                         };
-                        let current = with_retries(mon, tracee, |t| t.read_u64(addr))
-                            .map_err(|e| ai_err(format!("bound variable unreadable: {e}")))?;
+                        let current =
+                            with_retries(mon, tracee, |t| t.read_u64(addr)).map_err(|e| {
+                                ai_err(
+                                    DenyRule::BoundVarUnreadable,
+                                    format!("bound variable unreadable: {e}"),
+                                )
+                            })?;
                         if current != legit {
-                            return Err(ai_err(format!(
+                            return Err(ai_err(
+                                DenyRule::SensitiveVarCorrupted,
+                                format!(
                                     "sensitive variable {addr:#x} corrupted: {current:#x} != shadow {legit:#x}"
-                                )));
+                                ),
+                            )
+                            .vals(legit, current));
                         }
                     }
                     Some(Binding::Const(_)) | None => {
-                        return Err(ai_err(format!(
-                            "missing memory binding at prop site {created_by:#x} pos {pos}"
-                        )));
+                        return Err(ai_err(
+                            DenyRule::MissingMemBinding,
+                            format!(
+                                "missing memory binding at prop site {created_by:#x} pos {pos}"
+                            ),
+                        ));
                     }
                 },
                 ArgMeta::Const(v) => {
@@ -697,13 +874,21 @@ fn verify_args(
                         continue;
                     }
                     let slot = callee_f.fp - fm.frame_size + fm.slot_offsets[idx];
-                    let cur = with_retries(mon, tracee, |t| t.read_u64(slot))
-                        .map_err(|e| ai_err(format!("param slot unreadable: {e}")))?;
+                    let cur = with_retries(mon, tracee, |t| t.read_u64(slot)).map_err(|e| {
+                        ai_err(
+                            DenyRule::ParamSlotUnreadable,
+                            format!("param slot unreadable: {e}"),
+                        )
+                    })?;
                     if cur != *v as u64 {
-                        return Err(ai_err(format!(
-                            "constant argument {pos} of `{}` corrupted: {cur:#x} != {v:#x}",
-                            fm.name
-                        )));
+                        return Err(ai_err(
+                            DenyRule::ConstParamCorrupted,
+                            format!(
+                                "constant argument {pos} of `{}` corrupted: {cur:#x} != {v:#x}",
+                                fm.name
+                            ),
+                        )
+                        .vals(*v as u64, cur));
                     }
                 }
                 ArgMeta::Global { .. } | ArgMeta::StackAddr | ArgMeta::Opaque => {}
@@ -727,9 +912,11 @@ fn check_arg(
     match am {
         ArgMeta::Const(v) => {
             if actual != *v as u64 {
-                return Err(ai_err(format!(
-                    "argument {pos}: {actual:#x} != expected constant {v:#x}"
-                )));
+                return Err(ai_err(
+                    DenyRule::ConstArgMismatch,
+                    format!("argument {pos}: {actual:#x} != expected constant {v:#x}"),
+                )
+                .vals(*v as u64, actual));
             }
         }
         ArgMeta::Mem => {
@@ -737,67 +924,103 @@ fn check_arg(
             match binding {
                 Some(Binding::Mem(addr)) => {
                     let Some((legit, _)) = shadow_value(mon, tracee, shadow, addr)? else {
-                        return Err(ai_err(format!(
-                            "argument {pos}: no shadow copy for {addr:#x}"
-                        )));
+                        return Err(ai_err(
+                            DenyRule::NoShadowCopy,
+                            format!("argument {pos}: no shadow copy for {addr:#x}"),
+                        ));
                     };
                     if actual != legit {
-                        return Err(ai_err(format!(
-                            "argument {pos}: {actual:#x} != shadow value {legit:#x}"
-                        )));
+                        return Err(ai_err(
+                            DenyRule::ShadowValueMismatch,
+                            format!("argument {pos}: {actual:#x} != shadow value {legit:#x}"),
+                        )
+                        .vals(legit, actual));
                     }
                     // Also verify the variable's *current* memory value —
                     // catches corruption landing between the bind and the
                     // trap (the TOCTOU window §6.3.2 cares about).
-                    let current = with_retries(mon, tracee, |t| t.read_u64(addr))
-                        .map_err(|e| ai_err(format!("bound variable unreadable: {e}")))?;
+                    let current = with_retries(mon, tracee, |t| t.read_u64(addr)).map_err(|e| {
+                        ai_err(
+                            DenyRule::BoundVarUnreadable,
+                            format!("bound variable unreadable: {e}"),
+                        )
+                    })?;
                     if current != legit {
-                        return Err(ai_err(format!(
-                            "argument {pos}: variable {addr:#x} corrupted after bind ({current:#x} != {legit:#x})"
-                        )));
+                        return Err(ai_err(
+                            DenyRule::CorruptedAfterBind,
+                            format!(
+                                "argument {pos}: variable {addr:#x} corrupted after bind ({current:#x} != {legit:#x})"
+                            ),
+                        )
+                        .vals(legit, current));
                     }
                 }
                 Some(Binding::Const(c)) => {
                     if actual != c as u64 {
-                        return Err(ai_err(format!(
-                            "argument {pos}: {actual:#x} != bound constant {c:#x}"
-                        )));
+                        return Err(ai_err(
+                            DenyRule::BoundConstMismatch,
+                            format!("argument {pos}: {actual:#x} != bound constant {c:#x}"),
+                        )
+                        .vals(c as u64, actual));
                     }
                 }
                 None => {
-                    return Err(ai_err(format!("argument {pos}: binding missing")));
+                    return Err(ai_err(
+                        DenyRule::BindingMissing,
+                        format!("argument {pos}: binding missing"),
+                    ));
                 }
             }
             if extended {
-                verify_pointee_shadow(mon, tracee, shadow, pos, actual)?;
+                let seq = mon.stats.traps;
+                obs::span_begin(Phase::AiExtended, seq, tracee.charged());
+                let probed = verify_pointee_shadow(mon, tracee, shadow, pos, actual);
+                obs::span_end(
+                    Phase::AiExtended,
+                    seq,
+                    tracee.charged(),
+                    u64::from(probed.is_err()),
+                );
+                probed?;
             }
         }
         ArgMeta::Global { name, expected } => {
             let Some(&sym) = mon.info.globals.get(name) else {
-                return Err(ai_err(format!("argument {pos}: unknown symbol `{name}`")));
+                return Err(ai_err(
+                    DenyRule::UnknownSymbol,
+                    format!("argument {pos}: unknown symbol `{name}`"),
+                ));
             };
             if actual != sym {
-                return Err(ai_err(format!(
-                    "argument {pos}: {actual:#x} != &{name} ({sym:#x})"
-                )));
+                return Err(ai_err(
+                    DenyRule::GlobalAddrMismatch,
+                    format!("argument {pos}: {actual:#x} != &{name} ({sym:#x})"),
+                )
+                .vals(sym, actual));
             }
             if let Some(exp) = expected {
                 let mut buf = vec![0u8; exp.len()];
-                with_retries(mon, tracee, |t| t.read_mem(actual, &mut buf))
-                    .map_err(|e| ai_err(format!("argument {pos}: pointee unreadable: {e}")))?;
+                with_retries(mon, tracee, |t| t.read_mem(actual, &mut buf)).map_err(|e| {
+                    ai_err(
+                        DenyRule::PointeeUnreadable,
+                        format!("argument {pos}: pointee unreadable: {e}"),
+                    )
+                })?;
                 if &buf != exp {
-                    return Err(ai_err(format!(
-                        "argument {pos}: pointee of `{name}` corrupted"
-                    )));
+                    return Err(ai_err(
+                        DenyRule::GlobalPointeeCorrupted,
+                        format!("argument {pos}: pointee of `{name}` corrupted"),
+                    ));
                 }
             }
         }
         ArgMeta::StackAddr => {
             let (lo, hi) = mon.info.stack;
             if actual != 0 && !(lo..hi).contains(&actual) {
-                return Err(ai_err(format!(
-                    "argument {pos}: {actual:#x} is not a plausible stack address"
-                )));
+                return Err(ai_err(
+                    DenyRule::StackAddrImplausible,
+                    format!("argument {pos}: {actual:#x} is not a plausible stack address"),
+                ));
             }
         }
         ArgMeta::Opaque => {}
@@ -821,8 +1044,13 @@ fn verify_pointee_shadow(
     let (n, nul_found) = if mon.cfg.fast_path {
         // One bounded prefix read instead of a charged read per byte.
         mon.cache.borrow_mut().batched_pointee_reads += 1;
-        let mapped = with_retries(mon, tracee, |t| t.read_mem_prefix(ptr, &mut buf))
-            .map_err(|e| ai_err(format!("argument {pos}: pointee unreadable: {e}")))?;
+        let mapped =
+            with_retries(mon, tracee, |t| t.read_mem_prefix(ptr, &mut buf)).map_err(|e| {
+                ai_err(
+                    DenyRule::PointeeUnreadable,
+                    format!("argument {pos}: pointee unreadable: {e}"),
+                )
+            })?;
         let nul = buf[..mapped].iter().position(|&b| b == 0);
         (nul.map_or(mapped, |z| z + 1), nul.is_some())
     } else {
@@ -849,9 +1077,13 @@ fn verify_pointee_shadow(
         if let Some((legit, size)) = shadow_value(mon, tracee, shadow, addr)? {
             let legit_byte = (legit & 0xff) as u8;
             if size == 1 && legit_byte != byte {
-                return Err(ai_err(format!(
-                    "argument {pos}: pointee byte at {addr:#x} corrupted ({byte:#x} != {legit_byte:#x})"
-                )));
+                return Err(ai_err(
+                    DenyRule::PointeeByteCorrupted,
+                    format!(
+                        "argument {pos}: pointee byte at {addr:#x} corrupted ({byte:#x} != {legit_byte:#x})"
+                    ),
+                )
+                .vals(u64::from(legit_byte), u64::from(byte)));
             }
         }
     }
@@ -862,10 +1094,13 @@ fn verify_pointee_shadow(
     if !nul_found && n < buf.len() {
         for i in n..buf.len() {
             if shadow_value(mon, tracee, shadow, ptr + i as u64)?.is_some() {
-                return Err(ai_err(format!(
-                    "argument {pos}: shadow-backed pointee bytes past {:#x} are unreadable",
-                    ptr + n as u64
-                )));
+                return Err(ai_err(
+                    DenyRule::PointeeTailUnverifiable,
+                    format!(
+                        "argument {pos}: shadow-backed pointee bytes past {:#x} are unreadable",
+                        ptr + n as u64
+                    ),
+                ));
             }
         }
     }

@@ -1,0 +1,334 @@
+//! Exporters: Chrome `trace_event` JSON for the span ring, plus phase
+//! aggregation shared by the CLI, bench bins, and the smoke test.
+//!
+//! The exporter re-balances the event stream before emitting it: a ring
+//! that wrapped mid-span leaves orphaned `End` events at the front (their
+//! `Begin` was overwritten) and unclosed `Begin` events at the back.
+//! Orphaned ends are dropped and dangling begins are closed at the final
+//! timestamp, so the exported JSON always contains balanced B/E pairs with
+//! monotone timestamps — the shape [`validate_chrome_trace`] checks.
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::{EventKind, Phase, TraceEvent};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Pass-through wrapper so a hand-built [`Value`] tree can flow through
+/// the serde_json shim in both directions.
+struct RawValue(Value);
+
+impl Serialize for RawValue {
+    fn serialize_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+impl Deserialize for RawValue {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(RawValue(v.clone()))
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Renders events as a Chrome `trace_event` JSON document (load it at
+/// `chrome://tracing` or in Perfetto). Timestamps are the deterministic
+/// virtual-cycle clock, one microsecond per cycle.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out: Vec<Value> = Vec::new();
+    let mut stack: Vec<Phase> = Vec::new();
+    let mut last_ts = 0u64;
+    for ev in events {
+        last_ts = ev.vcycles;
+        match ev.kind {
+            EventKind::Begin => {
+                stack.push(ev.phase);
+                out.push(trace_obj(ev, "B"));
+            }
+            EventKind::End => {
+                // Only a LIFO match closes a span; anything else is an
+                // orphan from ring wraparound and is dropped.
+                if stack.last() == Some(&ev.phase) {
+                    stack.pop();
+                    out.push(trace_obj(ev, "E"));
+                }
+            }
+            EventKind::Instant => out.push(trace_obj(ev, "i")),
+        }
+    }
+    // Close dangling spans (innermost first) at the final timestamp.
+    while let Some(phase) = stack.pop() {
+        let synth = TraceEvent {
+            kind: EventKind::End,
+            phase,
+            trap: 0,
+            vcycles: last_ts,
+            wall_ns: 0,
+            arg: 0,
+        };
+        out.push(trace_obj(&synth, "E"));
+    }
+    let doc = obj(vec![
+        ("traceEvents", Value::Array(out)),
+        ("displayTimeUnit", Value::Str("ms".to_string())),
+    ]);
+    serde_json::to_string(&RawValue(doc)).expect("trace document serializes")
+}
+
+fn trace_obj(ev: &TraceEvent, ph: &str) -> Value {
+    let mut fields = vec![
+        ("name", Value::Str(ev.phase.name().to_string())),
+        ("cat", Value::Str(ev.phase.category().to_string())),
+        ("ph", Value::Str(ph.to_string())),
+        ("ts", Value::UInt(ev.vcycles)),
+        ("pid", Value::UInt(1)),
+        ("tid", Value::UInt(1)),
+    ];
+    if ph == "i" {
+        fields.push(("s", Value::Str("t".to_string())));
+    }
+    fields.push((
+        "args",
+        obj(vec![
+            ("trap", Value::UInt(ev.trap)),
+            ("arg", Value::UInt(ev.arg)),
+            ("wall_ns", Value::UInt(ev.wall_ns)),
+        ]),
+    ));
+    obj(fields)
+}
+
+/// Shape summary of a validated Chrome trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceShape {
+    /// Total `traceEvents` entries.
+    pub events: u64,
+    /// `"B"` events (equals `ends` in a valid trace).
+    pub begins: u64,
+    /// `"E"` events.
+    pub ends: u64,
+    /// `"i"` events.
+    pub instants: u64,
+    /// Matched begin/end pairs named `trap` (root spans).
+    pub trap_spans: u64,
+    /// Deepest span nesting observed.
+    pub max_depth: u64,
+}
+
+/// Validates Chrome-trace JSON shape: parseable, monotone (non-decreasing)
+/// timestamps, and balanced B/E events with LIFO name nesting. Returns the
+/// shape summary on success.
+pub fn validate_chrome_trace(json: &str) -> Result<TraceShape, String> {
+    let raw: RawValue = serde_json::from_str(json).map_err(|e| format!("parse: {e}"))?;
+    let events = match raw.0.field("traceEvents") {
+        Ok(Value::Array(items)) => items.clone(),
+        Ok(other) => return Err(format!("traceEvents is {}, not array", other.kind())),
+        Err(e) => return Err(e.to_string()),
+    };
+    let mut shape = TraceShape::default();
+    let mut stack: Vec<String> = Vec::new();
+    let mut last_ts: Option<u64> = None;
+    for (i, ev) in events.iter().enumerate() {
+        let name = match ev.field("name") {
+            Ok(Value::Str(s)) => s.clone(),
+            _ => return Err(format!("event {i}: missing string `name`")),
+        };
+        let ph = match ev.field("ph") {
+            Ok(Value::Str(s)) => s.clone(),
+            _ => return Err(format!("event {i}: missing string `ph`")),
+        };
+        let ts = match ev.field("ts") {
+            Ok(Value::UInt(v)) => *v,
+            Ok(Value::Int(v)) if *v >= 0 => *v as u64,
+            _ => return Err(format!("event {i}: missing integer `ts`")),
+        };
+        if let Some(prev) = last_ts {
+            if ts < prev {
+                return Err(format!("event {i}: timestamp {ts} < predecessor {prev}"));
+            }
+        }
+        last_ts = Some(ts);
+        shape.events += 1;
+        match ph.as_str() {
+            "B" => {
+                stack.push(name);
+                shape.begins += 1;
+                shape.max_depth = shape.max_depth.max(stack.len() as u64);
+            }
+            "E" => {
+                let open = stack
+                    .pop()
+                    .ok_or_else(|| format!("event {i}: `E` with no open span"))?;
+                if open != name {
+                    return Err(format!("event {i}: `E` for `{name}` but `{open}` is open"));
+                }
+                shape.ends += 1;
+                if name == "trap" {
+                    shape.trap_spans += 1;
+                }
+            }
+            "i" => shape.instants += 1,
+            other => return Err(format!("event {i}: unknown phase `{other}`")),
+        }
+    }
+    if !stack.is_empty() {
+        return Err(format!("{} span(s) never closed: {stack:?}", stack.len()));
+    }
+    Ok(shape)
+}
+
+/// Renders a metrics snapshot as pretty-printed JSON — the dump format of
+/// `bastion stats --json` and the bench bins.
+pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
+    serde_json::to_string_pretty(snapshot).expect("metrics snapshot serializes")
+}
+
+/// Per-phase aggregation of an event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTotal {
+    /// The phase.
+    pub phase: Phase,
+    /// Completed spans.
+    pub spans: u64,
+    /// Instant events.
+    pub instants: u64,
+    /// Inclusive virtual cycles (children counted).
+    pub cycles: u64,
+    /// Exclusive virtual cycles (children subtracted).
+    pub self_cycles: u64,
+}
+
+/// Aggregates per-phase span counts and cycle totals (inclusive and
+/// exclusive). Orphaned ends and unclosed begins are ignored, mirroring
+/// the exporter's balancing policy.
+pub fn phase_totals(events: &[TraceEvent]) -> Vec<PhaseTotal> {
+    use std::collections::BTreeMap;
+    fn slot(acc: &mut BTreeMap<Phase, PhaseTotal>, phase: Phase) -> &mut PhaseTotal {
+        acc.entry(phase).or_insert(PhaseTotal {
+            phase,
+            spans: 0,
+            instants: 0,
+            cycles: 0,
+            self_cycles: 0,
+        })
+    }
+    let mut acc: BTreeMap<Phase, PhaseTotal> = BTreeMap::new();
+    let mut stack: Vec<(Phase, u64, u64)> = Vec::new(); // (phase, begin_ts, child cycles)
+    for ev in events {
+        match ev.kind {
+            EventKind::Begin => stack.push((ev.phase, ev.vcycles, 0)),
+            EventKind::End => {
+                if stack.last().map(|f| f.0) == Some(ev.phase) {
+                    let (phase, begin, child) = stack.pop().expect("non-empty");
+                    let incl = ev.vcycles.saturating_sub(begin);
+                    if let Some(parent) = stack.last_mut() {
+                        parent.2 += incl;
+                    }
+                    let t = slot(&mut acc, phase);
+                    t.spans += 1;
+                    t.cycles += incl;
+                    t.self_cycles += incl.saturating_sub(child);
+                }
+            }
+            EventKind::Instant => slot(&mut acc, ev.phase).instants += 1,
+        }
+    }
+    acc.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::EventKind as K;
+
+    fn ev(kind: K, phase: Phase, vcycles: u64) -> TraceEvent {
+        TraceEvent {
+            kind,
+            phase,
+            trap: 1,
+            vcycles,
+            wall_ns: vcycles * 10,
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn export_and_validate_roundtrip() {
+        let events = vec![
+            ev(K::Begin, Phase::Trap, 100),
+            ev(K::Begin, Phase::CtCheck, 110),
+            ev(K::Instant, Phase::CtCacheHit, 115),
+            ev(K::End, Phase::CtCheck, 150),
+            ev(K::End, Phase::Trap, 200),
+        ];
+        let json = chrome_trace_json(&events);
+        let shape = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(shape.begins, 2);
+        assert_eq!(shape.ends, 2);
+        assert_eq!(shape.instants, 1);
+        assert_eq!(shape.trap_spans, 1);
+        assert_eq!(shape.max_depth, 2);
+    }
+
+    #[test]
+    fn wrapped_stream_is_rebalanced() {
+        // A ring that wrapped mid-span: orphan ends up front, a dangling
+        // begin at the back.
+        let events = vec![
+            ev(K::End, Phase::CtCheck, 90),
+            ev(K::End, Phase::Trap, 95),
+            ev(K::Begin, Phase::Trap, 100),
+            ev(K::Begin, Phase::CfWalk, 110),
+            ev(K::End, Phase::CfWalk, 150),
+        ];
+        let json = chrome_trace_json(&events);
+        let shape = validate_chrome_trace(&json).expect("rebalanced trace validates");
+        assert_eq!(shape.begins, shape.ends);
+        assert_eq!(shape.trap_spans, 1, "dangling trap begin closed");
+    }
+
+    #[test]
+    fn validator_rejects_non_monotone() {
+        let json = r#"{"traceEvents":[
+            {"name":"trap","ph":"B","ts":100,"pid":1,"tid":1},
+            {"name":"trap","ph":"E","ts":50,"pid":1,"tid":1}
+        ]}"#;
+        assert!(validate_chrome_trace(json).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced() {
+        let json = r#"{"traceEvents":[
+            {"name":"trap","ph":"B","ts":100,"pid":1,"tid":1}
+        ]}"#;
+        assert!(validate_chrome_trace(json).is_err());
+        let json = r#"{"traceEvents":[
+            {"name":"trap","ph":"E","ts":100,"pid":1,"tid":1}
+        ]}"#;
+        assert!(validate_chrome_trace(json).is_err());
+    }
+
+    #[test]
+    fn phase_totals_inclusive_and_exclusive() {
+        let events = vec![
+            ev(K::Begin, Phase::Trap, 0),
+            ev(K::Begin, Phase::CfWalk, 10),
+            ev(K::End, Phase::CfWalk, 40),
+            ev(K::End, Phase::Trap, 100),
+            ev(K::Instant, Phase::Retry, 100),
+        ];
+        let totals = phase_totals(&events);
+        let get = |p: Phase| totals.iter().find(|t| t.phase == p).copied().unwrap();
+        assert_eq!(get(Phase::Trap).cycles, 100);
+        assert_eq!(get(Phase::Trap).self_cycles, 70);
+        assert_eq!(get(Phase::CfWalk).cycles, 30);
+        assert_eq!(get(Phase::CfWalk).self_cycles, 30);
+        assert_eq!(get(Phase::Retry).instants, 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! The metrics registry: named counters and fixed-bucket histograms,
+//! snapshotable as a plain serializable struct.
+//!
+//! Registration is lazy — the first `counter_add`/`observe` against a name
+//! creates it — but histograms may also be registered up front with
+//! explicit bucket bounds (cycles/trap wants coarser buckets than walk
+//! depth). All storage is owned by the registry; recording allocates only
+//! on first use of a name.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Default histogram bucket upper edges: powers of two, 1..=65536.
+pub const DEFAULT_BOUNDS: &[u64] = &[
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
+];
+
+/// A fixed-bucket histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// One slot per bound plus a final overflow slot.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn observe(&mut self, value: u64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+}
+
+/// Counters + histograms for one thread of execution.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero on first use.
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Registers a histogram with explicit ascending bucket bounds. A
+    /// no-op if the name already exists (first registration wins, so
+    /// explicit bounds must be declared before the first `observe`).
+    pub fn register_histogram(&mut self, name: &'static str, bounds: &[u64]) {
+        self.hists
+            .entry(name)
+            .or_insert_with(|| Histogram::new(bounds));
+    }
+
+    /// Records `value` into the named histogram, creating it with
+    /// [`DEFAULT_BOUNDS`] on first use.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.hists
+            .entry(name)
+            .or_insert_with(|| Histogram::new(DEFAULT_BOUNDS))
+            .observe(value);
+    }
+
+    /// Snapshots every counter and histogram into a plain struct.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(&name, &value)| CounterSnapshot {
+                    name: name.to_string(),
+                    value,
+                })
+                .collect(),
+            histograms: self
+                .hists
+                .iter()
+                .map(|(&name, h)| HistogramSnapshot {
+                    name: name.to_string(),
+                    count: h.count,
+                    sum: h.sum,
+                    min: if h.count == 0 { 0 } else { h.min },
+                    max: h.max,
+                    buckets: h
+                        .bounds
+                        .iter()
+                        .copied()
+                        .chain(std::iter::once(u64::MAX))
+                        .zip(h.counts.iter().copied())
+                        .map(|(le, count)| BucketSnapshot { le, count })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One counter's value at snapshot time.
+#[derive(Debug, Clone, Serialize)]
+pub struct CounterSnapshot {
+    /// Counter name (dotted, e.g. `monitor.retries`).
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One histogram bucket: observations with `value <= le`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BucketSnapshot {
+    /// Upper edge (inclusive); `u64::MAX` marks the overflow bucket.
+    pub le: u64,
+    /// Observations that landed in this bucket.
+    pub count: u64,
+}
+
+/// One histogram's state at snapshot time.
+#[derive(Debug, Clone, Serialize)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Cumulative-style fixed buckets (non-cumulative counts per bucket).
+    pub buckets: Vec<BucketSnapshot>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The whole registry as a plain struct (the metrics JSON dump).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MetricsSnapshot {
+    /// All counters, name-sorted.
+    pub counters: Vec<CounterSnapshot>,
+    /// All histograms, name-sorted.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Looks a counter up by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks a histogram up by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("a", 2);
+        r.counter_add("a", 3);
+        r.counter_add("b", 1);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), Some(5));
+        assert_eq!(s.counter("b"), Some(1));
+        assert_eq!(s.counter("c"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut r = MetricsRegistry::new();
+        r.register_histogram("d", &[1, 4, 16]);
+        r.observe("d", 1);
+        r.observe("d", 3);
+        r.observe("d", 100);
+        let s = r.snapshot();
+        let h = s.histogram("d").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 104);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 100);
+        let counts: Vec<u64> = h.buckets.iter().map(|b| b.count).collect();
+        assert_eq!(counts, vec![1, 1, 0, 1]);
+        assert_eq!(h.buckets.last().unwrap().le, u64::MAX);
+        assert!((h.mean() - 104.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_bounds_kick_in() {
+        let mut r = MetricsRegistry::new();
+        r.observe("x", 7000);
+        let s = r.snapshot();
+        let h = s.histogram("x").unwrap();
+        assert_eq!(h.buckets.len(), DEFAULT_BOUNDS.len() + 1);
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn empty_histogram_min_is_zero() {
+        let mut r = MetricsRegistry::new();
+        r.register_histogram("e", &[1]);
+        let s = r.snapshot();
+        assert_eq!(s.histogram("e").unwrap().min, 0);
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("a", 1);
+        r.observe("h", 2);
+        let json = serde_json::to_string(&r.snapshot()).unwrap();
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"histograms\""));
+    }
+}

@@ -1,0 +1,233 @@
+//! The span tracer: a bounded, preallocated ring buffer of structured
+//! trace events.
+//!
+//! Each monitor trap opens a [`Phase::Trap`] span; verification stages
+//! nest typed child phases inside it. The ring overwrites its oldest
+//! events on wraparound — long runs keep a sliding window of the most
+//! recent activity, and the exporter re-balances orphaned begin/end
+//! markers so a wrapped buffer still yields a well-formed trace.
+
+/// Event flavor, mirroring Chrome `trace_event` phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span open (`"B"`).
+    Begin,
+    /// Span close (`"E"`).
+    End,
+    /// Instantaneous marker (`"i"`): cache hit, retry, deny.
+    Instant,
+}
+
+/// The typed phase taxonomy of the trap pipeline (DESIGN.md §6e).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// Root span: one per monitor trap, opened by the kernel world around
+    /// the whole tracer stop (includes the ptrace stop cost).
+    Trap,
+    /// Instant: the seccomp filter classified this syscall as traced.
+    SeccompClassify,
+    /// `PTRACE_GETREGS` register snapshot (with retries).
+    GetRegs,
+    /// Trap-frame head fetch (batched or word-by-word).
+    FrameRead,
+    /// Call-Type verdict (§7.2), cached or computed.
+    CtCheck,
+    /// Control-Flow stack walk + chain validation (§7.3).
+    CfWalk,
+    /// Argument Integrity direct checks: registers, bindings, shadow
+    /// values, prop-site re-validation (§7.4).
+    AiDirect,
+    /// Argument Integrity extended-pointee probe (nested in `AiDirect`).
+    AiExtended,
+    /// Retry backoff stall charged after a failed substrate access.
+    Backoff,
+    /// Instant: one substrate-access retry attempt.
+    Retry,
+    /// Instant: Call-Type verdict served from the verification cache.
+    CtCacheHit,
+    /// Instant: stack-walk verdict served from the verification cache.
+    WalkCacheHit,
+    /// Instant: the trap was denied (a [`crate::DenyRecord`] exists).
+    Deny,
+}
+
+impl Phase {
+    /// Stable snake_case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Trap => "trap",
+            Phase::SeccompClassify => "seccomp_classify",
+            Phase::GetRegs => "getregs",
+            Phase::FrameRead => "frame_read",
+            Phase::CtCheck => "ct_check",
+            Phase::CfWalk => "cf_walk",
+            Phase::AiDirect => "ai_direct",
+            Phase::AiExtended => "ai_extended",
+            Phase::Backoff => "backoff",
+            Phase::Retry => "retry",
+            Phase::CtCacheHit => "ct_cache_hit",
+            Phase::WalkCacheHit => "walk_cache_hit",
+            Phase::Deny => "deny",
+        }
+    }
+
+    /// Which layer emits the phase (the Chrome-trace category).
+    pub fn category(self) -> &'static str {
+        match self {
+            Phase::Trap | Phase::SeccompClassify => "kernel",
+            _ => "monitor",
+        }
+    }
+}
+
+/// One structured telemetry event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Begin / end / instant.
+    pub kind: EventKind,
+    /// Typed phase.
+    pub phase: Phase,
+    /// Monitor trap sequence number the event belongs to (0 = outside any
+    /// trap).
+    pub trap: u64,
+    /// Deterministic monitor-time clock (the world's `trace_cycles`).
+    pub vcycles: u64,
+    /// Monotonic wall-clock nanoseconds since tracing was enabled.
+    pub wall_ns: u64,
+    /// Phase-specific payload (walk depth, retry attempt, deny flag, …).
+    pub arg: u64,
+}
+
+impl TraceEvent {
+    /// Builds an event, stamping the wall clock. Only called on the
+    /// enabled path.
+    pub(crate) fn new(kind: EventKind, phase: Phase, trap: u64, vcycles: u64, arg: u64) -> Self {
+        TraceEvent {
+            kind,
+            phase,
+            trap,
+            vcycles,
+            wall_ns: span_wall_ns(),
+            arg,
+        }
+    }
+}
+
+thread_local! {
+    static EPOCH: std::time::Instant = std::time::Instant::now();
+}
+
+/// Monotonic nanoseconds since this thread's telemetry epoch.
+fn span_wall_ns() -> u64 {
+    EPOCH.with(|e| e.elapsed().as_nanos() as u64)
+}
+
+/// Bounded, preallocated ring buffer of [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct SpanTracer {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Next write slot once the buffer is full (oldest event's index).
+    next: usize,
+    total: u64,
+}
+
+impl SpanTracer {
+    /// Preallocates a ring holding up to `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        SpanTracer {
+            buf: Vec::with_capacity(cap),
+            cap,
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one event, overwriting the oldest when full. Never
+    /// allocates: the ring was sized at construction.
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+            self.next = (self.next + 1) % self.cap;
+        }
+        self.total += 1;
+    }
+
+    /// Events currently buffered, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+
+    /// Drains the ring, returning buffered events oldest first.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        let out = self.events();
+        self.buf.clear();
+        self.next = 0;
+        out
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(phase: Phase, vcycles: u64) -> TraceEvent {
+        TraceEvent {
+            kind: EventKind::Instant,
+            phase,
+            trap: 1,
+            vcycles,
+            wall_ns: 0,
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_in_order() {
+        let mut s = SpanTracer::new(4);
+        for i in 0..10 {
+            s.record(ev(Phase::Retry, i));
+        }
+        assert_eq!(s.total_recorded(), 10);
+        let evs = s.take();
+        assert_eq!(
+            evs.iter().map(|e| e.vcycles).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert!(s.events().is_empty());
+    }
+
+    #[test]
+    fn ring_never_exceeds_capacity() {
+        let mut s = SpanTracer::new(3);
+        for i in 0..100 {
+            s.record(ev(Phase::Trap, i));
+            assert!(s.events().len() <= 3);
+        }
+        assert_eq!(s.capacity(), 3);
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        assert_eq!(Phase::Trap.name(), "trap");
+        assert_eq!(Phase::CfWalk.name(), "cf_walk");
+        assert_eq!(Phase::Trap.category(), "kernel");
+        assert_eq!(Phase::AiExtended.category(), "monitor");
+    }
+}

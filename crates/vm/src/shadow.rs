@@ -257,10 +257,11 @@ impl ShadowTable {
     /// it shadows would escape verification entirely.
     fn probe_checked<M: MemIo>(&self, mem: &M, key: u64) -> Result<(u64, bool), ShadowError> {
         let mut slot = Self::hash(key);
-        for _ in 0..SHADOW_CAPACITY {
+        for visited in 1..=SHADOW_CAPACITY {
             let ea = self.slot_addr(slot);
             let k = mem.read_u64(ea)?;
             if k == key {
+                bastion_obs::observe("shadow.probe_len", visited);
                 return Ok((ea, true));
             }
             let meta = mem.read_u64(ea + 8)?;
@@ -271,6 +272,7 @@ impl ShadowTable {
                 if meta != 0 || value != 0 {
                     return Err(ShadowError::Corrupt { addr: ea });
                 }
+                bastion_obs::observe("shadow.probe_len", visited);
                 return Ok((ea, false));
             }
             // A foreign slot redirects the probe; verify it really is a

@@ -1,0 +1,275 @@
+//! Telemetry suite: span-ring integrity, the zero-cost disabled path, and
+//! deny-record provenance (DESIGN.md §6e).
+//!
+//! Invariants enforced here:
+//!
+//! * a wrapped span ring still exports a **balanced, validating** Chrome
+//!   trace (orphans dropped, dangling spans closed);
+//! * the disabled tracer records **nothing** — no events, no metrics;
+//! * every monitor deny in the Table 6 catalog yields **exactly one**
+//!   structured [`DenyRecord`] whose rendered message is byte-identical to
+//!   the legacy `MonitorKill` reason string;
+//! * deny records join the fault-injection log on the world trap sequence
+//!   number (`DenyRecord::trap_seq` == `InjectedFault::world_trap`).
+
+use bastion::obs;
+use bastion::obs::{DenyRecord, Phase};
+use bastion_attacks::{AttackEnv, Scenario};
+use bastion_kernel::{ExitReason, FaultKind, FaultSchedule, Trigger};
+use bastion_monitor::ContextConfig;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Span ring
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ring_wraparound_preserves_span_nesting() {
+    // Capacity for 16 events; each synthetic trap emits 6 — the ring wraps
+    // several times, cutting spans mid-flight at both ends.
+    obs::enable(16);
+    for trap in 1..=8u64 {
+        let t0 = trap * 1000;
+        obs::span_begin(Phase::Trap, trap, t0);
+        obs::span_begin(Phase::CtCheck, trap, t0 + 10);
+        obs::instant(Phase::CtCacheHit, trap, t0 + 15, 0);
+        obs::span_end(Phase::CtCheck, trap, t0 + 20, 0);
+        obs::span_begin(Phase::CfWalk, trap, t0 + 30);
+        obs::span_end(Phase::CfWalk, trap, t0 + 90, 3);
+        obs::span_end(Phase::Trap, trap, t0 + 100, 0);
+    }
+    let events = obs::take_events();
+    obs::disable();
+    assert_eq!(events.len(), 16, "ring keeps exactly its capacity");
+    let json = obs::chrome_trace_json(&events);
+    let shape =
+        obs::validate_chrome_trace(&json).expect("wrapped ring must still export a balanced trace");
+    assert_eq!(shape.begins, shape.ends, "B/E balanced after rebalancing");
+    assert!(shape.events > 0);
+}
+
+#[test]
+fn deep_nesting_survives_wraparound() {
+    // Wrap mid-way through a *nested* span stack: the export must close
+    // the dangling begins innermost-first and drop the orphaned ends.
+    obs::enable(8);
+    for i in 0..5u64 {
+        let t = i * 100;
+        obs::span_begin(Phase::Trap, i, t);
+        obs::span_begin(Phase::CfWalk, i, t + 10);
+        obs::span_begin(Phase::FrameRead, i, t + 20);
+        obs::span_end(Phase::FrameRead, i, t + 30, 0);
+        obs::span_end(Phase::CfWalk, i, t + 40, 0);
+        obs::span_end(Phase::Trap, i, t + 50, 0);
+    }
+    let events = obs::take_events();
+    obs::disable();
+    let json = obs::chrome_trace_json(&events);
+    let shape = obs::validate_chrome_trace(&json).expect("nested wrap validates");
+    assert_eq!(shape.begins, shape.ends);
+}
+
+// ---------------------------------------------------------------------------
+// Disabled path
+// ---------------------------------------------------------------------------
+
+#[test]
+fn disabled_tracer_records_nothing_end_to_end() {
+    // A monitored end-to-end run with telemetry off: the obs layer must
+    // stay completely empty — no events, no counters, no histograms.
+    assert!(!obs::is_enabled());
+    let d = bastion::Deployment::from_minic(
+        "t",
+        &[r#"
+            long main() {
+                long a;
+                a = mmap(0, 4096, 3, 0x21, 0 - 1, 0);
+                return a > 0;
+            }
+        "#],
+    )
+    .expect("compiles");
+    let mut world = d.world();
+    let pid = d.launch(&mut world, &bastion::Protection::full());
+    world.run(10_000_000);
+    assert!(world.trap_count > 0, "mmap must trap");
+    assert!(matches!(
+        world.proc(pid).unwrap().exit,
+        Some(ExitReason::Exited(1))
+    ));
+    assert_eq!(obs::event_count(), 0, "disabled tracer recorded events");
+    let m = obs::metrics_snapshot();
+    assert!(m.counters.is_empty(), "disabled metrics recorded counters");
+    assert!(
+        m.histograms.is_empty(),
+        "disabled metrics recorded histograms"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Deny provenance
+// ---------------------------------------------------------------------------
+
+/// Collects every deny record emitted on this thread while running `f`.
+fn collect_denies<R>(f: impl FnOnce() -> R) -> (R, Vec<DenyRecord>) {
+    let sink: Rc<RefCell<Vec<DenyRecord>>> = Rc::default();
+    let inner = Rc::clone(&sink);
+    obs::set_deny_sink(Box::new(move |rec| inner.borrow_mut().push(rec.clone())));
+    let r = f();
+    obs::clear_deny_sink();
+    (r, sink.take())
+}
+
+/// The attack scripts' liveness panics (see `bastion::chaos`): a worker
+/// killed out from under the script is a contained outcome, not a failure.
+fn stage_absorbing_liveness(scenario: &Scenario, env: &mut AttackEnv) {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (scenario.attack)(env)));
+    std::panic::set_hook(hook);
+    if let Err(payload) = r {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        let liveness = [
+            "victim pid",
+            "victim listener bound",
+            "a worker parked reading our connection",
+            "a process parked in accept",
+        ];
+        if !liveness.iter().any(|h| msg.contains(h)) {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[test]
+fn every_catalog_deny_yields_one_byte_identical_record() {
+    let mut total_denies = 0usize;
+    for scenario in bastion_attacks::catalog() {
+        let (mut env, records) = collect_denies(|| {
+            let mut env = AttackEnv::deploy(
+                scenario.victim,
+                Some(ContextConfig::full()),
+                scenario.extended_set,
+                false,
+            );
+            stage_absorbing_liveness(&scenario, &mut env);
+            env.settle();
+            env
+        });
+        // The legacy strings: every MonitorKill reason in the world.
+        let mut reasons: Vec<String> = env
+            .world
+            .procs
+            .iter()
+            .filter_map(|p| match &p.exit {
+                Some(ExitReason::MonitorKill { reason, .. }) => Some(reason.clone()),
+                _ => None,
+            })
+            .collect();
+        let mut rendered: Vec<String> = records.iter().map(DenyRecord::render).collect();
+        reasons.sort();
+        rendered.sort();
+        assert_eq!(
+            rendered, reasons,
+            "#{} {}: structured records diverge from legacy deny strings",
+            scenario.id, scenario.name
+        );
+        // Cross-check the copy kept on the monitor itself.
+        let (_, deny_log) =
+            bastion::chaos::monitor_report(&mut env.world).expect("monitor attached");
+        assert_eq!(
+            deny_log.len(),
+            records.len(),
+            "#{}: monitor deny log out of sync with the sink",
+            scenario.id
+        );
+        total_denies += records.len();
+    }
+    assert!(
+        total_denies > 0,
+        "the catalog must produce at least one monitor deny"
+    );
+}
+
+#[test]
+fn deny_records_carry_context_rule_and_ladder() {
+    // One known deny: row 1 of the catalog under full protection.
+    let catalog = bastion_attacks::catalog();
+    let scenario = catalog.iter().find(|s| s.id == 1).expect("row 1 exists");
+    let (_env, records) = collect_denies(|| {
+        let mut env = AttackEnv::deploy(scenario.victim, Some(ContextConfig::full()), false, false);
+        stage_absorbing_liveness(scenario, &mut env);
+        env.settle();
+        env
+    });
+    assert!(!records.is_empty(), "row 1 must be denied");
+    for rec in &records {
+        assert!(rec.trap_seq > 0, "trap sequence starts at 1");
+        assert_eq!(rec.ladder_rung, "full", "clean run denies on the Full rung");
+        assert!(
+            rec.render().starts_with(rec.context.label()),
+            "rendering leads with the context label"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault ↔ deny join
+// ---------------------------------------------------------------------------
+
+#[test]
+fn deny_record_joins_fault_log_on_world_trap() {
+    // Fault every substrate access of trap 2 with read errors: retries
+    // exhaust, the trap is denied fail-closed. The deny's trap sequence
+    // number must equal the fault log's `world_trap` — the provenance join.
+    let d = bastion::Deployment::from_minic(
+        "t",
+        &[r#"
+            long main() {
+                long a;
+                long b;
+                a = mmap(0, 4096, 3, 0x21, 0 - 1, 0);
+                b = mmap(0, 4096, 3, 0x21, 0 - 1, 0);
+                return 0;
+            }
+        "#],
+    )
+    .expect("compiles");
+    let mut world = d.world();
+    let pid = d.launch(&mut world, &bastion::Protection::full());
+    world.install_faults(
+        FaultSchedule::new(0x10A_0001).with(FaultKind::ReadError, Trigger::OnTrap(2)),
+    );
+    let ((), records) = collect_denies(|| {
+        world.run(10_000_000);
+    });
+    match &world.proc(pid).unwrap().exit {
+        Some(ExitReason::MonitorKill { reason, .. }) => {
+            assert!(reason.starts_with("FC"), "expected fail-closed: {reason}");
+        }
+        other => panic!("faulted trap was not denied: {other:?}"),
+    }
+    assert_eq!(records.len(), 1, "exactly one deny for the faulted trap");
+    let rec = &records[0];
+    assert_eq!(rec.trap_seq, 2, "deny names the faulted world trap");
+    assert!(
+        rec.fault_ctx.retries > 0,
+        "the deny context records retries"
+    );
+    let log = world.fault_log();
+    assert!(!log.is_empty(), "faults must have fired");
+    assert!(
+        log.iter().all(|f| f.world_trap == 2),
+        "all injected faults hit trap 2: {log:?}"
+    );
+    assert!(
+        log.iter().any(|f| f.world_trap == rec.trap_seq),
+        "join key mismatch: faults {log:?} vs deny seq {}",
+        rec.trap_seq
+    );
+}

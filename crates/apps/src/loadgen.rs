@@ -132,10 +132,11 @@ pub fn http_load(world: &mut World, port: u16, concurrency: usize, total: u64) -
             stall += 1;
             assert!(
                 stall < STALL_LIMIT,
-                "http_load stalled: {}/{total} done ({} issued), {} conns, world {world:?}",
+                "http_load stalled: {}/{total} done ({} issued), {} conns, status {status:?}\n{}",
                 stats.requests,
                 issued,
-                conns.len()
+                conns.len(),
+                world.summary()
             );
         }
     }
@@ -242,8 +243,9 @@ pub fn tpcc_load(world: &mut World, port: u16, sessions: usize, total: u64) -> T
             stall += 1;
             assert!(
                 stall < STALL_LIMIT,
-                "tpcc_load stalled: {}/{total} done, world {world:?}",
-                stats.transactions
+                "tpcc_load stalled: {}/{total} done, status {status:?}\n{}",
+                stats.transactions,
+                world.summary()
             );
         }
     }
@@ -337,7 +339,13 @@ pub fn ftp_load(world: &mut World, port: u16, downloads: u64, path: &str) -> Ftp
                 break;
             }
             stall += 1;
-            assert!(stall < STALL_LIMIT, "ftp_load stalled mid-transfer");
+            assert!(
+                stall < STALL_LIMIT,
+                "ftp_load stalled mid-transfer: {} files, {} bytes\n{}",
+                stats.files,
+                stats.bytes,
+                world.summary()
+            );
         }
         // Drain any trailing data bytes.
         let tail = world.net_recv(data);

@@ -1,6 +1,6 @@
 //! Chaos matrix: the full Table 6 catalog and the three workload
 //! applications replayed under seeded deterministic fault schedules
-//! (DESIGN.md §6d).
+//! (DESIGN.md §6d), sharded over the fleet runner (DESIGN.md §6f).
 //!
 //! Every attack is calibrated fault-free, then replayed under each fault
 //! class targeted at the verification of its own sensitive syscalls. The
@@ -9,102 +9,45 @@
 //! application degrades (mode ladder, strikes, service kept) under
 //! unfocused mixed faults.
 //!
-//! Seeds are pinned so CI failures replay bit-for-bit.
+//! Seeds are pinned so CI failures replay bit-for-bit, and the rendered
+//! report is byte-identical for any `--jobs` value — `--jobs 1` (the
+//! default) and `--jobs 8` may only differ in wall-clock time.
 
-use bastion::apps::App;
-use bastion::chaos::{attack_chaos, benign_chaos};
-use bastion::kernel::FaultSchedule;
-use bastion::monitor::ContextConfig;
-
-const SEEDS: &[u64] = &[0xA77C_0001, 0xA77C_0002];
+use bastion::fleet;
 
 fn main() {
-    // ---- benign degradation ----
-    println!("benign chaos (Mix fault every 7th substrate access, 6 requests)");
-    println!(
-        "{:<10} {:>6} {:>9} {:>7} {:>8} {:>8}  mode",
-        "app", "served", "attempted", "faults", "strikes", "survived"
-    );
-    for (app, seed) in [
-        (App::Webserve, 0x0B5E_0001u64),
-        (App::Dbkv, 0x0B5E_0002),
-        (App::Ftpd, 0x0B5E_0003),
-    ] {
-        let r = benign_chaos(app, ContextConfig::full(), FaultSchedule::chaos(seed, 7), 6);
-        let stats = r.stats.expect("monitor attached");
-        println!(
-            "{:<10} {:>6} {:>9} {:>7} {:>8} {:>8}  {:?}",
-            r.app.id(),
-            r.served,
-            r.attempted,
-            r.faults_fired,
-            stats.substrate_strikes,
-            r.survived,
-            stats.mode
-        );
-    }
-
-    // ---- attack containment ----
-    eprintln!(
-        "\nreplaying 32 attacks x 6 fault classes x {} seeds (this takes a minute)...",
-        SEEDS.len()
-    );
-    println!("\nattack chaos matrix (blocked attacks under targeted faults)");
-    println!(
-        "{:<4} {:<34} {:>6} {:>7} {:>10}  outcome",
-        "id", "attack", "traps", "faults", "contained"
-    );
-    let mut flipped = 0u32;
-    let mut fired_total = 0u64;
-    let mut deny_total = 0u64;
-    let mut join_total = 0u64;
-    let mut joins_by_class: std::collections::BTreeMap<&'static str, u64> =
-        std::collections::BTreeMap::new();
-    for scenario in bastion::attacks::catalog() {
-        let reports = attack_chaos(&scenario, ContextConfig::full(), SEEDS);
-        let fired: u64 = reports.iter().map(|r| r.faults_fired).sum();
-        fired_total += fired;
-        for r in &reports {
-            deny_total += r.deny_records.len() as u64;
-            join_total += r.fault_deny_joins.len() as u64;
-            for &(_, class) in &r.fault_deny_joins {
-                *joins_by_class.entry(class).or_insert(0) += 1;
+    let jobs = std::env::args()
+        .skip(1)
+        .find_map(|a| {
+            a.strip_prefix("--jobs=")
+                .map(str::to_string)
+                .or_else(|| (a == "--jobs").then(String::new))
+        })
+        .map_or(1, |v| {
+            if v.is_empty() {
+                // Bare `--jobs`: one worker per core.
+                fleet::default_jobs()
+            } else {
+                v.parse().expect("--jobs=N takes a positive integer")
             }
-        }
-        let contained = reports.iter().all(|r| r.attack_contained());
-        let worst = reports
-            .iter()
-            .find(|r| !r.attack_contained())
-            .or_else(|| reports.iter().max_by_key(|r| r.faults_fired))
-            .expect("at least one replay per scenario");
-        println!(
-            "{:<4} {:<34} {:>6} {:>7} {:>10}  {:?}",
-            scenario.id, scenario.name, worst.clean_traps, fired, contained, worst.outcome.defense
-        );
-        if !contained {
-            flipped += 1;
-        }
-    }
+        });
 
-    if fired_total == 0 {
+    eprintln!(
+        "replaying 32 attacks x 6 fault classes x {} seeds on {jobs} worker(s) (this takes a minute)...",
+        fleet::ATTACK_SEEDS.len()
+    );
+    let outcome = fleet::chaos_matrix(jobs, fleet::ATTACK_SEEDS, None);
+    print!("{}", outcome.report);
+
+    if outcome.faults_fired == 0 {
         eprintln!("FAIL: chaos matrix never injected a fault");
         std::process::exit(1);
     }
-    if flipped > 0 {
-        eprintln!("FAIL: {flipped} attack(s) flipped to Allow under faults");
+    if outcome.flipped > 0 {
+        eprintln!(
+            "FAIL: {} attack(s) flipped to Allow under faults",
+            outcome.flipped
+        );
         std::process::exit(1);
-    }
-    println!("\nall attacks contained under every fault schedule ({fired_total} faults fired)");
-
-    // ---- deny provenance ----
-    // Joins pair an injected fault with a deny issued for the very trap it
-    // corrupted (`InjectedFault::world_trap` == `DenyRecord::trap_seq`) —
-    // the audit trail showing *which* substrate failure triggered *which*
-    // fail-closed kill.
-    println!(
-        "\ndeny provenance: {deny_total} structured deny records, {join_total} fault->deny joins"
-    );
-    for (class, n) in &joins_by_class {
-        println!("  substrate access {class:<12} implicated in {n} deny(s)");
     }
 }

@@ -1,0 +1,109 @@
+//! Fleet scaling benchmark: runs the chaos matrix at increasing worker
+//! counts, asserts every run's rendered report is **byte-identical** to
+//! the serial one (the fleet determinism contract, DESIGN.md §6f), and
+//! writes jobs-vs-wall-clock rows to `BENCH_fleet.json` (or the path given
+//! as the first argument).
+//!
+//! `--jobs-list=1,2,4,8` overrides the ladder — CI uses `1,2` as the fleet
+//! smoke (a parallel run diffed against the serial run), the committed
+//! BENCH_fleet.json uses the full ladder.
+
+use bastion::fleet;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct ScalingRow {
+    jobs: usize,
+    wall_secs: f64,
+    /// Serial wall time over this run's wall time.
+    speedup: f64,
+    /// This run's report matched the serial report byte-for-byte.
+    byte_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    bench: String,
+    scenarios: usize,
+    seeds: usize,
+    fault_classes: usize,
+    benign_apps: usize,
+    available_parallelism: usize,
+    /// sha-agnostic determinism gate: every ladder entry byte-matched.
+    all_byte_identical: bool,
+    rows: Vec<ScalingRow>,
+}
+
+fn main() {
+    let mut out_path = "BENCH_fleet.json".to_string();
+    let mut ladder: Vec<usize> = vec![1, 2, 4, 8];
+    for a in std::env::args().skip(1) {
+        if let Some(v) = a.strip_prefix("--jobs-list=") {
+            ladder = v
+                .split(',')
+                .map(|n| n.parse().expect("--jobs-list takes integers"))
+                .collect();
+        } else {
+            out_path = a;
+        }
+    }
+    assert_eq!(
+        ladder.first(),
+        Some(&1),
+        "ladder must start at the serial run"
+    );
+
+    let seeds = fleet::ATTACK_SEEDS;
+    let mut rows: Vec<ScalingRow> = Vec::new();
+    let mut serial_report = String::new();
+    let mut serial_secs = 0.0f64;
+    let mut scenarios = 0usize;
+    for &jobs in &ladder {
+        eprintln!("chaos matrix, jobs={jobs}...");
+        let t0 = Instant::now();
+        let outcome = fleet::chaos_matrix(jobs, seeds, None);
+        let wall_secs = t0.elapsed().as_secs_f64();
+        assert_eq!(outcome.flipped, 0, "attack flipped to Allow");
+        assert!(outcome.faults_fired > 0, "no fault fired");
+        if jobs == 1 {
+            serial_report = outcome.report.clone();
+            serial_secs = wall_secs;
+            // The attack table has one row per scenario.
+            scenarios = outcome
+                .report
+                .lines()
+                .skip_while(|l| !l.starts_with("id "))
+                .skip(1)
+                .take_while(|l| !l.is_empty())
+                .count();
+        }
+        let byte_identical = outcome.report == serial_report;
+        assert!(
+            byte_identical,
+            "jobs={jobs} report diverged from the serial run"
+        );
+        let speedup = serial_secs / wall_secs.max(1e-9);
+        eprintln!("  {wall_secs:.2}s ({speedup:.2}x vs serial), byte-identical");
+        rows.push(ScalingRow {
+            jobs,
+            wall_secs,
+            speedup,
+            byte_identical,
+        });
+    }
+
+    let report = Report {
+        bench: "fleet".to_string(),
+        scenarios,
+        seeds: seeds.len(),
+        fault_classes: 6,
+        benign_apps: fleet::BENIGN_SEEDS.len(),
+        available_parallelism: fleet::default_jobs(),
+        all_byte_identical: rows.iter().all(|r| r.byte_identical),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    eprintln!("wrote {out_path}");
+}

@@ -5,14 +5,16 @@
 //! the real applications (webserve on the Figure 3 workload, dbkv and
 //! ftpd on the quick workload), plus the monitor's virtual cycles/trap.
 //! Writes machine-readable results to `BENCH_interp.json` (or the path
-//! given as the first argument).
+//! given as the first argument). `--jobs=N` shards the per-app engine
+//! comparisons over the fleet runner; the deterministic columns are
+//! unchanged, only wall-clock noise differs.
 
 use bastion::apps::App;
 use bastion::compiler::BastionCompiler;
 use bastion::harness::{run_app_benchmark, AppBenchmark, WorkloadSize};
 use bastion::ir::build::ModuleBuilder;
 use bastion::ir::{BinOp, CmpOp, Operand, Ty};
-use bastion::kernel::set_thread_legacy_interp;
+use bastion::kernel::LegacyInterpGuard;
 use bastion::vm::{interp, CostModel, Image, Machine};
 use bastion::Protection;
 use serde::Serialize;
@@ -149,11 +151,10 @@ fn timed_app(
     legacy: bool,
 ) -> (AppBenchmark, EngineRun) {
     let compiler = BastionCompiler::new();
-    set_thread_legacy_interp(legacy);
+    let _engine = LegacyInterpGuard::set(legacy);
     let t0 = Instant::now();
     let b = run_app_benchmark(app, protection, size, &compiler, CostModel::default());
     let wall = t0.elapsed().as_secs_f64();
-    set_thread_legacy_interp(false);
     let run = engine_run(b.steps, wall);
     (b, run)
 }
@@ -192,9 +193,17 @@ fn compare_app(app: App, protection: &Protection, size: &WorkloadSize) -> AppRow
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_interp.json".to_string());
+    let mut out_path = "BENCH_interp.json".to_string();
+    let mut jobs = 1usize;
+    for a in std::env::args().skip(1) {
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            jobs = v.parse().expect("--jobs=N takes a positive integer");
+        } else if a == "--jobs" {
+            jobs = bastion::fleet::default_jobs();
+        } else {
+            out_path = a;
+        }
+    }
 
     let img = Arc::new(Image::load(microloop_module()).expect("microloop loads"));
     const MICRO_STEPS: u64 = 3_000_000;
@@ -245,12 +254,16 @@ fn main() {
         webserve_fig3.speedup
     );
 
+    // Per-app engine comparisons are independent worlds, so they shard
+    // over the fleet. The deterministic columns (cycles, steps, traps,
+    // metric) are identical for any worker count; only the wall-clock
+    // throughput fields are noisier when workers share cores.
     let quick = WorkloadSize::quick();
-    let apps = vec![
-        compare_app(App::Webserve, &Protection::full(), &quick),
-        compare_app(App::Dbkv, &Protection::full(), &quick),
-        compare_app(App::Ftpd, &Protection::full(), &quick),
-    ];
+    let apps = bastion::fleet::run_ordered(
+        jobs,
+        vec![App::Webserve, App::Dbkv, App::Ftpd],
+        |_, &app| compare_app(app, &Protection::full(), &quick),
+    );
     for row in &apps {
         eprintln!(
             "{}/{}: fast {:.1}M steps/s, legacy {:.1}M steps/s, speedup {:.2}x, {:.0} cyc/trap",
@@ -266,7 +279,7 @@ fn main() {
     // Phase breakdown: one span-traced webserve/quick/full run. The traced
     // run must reproduce the untraced row's cycle counts exactly — the
     // telemetry layer charges no virtual cycles.
-    bastion::obs::enable(1 << 17);
+    let guard = bastion::obs::TelemetryGuard::enable(1 << 17);
     let traced = run_app_benchmark(
         App::Webserve,
         &Protection::full(),
@@ -274,8 +287,7 @@ fn main() {
         &BastionCompiler::new(),
         CostModel::default(),
     );
-    let events = bastion::obs::take_events();
-    bastion::obs::disable();
+    let (events, _registry) = guard.finish();
     assert_eq!(
         (traced.cycles, traced.traps),
         (apps[0].virtual_cycles, apps[0].traps),

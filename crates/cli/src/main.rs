@@ -30,6 +30,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(rest),
         "stats" => cmd_stats(rest),
         "attack" => cmd_attack(rest),
+        "fleet" => cmd_fleet(rest),
         "inspect" => cmd_inspect(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -70,6 +71,11 @@ USAGE:
 
     bastion attack [ID]
         Run the Table 6 security evaluation (one scenario or all 32).
+
+    bastion fleet [--jobs=N] [--only=chaos|table6|bench]
+        Run the evaluation surfaces — chaos matrix, Table 6, app
+        benchmarks — sharded over N worker threads (default: one per
+        core). The report is byte-identical for any N.
 
     bastion inspect <file.mc>...
         Print call-type classes and control-flow edges for sensitive
@@ -252,8 +258,8 @@ fn print_monitor_stats(stats: &bastion::monitor::MonitorStats) {
         stats.avg_depth()
     );
     println!(
-        "  verification cache:   ct_hits={} walk_hits={}",
-        stats.ct_cache_hits, stats.walk_cache_hits
+        "  verification cache:   ct_hits={} walk_hits={} walk_collisions={}",
+        stats.ct_cache_hits, stats.walk_cache_hits, stats.walk_cache_collisions
     );
     println!(
         "  batched reads:        frames={} pointees={}",
@@ -415,6 +421,57 @@ fn cmd_attack(args: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         Err("some scenarios diverged from the paper's Table 6".into())
+    }
+}
+
+fn cmd_fleet(args: &[String]) -> Result<(), String> {
+    use bastion::fleet;
+    let (_, flags) = split_flags(args);
+    let jobs = match flag_value(&flags, "jobs") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--jobs={v}: not a positive integer"))?,
+        None => fleet::default_jobs(),
+    };
+    let only = flag_value(&flags, "only");
+    let want = |section: &str| only.is_none_or(|o| o == section);
+    let mut failures: Vec<String> = Vec::new();
+
+    if want("chaos") {
+        println!("== chaos matrix ==");
+        let outcome = fleet::chaos_matrix(jobs, fleet::ATTACK_SEEDS, None);
+        print!("{}", outcome.report);
+        if outcome.faults_fired == 0 {
+            failures.push("chaos matrix never injected a fault".into());
+        }
+        if outcome.flipped > 0 {
+            failures.push(format!(
+                "{} attack(s) flipped to Allow under faults",
+                outcome.flipped
+            ));
+        }
+        println!();
+    }
+    if want("table6") {
+        println!("== table 6 ==");
+        let results = fleet::table6_matrix(jobs);
+        print!("{}", bastion::attacks::render(&results));
+        let mismatched = results.iter().filter(|r| !r.matches_paper()).count();
+        if mismatched > 0 {
+            failures.push(format!("{mismatched} scenario(s) diverged from Table 6"));
+        }
+        println!();
+    }
+    if want("bench") {
+        println!("== app benchmarks (quick workload) ==");
+        let rows = fleet::bench_matrix(jobs, &bastion::harness::WorkloadSize::quick());
+        print!("{}", fleet::render_bench(&rows));
+    }
+
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
     }
 }
 

@@ -1,0 +1,418 @@
+//! Deterministic parallel fleet runner (DESIGN.md §6f).
+//!
+//! Every evaluation surface — the 32-attack × 6-fault chaos matrix, the
+//! Table 6 catalog, the Figure 3 app benchmarks — is a list of *independent*
+//! tasks: each builds its own [`World`]s from scratch and reads nothing but
+//! its inputs. The fleet shards those tasks across OS threads with a
+//! work-stealing index and re-assembles the results **in task order**, so
+//! the aggregate report is a pure function of the task list: byte-identical
+//! whether it ran on one worker or eight.
+//!
+//! ## Determinism contract
+//!
+//! * Tasks share no mutable state; each constructs its own worlds, monitors
+//!   and fault injectors, and the simulation clock is virtual.
+//! * Workers steal *indices*, results are reordered by index before any
+//!   aggregation — scheduling decides only *when* a task runs, never where
+//!   its result lands.
+//! * Thread-local substrate state (legacy-interp default, telemetry rings)
+//!   is scoped per task with RAII guards ([`LegacyInterpGuard`],
+//!   [`obs::TelemetryGuard`]), so a reused pool thread leaks nothing into
+//!   the next task.
+//! * Telemetry merges are order-fixed: registries merge in task order
+//!   (commutative sums, but fixed order anyway) and span rings are
+//!   stitched into one Chrome trace with `tid` = task index + 1 — a task's
+//!   lane is its identity, not the OS thread it happened to run on.
+//!
+//! Wall-clock numbers (and only those) vary run to run; nothing derived
+//! from them enters a fleet report.
+
+use crate::chaos::{attack_chaos, benign_chaos, AttackChaosReport, BenignChaosReport};
+use crate::harness::{run_app_benchmark, AppBenchmark, WorkloadSize};
+use crate::Protection;
+use bastion_apps::App;
+use bastion_attacks::{catalog, evaluate, Scenario, ScenarioResult};
+use bastion_compiler::BastionCompiler;
+use bastion_kernel::{FaultSchedule, LegacyInterpGuard, Tracer, World};
+use bastion_monitor::{ContextConfig, Monitor};
+use bastion_obs as obs;
+use bastion_vm::CostModel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+// The Send-audit, enforced at compile time: a World (with an attached
+// monitor) and the monitor itself must be movable across the fleet's
+// worker threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<World>();
+    assert_send::<Monitor>();
+    assert_send::<Box<dyn Tracer>>();
+};
+
+/// Worker-count default: one per available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every item on up to `jobs` worker threads and returns
+/// the results **in item order** regardless of scheduling. Workers steal
+/// the next unclaimed index from a shared counter, so a slow task never
+/// idles the rest of the pool. `jobs <= 1` degenerates to a plain serial
+/// map on the calling thread (no pool, no channels).
+///
+/// # Panics
+/// A panicking task propagates to the caller once the pool drains (the
+/// scoped-thread join re-raises it), so assertion failures inside tasks
+/// surface exactly as they would serially.
+pub fn run_ordered<I, R, F>(jobs: usize, items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(usize, &I) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs == 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let (next, items, f) = (&next, &items, &f);
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = items.iter().map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every index was claimed and completed"))
+            .collect()
+    })
+}
+
+/// Merged telemetry from a traced fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetTelemetry {
+    /// Per-task registries merged in task order.
+    pub metrics: obs::MetricsSnapshot,
+    /// Per-task span rings stitched into one Chrome trace document,
+    /// `tid` = task index + 1.
+    pub trace_json: String,
+    /// Total span events across all tasks.
+    pub events: u64,
+}
+
+/// [`run_ordered`] with per-task telemetry: each task runs under a fresh
+/// [`obs::TelemetryGuard`] scope (ring of `capacity` events + its own
+/// metrics registry) and a pinned fast-path interpreter default; the
+/// harvested state is merged in task order into one [`FleetTelemetry`].
+/// Because lanes and merge order are keyed by task index, the telemetry —
+/// like the results — is byte-identical for any worker count.
+pub fn run_ordered_traced<I, R, F>(
+    jobs: usize,
+    capacity: usize,
+    items: Vec<I>,
+    f: F,
+) -> (Vec<R>, FleetTelemetry)
+where
+    I: Sync,
+    R: Send,
+    F: Fn(usize, &I) -> R + Sync,
+{
+    let per_task = run_ordered(jobs, items, |i, it| {
+        let _interp = LegacyInterpGuard::set(false);
+        let guard = obs::TelemetryGuard::enable(capacity);
+        let r = f(i, it);
+        let (events, registry) = guard.finish();
+        (r, events, registry)
+    });
+    let mut merged = obs::MetricsRegistry::new();
+    let mut rings: Vec<Vec<obs::TraceEvent>> = Vec::with_capacity(per_task.len());
+    let mut results = Vec::with_capacity(per_task.len());
+    for (r, events, registry) in per_task {
+        results.push(r);
+        merged.merge(registry);
+        rings.push(events);
+    }
+    let events = rings.iter().map(|e| e.len() as u64).sum();
+    let parts: Vec<(u64, &[obs::TraceEvent])> = rings
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (i as u64 + 1, e.as_slice()))
+        .collect();
+    let telemetry = FleetTelemetry {
+        metrics: merged.snapshot(),
+        trace_json: obs::chrome_trace_json_parts(&parts),
+        events,
+    };
+    (results, telemetry)
+}
+
+/// Seeds of the benign half of the chaos matrix (one app each).
+pub const BENIGN_SEEDS: &[(App, u64)] = &[
+    (App::Webserve, 0x0B5E_0001),
+    (App::Dbkv, 0x0B5E_0002),
+    (App::Ftpd, 0x0B5E_0003),
+];
+
+/// Attack-replay seeds of the chaos matrix (pinned; CI replays bit-for-bit).
+pub const ATTACK_SEEDS: &[u64] = &[0xA77C_0001, 0xA77C_0002];
+
+/// Aggregate outcome of a fleet chaos-matrix run. `report` is the full
+/// human-readable matrix — the determinism artifact the fleet smoke test
+/// byte-compares across worker counts.
+#[derive(Debug, Clone)]
+pub struct ChaosMatrixOutcome {
+    /// The rendered matrix (benign table, attack table, provenance tail).
+    pub report: String,
+    /// Attacks that flipped to Allow under some fault schedule (must be 0).
+    pub flipped: u32,
+    /// Faults that actually fired across the whole matrix (must be > 0).
+    pub faults_fired: u64,
+    /// Structured deny records collected.
+    pub deny_total: u64,
+    /// Fault→deny provenance joins observed.
+    pub join_total: u64,
+}
+
+/// Runs the full chaos matrix — benign degradation for the three apps plus
+/// every catalog attack replayed under each fault class and seed — sharded
+/// over `jobs` workers, and renders the canonical report. `filter` limits
+/// the attack half to the given scenario ids (tests use a small subset).
+pub fn chaos_matrix(jobs: usize, seeds: &[u64], filter: Option<&[u32]>) -> ChaosMatrixOutcome {
+    use std::fmt::Write as _;
+
+    let benign: Vec<BenignChaosReport> =
+        run_ordered(jobs, BENIGN_SEEDS.to_vec(), |_, &(app, seed)| {
+            let _interp = LegacyInterpGuard::set(false);
+            benign_chaos(app, ContextConfig::full(), FaultSchedule::chaos(seed, 7), 6)
+        });
+
+    let scenarios: Vec<Scenario> = catalog()
+        .into_iter()
+        .filter(|s| filter.is_none_or(|ids| ids.contains(&s.id)))
+        .collect();
+    let per_scenario: Vec<Vec<AttackChaosReport>> = run_ordered(jobs, scenarios, |_, scenario| {
+        let _interp = LegacyInterpGuard::set(false);
+        attack_chaos(scenario, ContextConfig::full(), seeds)
+    });
+
+    // ---- ordered aggregation: everything below is scheduling-blind ----
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(
+        w,
+        "benign chaos (Mix fault every 7th substrate access, 6 requests)"
+    );
+    let _ = writeln!(
+        w,
+        "{:<10} {:>6} {:>9} {:>7} {:>8} {:>8}  mode",
+        "app", "served", "attempted", "faults", "strikes", "survived"
+    );
+    for r in &benign {
+        let stats = r.stats.as_ref().expect("monitor attached");
+        let _ = writeln!(
+            w,
+            "{:<10} {:>6} {:>9} {:>7} {:>8} {:>8}  {:?}",
+            r.app.id(),
+            r.served,
+            r.attempted,
+            r.faults_fired,
+            stats.substrate_strikes,
+            r.survived,
+            stats.mode
+        );
+    }
+
+    let _ = writeln!(
+        w,
+        "\nattack chaos matrix (blocked attacks under targeted faults)"
+    );
+    let _ = writeln!(
+        w,
+        "{:<4} {:<34} {:>6} {:>7} {:>10}  outcome",
+        "id", "attack", "traps", "faults", "contained"
+    );
+    let mut flipped = 0u32;
+    let mut faults_fired = 0u64;
+    let mut deny_total = 0u64;
+    let mut join_total = 0u64;
+    let mut joins_by_class: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    for reports in &per_scenario {
+        let fired: u64 = reports.iter().map(|r| r.faults_fired).sum();
+        faults_fired += fired;
+        for r in reports {
+            deny_total += r.deny_records.len() as u64;
+            join_total += r.fault_deny_joins.len() as u64;
+            for &(_, class) in &r.fault_deny_joins {
+                *joins_by_class.entry(class).or_insert(0) += 1;
+            }
+        }
+        let contained = reports.iter().all(|r| r.attack_contained());
+        let worst = reports
+            .iter()
+            .find(|r| !r.attack_contained())
+            .or_else(|| reports.iter().max_by_key(|r| r.faults_fired))
+            .expect("at least one replay per scenario");
+        let _ = writeln!(
+            w,
+            "{:<4} {:<34} {:>6} {:>7} {:>10}  {:?}",
+            worst.id, worst.name, worst.clean_traps, fired, contained, worst.outcome.defense
+        );
+        if !contained {
+            flipped += 1;
+        }
+    }
+    if flipped == 0 && faults_fired > 0 {
+        let _ = writeln!(
+            w,
+            "\nall attacks contained under every fault schedule ({faults_fired} faults fired)"
+        );
+    }
+    let _ = writeln!(
+        w,
+        "\ndeny provenance: {deny_total} structured deny records, {join_total} fault->deny joins"
+    );
+    for (class, n) in &joins_by_class {
+        let _ = writeln!(
+            w,
+            "  substrate access {class:<12} implicated in {n} deny(s)"
+        );
+    }
+
+    ChaosMatrixOutcome {
+        report: out,
+        flipped,
+        faults_fired,
+        deny_total,
+        join_total,
+    }
+}
+
+/// Evaluates the Table 6 catalog sharded over `jobs` workers, in catalog
+/// order. Render with [`bastion_attacks::render`] for the paper-style
+/// table — identical to a serial `evaluate_all()`.
+pub fn table6_matrix(jobs: usize) -> Vec<ScenarioResult> {
+    run_ordered(jobs, catalog(), |_, s| {
+        let _interp = LegacyInterpGuard::set(false);
+        evaluate(s)
+    })
+}
+
+/// Runs the three workload apps under vanilla and full protection sharded
+/// over `jobs` workers (six independent benchmark worlds).
+pub fn bench_matrix(jobs: usize, size: &WorkloadSize) -> Vec<AppBenchmark> {
+    let tasks: Vec<(App, Protection)> = [App::Webserve, App::Dbkv, App::Ftpd]
+        .into_iter()
+        .flat_map(|app| [(app, Protection::vanilla()), (app, Protection::full())])
+        .collect();
+    run_ordered(jobs, tasks, |_, (app, protection)| {
+        let _interp = LegacyInterpGuard::set(false);
+        run_app_benchmark(
+            *app,
+            protection,
+            size,
+            &BastionCompiler::new(),
+            CostModel::default(),
+        )
+    })
+}
+
+/// Renders the deterministic columns of a benchmark matrix (virtual-cycle
+/// quantities only; wall-clock throughput never enters a fleet report).
+pub fn render_bench(rows: &[AppBenchmark]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<14} {:>12} {:>14} {:>8}  metric",
+        "app", "protection", "cycles", "steps", "traps"
+    );
+    for b in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<14} {:>12} {:>14} {:>8}  {:.3}",
+            b.app.id(),
+            b.protection,
+            b.cycles,
+            b.steps,
+            b.traps,
+            b.metric
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_ordered_preserves_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = run_ordered(1, items.clone(), |i, &x| (i as u64, x * x));
+        let pooled = run_ordered(8, items, |i, &x| (i as u64, x * x));
+        assert_eq!(serial, pooled);
+        assert_eq!(pooled[37], (37, 37 * 37));
+    }
+
+    #[test]
+    fn run_ordered_handles_empty_and_oversized_pools() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(run_ordered(4, empty, |_, _: &u8| 0u8).is_empty());
+        assert_eq!(run_ordered(64, vec![5u64], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn traced_fleet_merges_metrics_and_stitches_lanes() {
+        let (results, tel) = run_ordered_traced(4, 64, vec![1u64, 2, 3], |i, &x| {
+            obs::counter_add("fleet.test", x);
+            obs::span_begin(obs::Phase::Trap, i as u64, 10);
+            obs::span_end(obs::Phase::Trap, i as u64, 20, 0);
+            x
+        });
+        assert_eq!(results, vec![1, 2, 3]);
+        assert_eq!(tel.metrics.counter("fleet.test"), Some(6));
+        assert_eq!(tel.events, 6);
+        let shape = obs::validate_chrome_trace(&tel.trace_json).expect("stitched trace validates");
+        assert_eq!(shape.tids, 3);
+        assert_eq!(shape.trap_spans, 3);
+        // Telemetry stays scoped to the workers: none leaked to this thread.
+        assert!(!obs::is_enabled());
+    }
+
+    #[test]
+    fn traced_fleet_is_deterministic_across_worker_counts() {
+        let run = |jobs| {
+            run_ordered_traced(jobs, 32, (0..9u64).collect::<Vec<_>>(), |_, &x| {
+                obs::counter_add("c", x);
+                obs::observe("h", x);
+                obs::instant(obs::Phase::Retry, x, x, 0);
+                x * 2
+            })
+        };
+        let (r1, t1) = run(1);
+        let (r4, t4) = run(4);
+        assert_eq!(r1, r4);
+        assert_eq!(t1.trace_json, t4.trace_json, "stitched traces diverged");
+        assert_eq!(
+            serde_json::to_string(&t1.metrics).unwrap(),
+            serde_json::to_string(&t4.metrics).unwrap()
+        );
+    }
+}

@@ -15,6 +15,9 @@
 //!   extended-scope variants;
 //! * [`harness`] — runs the paper's three workload applications under any
 //!   protection and reports the paper's metrics;
+//! * [`fleet`] — deterministic parallel runner sharding the chaos matrix,
+//!   Table 6, and the benchmarks across OS threads with byte-identical
+//!   aggregate reports for any worker count;
 //! * re-exports of every layer (`ir`, `minic`, `analysis`, `compiler`,
 //!   `vm`, `kernel`, `monitor`, `defenses`, `apps`, `attacks`).
 //!
@@ -45,10 +48,12 @@
 //! ```
 
 pub mod chaos;
+pub mod fleet;
 pub mod harness;
 pub mod protection;
 
 pub use chaos::{attack_chaos, benign_chaos, AttackChaosReport, BenignChaosReport};
+pub use fleet::{run_ordered, run_ordered_traced, ChaosMatrixOutcome, FleetTelemetry};
 pub use harness::{run_app_benchmark, AppBenchmark, WorkloadSize};
 pub use protection::Protection;
 

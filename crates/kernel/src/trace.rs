@@ -316,7 +316,12 @@ pub enum TraceVerdict {
 }
 
 /// A syscall tracer — implemented by the BASTION runtime monitor.
-pub trait Tracer: std::any::Any {
+///
+/// `Send` is a supertrait so a [`crate::World`] carrying an attached
+/// tracer can move across OS threads (the fleet runner shards independent
+/// worlds over a thread pool). The monitor holds only owned state plus
+/// interior-mutable cells, so this costs implementors nothing.
+pub trait Tracer: std::any::Any + Send {
     /// Called when a traced syscall stops; inspect the tracee and decide.
     fn on_trap(&mut self, tracee: &mut Tracee<'_>) -> TraceVerdict;
 

@@ -45,6 +45,31 @@ pub fn thread_legacy_interp() -> bool {
     LEGACY_INTERP_DEFAULT.with(Cell::get)
 }
 
+/// RAII scope for [`set_thread_legacy_interp`]: sets the thread-local
+/// interpreter default and restores the **previous** value on drop
+/// (including on panic), so engine selection cannot leak into later tests
+/// or into fleet workers that reuse the same OS thread.
+#[derive(Debug)]
+pub struct LegacyInterpGuard {
+    prev: bool,
+}
+
+impl LegacyInterpGuard {
+    /// Sets the thread-local default to `on` for the guard's lifetime.
+    #[must_use = "dropping the guard immediately restores the previous value"]
+    pub fn set(on: bool) -> Self {
+        let prev = thread_legacy_interp();
+        set_thread_legacy_interp(on);
+        LegacyInterpGuard { prev }
+    }
+}
+
+impl Drop for LegacyInterpGuard {
+    fn drop(&mut self) {
+        set_thread_legacy_interp(self.prev);
+    }
+}
+
 /// Why [`World::run`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunStatus {
@@ -459,6 +484,36 @@ impl World {
     /// (HTTP/1.0-style end-of-response signal for load generators).
     pub fn net_server_closed(&self, c: ExtConnId) -> bool {
         self.kernel.net.server_closed(c)
+    }
+}
+
+impl World {
+    /// Compact diagnostic summary for assertion messages: one line of
+    /// world totals plus one line per process with its scheduler state,
+    /// blocked-on reason, and exit status. Bounded output by design —
+    /// formatting a whole `World` into a CI failure message is unreadable.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "cycles={} steps={} traps={} procs={} alive={}",
+            self.now(),
+            self.steps,
+            self.trap_count,
+            self.procs.len(),
+            self.alive_count()
+        );
+        for p in &self.procs {
+            let state = match p.state {
+                ProcState::Runnable => "runnable".to_string(),
+                ProcState::Blocked(reason) => format!("blocked on {reason:?}"),
+                ProcState::Zombie => match &p.exit {
+                    Some(reason) => format!("zombie ({reason:?})"),
+                    None => "zombie".to_string(),
+                },
+            };
+            let _ = write!(s, "\n  pid {:<3} {state}", p.pid);
+        }
+        s
     }
 }
 

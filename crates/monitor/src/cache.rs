@@ -39,14 +39,25 @@ pub type CachedVerdict = Result<(), Violation>;
 
 /// Verification cache plus the fast-path counters surfaced in
 /// [`crate::MonitorStats`].
+///
+/// Walk entries store the **full chain key** (the exact word sequence that
+/// was hashed) alongside the verdict, and a lookup only counts as a hit
+/// when the stored chain compares equal. The 64-bit FNV-1a hash alone is
+/// not a sound cache key: two distinct return-address chains that collide
+/// would share a verdict, and a cached `Ok` reused for a different chain
+/// is a false-allow primitive. With full-key confirmation a collision is
+/// served as a miss (and counted), so aliasing can never cross chains.
 #[derive(Debug, Default)]
 pub struct VerifyCache {
     ct: HashMap<(u32, u64), CachedVerdict>,
-    walks: HashMap<u64, CachedVerdict>,
+    walks: HashMap<u64, (Box<[u64]>, CachedVerdict)>,
     /// CT verdicts served from cache.
     pub ct_hits: u64,
-    /// Walk verdicts served from cache.
+    /// Walk verdicts served from cache (full chain key confirmed equal).
     pub walk_hits: u64,
+    /// Walk lookups whose hash matched but whose stored chain differed —
+    /// aliasing caught by full-key confirmation, served as misses.
+    pub walk_collisions: u64,
     /// Frame heads fetched with one batched read instead of two.
     pub batched_frame_reads: u64,
     /// Pointee buffers fetched with one batched read instead of per-byte.
@@ -73,18 +84,30 @@ impl VerifyCache {
         self.ct.insert((nr, callsite), verdict);
     }
 
-    /// Looks up the walk verdict for a chain hash, counting a hit.
-    pub fn walk_lookup(&mut self, chain_hash: u64) -> Option<CachedVerdict> {
-        let v = self.walks.get(&chain_hash).cloned();
-        if v.is_some() {
-            self.walk_hits += 1;
+    /// Looks up the walk verdict for a chain, counting a confirmed hit
+    /// only when the stored full chain key equals `chain`. A hash match
+    /// with a differing chain is a collision: counted and served as a
+    /// miss, never as a shared verdict.
+    pub fn walk_lookup(&mut self, chain_hash: u64, chain: &[u64]) -> Option<CachedVerdict> {
+        match self.walks.get(&chain_hash) {
+            Some((key, v)) if key.as_ref() == chain => {
+                self.walk_hits += 1;
+                Some(v.clone())
+            }
+            Some(_) => {
+                self.walk_collisions += 1;
+                None
+            }
+            None => None,
         }
-        v
     }
 
-    /// Memoizes the walk verdict for a chain hash.
-    pub fn walk_store(&mut self, chain_hash: u64, verdict: CachedVerdict) {
-        self.walks.insert(chain_hash, verdict);
+    /// Memoizes the walk verdict under both the hash and the full chain
+    /// key it confirms against. A colliding chain replaces the previous
+    /// occupant (last-writer-wins keeps the map bounded by distinct
+    /// hashes; the displaced chain simply re-validates on its next trap).
+    pub fn walk_store(&mut self, chain_hash: u64, chain: &[u64], verdict: CachedVerdict) {
+        self.walks.insert(chain_hash, (chain.into(), verdict));
     }
 
     /// Number of memoized entries (CT + walk), for tests and diagnostics.
@@ -157,6 +180,36 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.ct_hits, 2, "counters survive clear");
+    }
+
+    #[test]
+    fn walk_cache_confirms_full_chain_key() {
+        let mut c = VerifyCache::new();
+        let chain_a: &[u64] = &[0x1000, 0x2004, 0x3008, 0, 0x1000];
+        let chain_b: &[u64] = &[0x1000, 0x2004, 0x9999, 1, 0xdead];
+        // Two crafted chains deliberately filed under the SAME 64-bit
+        // hash — the aliasing scenario a hash-only key cannot tell apart.
+        let hash = 0xDEAD_BEEF_u64;
+        c.walk_store(hash, chain_a, Ok(()));
+        // The colliding chain must NOT inherit chain_a's Ok verdict: that
+        // would be a false allow. It is a counted miss.
+        assert_eq!(c.walk_lookup(hash, chain_b), None);
+        assert_eq!(c.walk_collisions, 1);
+        assert_eq!(c.walk_hits, 0);
+        // The original chain still hits, confirmed against the full key.
+        assert_eq!(c.walk_lookup(hash, chain_a), Some(Ok(())));
+        assert_eq!(c.walk_hits, 1);
+        // Storing the colliding chain's own (deny) verdict displaces the
+        // occupant; each chain only ever sees its own verdict.
+        let deny = Err(Violation::new(
+            crate::ContextKind::ControlFlow,
+            bastion_obs::DenyRule::InvalidCaller,
+            "bad caller",
+        ));
+        c.walk_store(hash, chain_b, deny.clone());
+        assert_eq!(c.walk_lookup(hash, chain_b), Some(deny));
+        assert_eq!(c.walk_lookup(hash, chain_a), None, "displaced, not aliased");
+        assert_eq!(c.walk_collisions, 2);
     }
 
     #[test]

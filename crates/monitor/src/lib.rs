@@ -277,8 +277,13 @@ pub struct MonitorStats {
     pub init_cycles: u64,
     /// Call-Type verdicts served from the verification cache.
     pub ct_cache_hits: u64,
-    /// Stack-walk verdicts served from the verification cache.
+    /// Stack-walk verdicts served from the verification cache (full chain
+    /// key confirmed equal, not just the 64-bit hash).
     pub walk_cache_hits: u64,
+    /// Walk-cache lookups whose hash matched but whose stored chain
+    /// differed — aliasing caught by full-key confirmation and served as
+    /// misses instead of sharing a verdict across chains.
+    pub walk_cache_collisions: u64,
     /// Frame heads fetched with one batched remote read instead of two.
     pub batched_frame_reads: u64,
     /// Pointee buffers fetched with one batched remote read instead of a
@@ -510,6 +515,7 @@ impl Monitor {
         let c = self.cache.borrow();
         self.stats.ct_cache_hits = c.ct_hits;
         self.stats.walk_cache_hits = c.walk_hits;
+        self.stats.walk_cache_collisions = c.walk_collisions;
         self.stats.batched_frame_reads = c.batched_frame_reads;
         self.stats.batched_pointee_reads = c.batched_pointee_reads;
         drop(c);

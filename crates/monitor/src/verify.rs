@@ -567,11 +567,16 @@ fn walk_stack_fast(
         return Ok(chain);
     }
     // The CF verdict (including its message) is determined by the callsite
-    // sequence and the terminator, so that is exactly what is hashed.
+    // sequence and the terminator, so that is exactly what is hashed — and
+    // also kept verbatim as the full cache key the lookup confirms against
+    // (the 64-bit hash alone would alias colliding chains).
+    let mut chain_key: Vec<u64> = Vec::with_capacity(chain.len() + 3);
+    chain_key.push(stub_entry);
     let mut h = ChainHasher::new(stub_entry);
     for f in &chain {
         if let Some(cs) = f.callsite {
             h.push(cs);
+            chain_key.push(cs);
         }
     }
     let (tag, payload) = match &end {
@@ -582,14 +587,18 @@ fn walk_stack_fast(
     };
     h.push(tag);
     h.push(payload);
+    chain_key.push(tag);
+    chain_key.push(payload);
     let key = h.finish();
-    if let Some(verdict) = mon.cache.borrow_mut().walk_lookup(key) {
+    if let Some(verdict) = mon.cache.borrow_mut().walk_lookup(key, &chain_key) {
         obs::instant(Phase::WalkCacheHit, mon.stats.traps, tracee.charged(), 0);
         verdict?;
         return Ok(chain);
     }
     let verdict = validate_chain(mon, &chain, &end);
-    mon.cache.borrow_mut().walk_store(key, verdict.clone());
+    mon.cache
+        .borrow_mut()
+        .walk_store(key, &chain_key, verdict.clone());
     verdict?;
     Ok(chain)
 }

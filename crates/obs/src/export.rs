@@ -41,38 +41,51 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
 /// `chrome://tracing` or in Perfetto). Timestamps are the deterministic
 /// virtual-cycle clock, one microsecond per cycle.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    chrome_trace_json_parts(&[(1, events)])
+}
+
+/// Renders several per-worker event streams as one Chrome trace document,
+/// one `tid` lane per part. Each part is balanced independently (its own
+/// LIFO stack and final timestamp), then emitted in part order — so the
+/// stitched document is a deterministic function of the parts alone, no
+/// matter how the workers that produced them were scheduled. Timestamps
+/// are monotone *within* a `tid`, which is all the trace viewers (and
+/// [`validate_chrome_trace`]) require.
+pub fn chrome_trace_json_parts(parts: &[(u64, &[TraceEvent])]) -> String {
     let mut out: Vec<Value> = Vec::new();
-    let mut stack: Vec<Phase> = Vec::new();
-    let mut last_ts = 0u64;
-    for ev in events {
-        last_ts = ev.vcycles;
-        match ev.kind {
-            EventKind::Begin => {
-                stack.push(ev.phase);
-                out.push(trace_obj(ev, "B"));
-            }
-            EventKind::End => {
-                // Only a LIFO match closes a span; anything else is an
-                // orphan from ring wraparound and is dropped.
-                if stack.last() == Some(&ev.phase) {
-                    stack.pop();
-                    out.push(trace_obj(ev, "E"));
+    for &(tid, events) in parts {
+        let mut stack: Vec<Phase> = Vec::new();
+        let mut last_ts = 0u64;
+        for ev in events {
+            last_ts = ev.vcycles;
+            match ev.kind {
+                EventKind::Begin => {
+                    stack.push(ev.phase);
+                    out.push(trace_obj(ev, "B", tid));
                 }
+                EventKind::End => {
+                    // Only a LIFO match closes a span; anything else is an
+                    // orphan from ring wraparound and is dropped.
+                    if stack.last() == Some(&ev.phase) {
+                        stack.pop();
+                        out.push(trace_obj(ev, "E", tid));
+                    }
+                }
+                EventKind::Instant => out.push(trace_obj(ev, "i", tid)),
             }
-            EventKind::Instant => out.push(trace_obj(ev, "i")),
         }
-    }
-    // Close dangling spans (innermost first) at the final timestamp.
-    while let Some(phase) = stack.pop() {
-        let synth = TraceEvent {
-            kind: EventKind::End,
-            phase,
-            trap: 0,
-            vcycles: last_ts,
-            wall_ns: 0,
-            arg: 0,
-        };
-        out.push(trace_obj(&synth, "E"));
+        // Close dangling spans (innermost first) at the final timestamp.
+        while let Some(phase) = stack.pop() {
+            let synth = TraceEvent {
+                kind: EventKind::End,
+                phase,
+                trap: 0,
+                vcycles: last_ts,
+                wall_ns: 0,
+                arg: 0,
+            };
+            out.push(trace_obj(&synth, "E", tid));
+        }
     }
     let doc = obj(vec![
         ("traceEvents", Value::Array(out)),
@@ -81,14 +94,14 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     serde_json::to_string(&RawValue(doc)).expect("trace document serializes")
 }
 
-fn trace_obj(ev: &TraceEvent, ph: &str) -> Value {
+fn trace_obj(ev: &TraceEvent, ph: &str, tid: u64) -> Value {
     let mut fields = vec![
         ("name", Value::Str(ev.phase.name().to_string())),
         ("cat", Value::Str(ev.phase.category().to_string())),
         ("ph", Value::Str(ph.to_string())),
         ("ts", Value::UInt(ev.vcycles)),
         ("pid", Value::UInt(1)),
-        ("tid", Value::UInt(1)),
+        ("tid", Value::UInt(tid)),
     ];
     if ph == "i" {
         fields.push(("s", Value::Str("t".to_string())));
@@ -117,14 +130,19 @@ pub struct TraceShape {
     pub instants: u64,
     /// Matched begin/end pairs named `trap` (root spans).
     pub trap_spans: u64,
-    /// Deepest span nesting observed.
+    /// Deepest span nesting observed (on any single `tid` lane).
     pub max_depth: u64,
+    /// Distinct `tid` lanes seen (1 for a single-worker trace).
+    pub tids: u64,
 }
 
-/// Validates Chrome-trace JSON shape: parseable, monotone (non-decreasing)
-/// timestamps, and balanced B/E events with LIFO name nesting. Returns the
-/// shape summary on success.
+/// Validates Chrome-trace JSON shape: parseable, and — independently per
+/// `tid` lane (missing `tid` defaults to 1) — monotone (non-decreasing)
+/// timestamps and balanced B/E events with LIFO name nesting. A stitched
+/// multi-worker trace is exactly several valid single-worker lanes in one
+/// document. Returns the shape summary on success.
 pub fn validate_chrome_trace(json: &str) -> Result<TraceShape, String> {
+    use std::collections::BTreeMap;
     let raw: RawValue = serde_json::from_str(json).map_err(|e| format!("parse: {e}"))?;
     let events = match raw.0.field("traceEvents") {
         Ok(Value::Array(items)) => items.clone(),
@@ -132,8 +150,8 @@ pub fn validate_chrome_trace(json: &str) -> Result<TraceShape, String> {
         Err(e) => return Err(e.to_string()),
     };
     let mut shape = TraceShape::default();
-    let mut stack: Vec<String> = Vec::new();
-    let mut last_ts: Option<u64> = None;
+    // Per-tid lane state: (open-span stack, last timestamp).
+    let mut lanes: BTreeMap<u64, (Vec<String>, Option<u64>)> = BTreeMap::new();
     for (i, ev) in events.iter().enumerate() {
         let name = match ev.field("name") {
             Ok(Value::Str(s)) => s.clone(),
@@ -148,12 +166,20 @@ pub fn validate_chrome_trace(json: &str) -> Result<TraceShape, String> {
             Ok(Value::Int(v)) if *v >= 0 => *v as u64,
             _ => return Err(format!("event {i}: missing integer `ts`")),
         };
-        if let Some(prev) = last_ts {
+        let tid = match ev.field("tid") {
+            Ok(Value::UInt(v)) => *v,
+            Ok(Value::Int(v)) if *v >= 0 => *v as u64,
+            _ => 1,
+        };
+        let (stack, last_ts) = lanes.entry(tid).or_default();
+        if let Some(prev) = *last_ts {
             if ts < prev {
-                return Err(format!("event {i}: timestamp {ts} < predecessor {prev}"));
+                return Err(format!(
+                    "event {i}: tid {tid} timestamp {ts} < predecessor {prev}"
+                ));
             }
         }
-        last_ts = Some(ts);
+        *last_ts = Some(ts);
         shape.events += 1;
         match ph.as_str() {
             "B" => {
@@ -164,9 +190,11 @@ pub fn validate_chrome_trace(json: &str) -> Result<TraceShape, String> {
             "E" => {
                 let open = stack
                     .pop()
-                    .ok_or_else(|| format!("event {i}: `E` with no open span"))?;
+                    .ok_or_else(|| format!("event {i}: `E` with no open span on tid {tid}"))?;
                 if open != name {
-                    return Err(format!("event {i}: `E` for `{name}` but `{open}` is open"));
+                    return Err(format!(
+                        "event {i}: `E` for `{name}` but `{open}` is open on tid {tid}"
+                    ));
                 }
                 shape.ends += 1;
                 if name == "trap" {
@@ -177,9 +205,15 @@ pub fn validate_chrome_trace(json: &str) -> Result<TraceShape, String> {
             other => return Err(format!("event {i}: unknown phase `{other}`")),
         }
     }
-    if !stack.is_empty() {
-        return Err(format!("{} span(s) never closed: {stack:?}", stack.len()));
+    for (tid, (stack, _)) in &lanes {
+        if !stack.is_empty() {
+            return Err(format!(
+                "tid {tid}: {} span(s) never closed: {stack:?}",
+                stack.len()
+            ));
+        }
     }
+    shape.tids = lanes.len() as u64;
     Ok(shape)
 }
 
@@ -291,6 +325,25 @@ mod tests {
         let shape = validate_chrome_trace(&json).expect("rebalanced trace validates");
         assert_eq!(shape.begins, shape.ends);
         assert_eq!(shape.trap_spans, 1, "dangling trap begin closed");
+    }
+
+    #[test]
+    fn stitched_parts_get_distinct_tids() {
+        let worker = |base: u64| {
+            vec![
+                ev(K::Begin, Phase::Trap, base),
+                ev(K::End, Phase::Trap, base + 50),
+            ]
+        };
+        let (a, b) = (worker(100), worker(10));
+        // Part order is the determinism contract; note lane 2's timestamps
+        // restart below lane 1's — legal, monotonicity is per tid.
+        let json = chrome_trace_json_parts(&[(1, &a), (2, &b)]);
+        let shape = validate_chrome_trace(&json).expect("stitched trace validates");
+        assert_eq!(shape.tids, 2);
+        assert_eq!(shape.trap_spans, 2);
+        assert_eq!(shape.begins, 2);
+        assert!(json.contains("\"tid\":2"));
     }
 
     #[test]

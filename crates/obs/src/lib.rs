@@ -37,7 +37,8 @@ pub mod span;
 
 pub use deny::{DenyContext, DenyRecord, DenyRule, FaultCtx};
 pub use export::{
-    chrome_trace_json, metrics_json, phase_totals, validate_chrome_trace, PhaseTotal, TraceShape,
+    chrome_trace_json, chrome_trace_json_parts, metrics_json, phase_totals, validate_chrome_trace,
+    PhaseTotal, TraceShape,
 };
 pub use metrics::{
     BucketSnapshot, CounterSnapshot, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
@@ -77,6 +78,57 @@ pub fn disable() {
 #[inline]
 pub fn is_enabled() -> bool {
     ENABLED.with(Cell::get)
+}
+
+/// RAII scope for the thread-local telemetry state: swaps in a fresh span
+/// ring + metrics registry and restores whatever was installed before on
+/// drop (including on panic), so telemetry cannot leak into later tests or
+/// into fleet workers that reuse the same OS thread.
+///
+/// Call [`TelemetryGuard::finish`] to harvest the scope's events and
+/// registry (the fleet runner merges them across workers); merely dropping
+/// the guard discards them.
+#[derive(Debug)]
+pub struct TelemetryGuard {
+    prev: Option<(bool, Option<SpanTracer>, Option<MetricsRegistry>)>,
+}
+
+impl TelemetryGuard {
+    /// Enables telemetry on this thread with a fresh ring of `capacity`
+    /// events and a fresh metrics registry, saving the previous state.
+    #[must_use = "dropping the guard immediately restores the previous telemetry state"]
+    pub fn enable(capacity: usize) -> Self {
+        let prev_enabled = ENABLED.with(Cell::get);
+        let prev_tracer = TRACER.with(|t| t.borrow_mut().replace(SpanTracer::new(capacity)));
+        let prev_metrics = METRICS.with(|m| m.borrow_mut().replace(MetricsRegistry::new()));
+        ENABLED.with(|e| e.set(true));
+        TelemetryGuard {
+            prev: Some((prev_enabled, prev_tracer, prev_metrics)),
+        }
+    }
+
+    /// Drains this scope's events and takes its registry, then restores
+    /// the previous telemetry state.
+    pub fn finish(mut self) -> (Vec<TraceEvent>, MetricsRegistry) {
+        let events = take_events();
+        let registry = METRICS.with(|m| m.borrow_mut().take()).unwrap_or_default();
+        self.restore();
+        (events, registry)
+    }
+
+    fn restore(&mut self) {
+        if let Some((enabled, tracer, metrics)) = self.prev.take() {
+            ENABLED.with(|e| e.set(enabled));
+            TRACER.with(|t| *t.borrow_mut() = tracer);
+            METRICS.with(|m| *m.borrow_mut() = metrics);
+        }
+    }
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        self.restore();
+    }
 }
 
 /// Total events recorded since [`enable`] (including any overwritten by
@@ -246,6 +298,37 @@ mod tests {
         assert_eq!(snap.counters[0].value, 1);
         assert_eq!(snap.histograms[0].count, 1);
         disable();
+        assert_eq!(event_count(), 0);
+    }
+
+    #[test]
+    fn telemetry_guard_restores_outer_state() {
+        // Outer telemetry with one recorded event.
+        enable(8);
+        span_begin(Phase::Trap, 1, 10);
+        {
+            let g = TelemetryGuard::enable(8);
+            assert!(is_enabled());
+            assert_eq!(event_count(), 0, "guard starts a fresh ring");
+            instant(Phase::Retry, 9, 20, 0);
+            counter_add("worker.only", 3);
+            let (events, reg) = g.finish();
+            assert_eq!(events.len(), 1);
+            assert_eq!(reg.snapshot().counter("worker.only"), Some(3));
+        }
+        // Outer ring and registry are back, untouched by the scope.
+        assert!(is_enabled());
+        assert_eq!(event_count(), 1);
+        assert_eq!(take_events()[0].phase, Phase::Trap);
+        assert_eq!(metrics_snapshot().counter("worker.only"), None);
+        disable();
+        // A dropped (unfinished) guard also restores: disabled stays
+        // disabled afterwards.
+        {
+            let _g = TelemetryGuard::enable(4);
+            assert!(is_enabled());
+        }
+        assert!(!is_enabled());
         assert_eq!(event_count(), 0);
     }
 

@@ -39,6 +39,28 @@ impl Histogram {
         }
     }
 
+    /// Folds another histogram into this one. Bucket counts add
+    /// elementwise when the bounds agree (the fleet case: every worker
+    /// registers the same bounds). With mismatched bounds the per-bucket
+    /// placement is unrecoverable, so the other side's observations are
+    /// folded into the aggregate stats and credited to the overflow slot.
+    fn absorb(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.bounds == other.bounds {
+            for (slot, n) in self.counts.iter_mut().zip(other.counts.iter()) {
+                *slot += n;
+            }
+        } else {
+            *self.counts.last_mut().expect("overflow slot") += other.count;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     fn observe(&mut self, value: u64) {
         let slot = self
             .bounds
@@ -87,6 +109,26 @@ impl MetricsRegistry {
             .entry(name)
             .or_insert_with(|| Histogram::new(DEFAULT_BOUNDS))
             .observe(value);
+    }
+
+    /// Merges another registry into this one: counters add, histograms
+    /// fold elementwise when their bounds agree (see `Histogram::absorb`).
+    /// The fleet runner uses this to stitch per-worker registries into one
+    /// deterministic aggregate — merging in task order yields the same
+    /// registry regardless of how tasks were scheduled across threads,
+    /// because both maps are name-keyed and every operation commutes.
+    pub fn merge(&mut self, other: MetricsRegistry) {
+        for (name, value) in other.counters {
+            *self.counters.entry(name).or_insert(0) += value;
+        }
+        for (name, h) in other.hists {
+            match self.hists.entry(name) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(h);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().absorb(&h),
+            }
+        }
     }
 
     /// Snapshots every counter and histogram into a plain struct.
@@ -226,6 +268,75 @@ mod tests {
         assert_eq!(counts, vec![1, 1, 0, 1]);
         assert_eq!(h.buckets.last().unwrap().le, u64::MAX);
         assert!((h.mean() - 104.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_folds_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("shared", 2);
+        a.counter_add("only_a", 1);
+        a.register_histogram("h", &[1, 4, 16]);
+        a.observe("h", 1);
+        a.observe("h", 100);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("shared", 5);
+        b.counter_add("only_b", 7);
+        b.register_histogram("h", &[1, 4, 16]);
+        b.observe("h", 3);
+        b.observe("only_b_hist", 2);
+        a.merge(b);
+        let s = a.snapshot();
+        assert_eq!(s.counter("shared"), Some(7));
+        assert_eq!(s.counter("only_a"), Some(1));
+        assert_eq!(s.counter("only_b"), Some(7));
+        let h = s.histogram("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 104);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 100);
+        let counts: Vec<u64> = h.buckets.iter().map(|b| b.count).collect();
+        assert_eq!(counts, vec![1, 1, 0, 1]);
+        assert_eq!(s.histogram("only_b_hist").unwrap().count, 1);
+    }
+
+    #[test]
+    fn merge_mismatched_bounds_keeps_aggregates() {
+        let mut a = MetricsRegistry::new();
+        a.register_histogram("h", &[10]);
+        a.observe("h", 5);
+        let mut b = MetricsRegistry::new();
+        b.register_histogram("h", &[1, 2]);
+        b.observe("h", 1);
+        b.observe("h", 9);
+        a.merge(b);
+        let s = a.snapshot();
+        let h = s.histogram("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 15);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 9);
+        // Foreign-bounds observations land in the overflow slot.
+        assert_eq!(h.buckets.last().unwrap().count, 2);
+    }
+
+    #[test]
+    fn merge_order_is_immaterial() {
+        let build = |vals: &[u64]| {
+            let mut r = MetricsRegistry::new();
+            for &v in vals {
+                r.counter_add("c", v);
+                r.observe("h", v);
+            }
+            r
+        };
+        let mut ab = build(&[1, 2]);
+        ab.merge(build(&[30, 40]));
+        let mut ba = build(&[30, 40]);
+        ba.merge(build(&[1, 2]));
+        assert_eq!(
+            serde_json::to_string(&ab.snapshot()).unwrap(),
+            serde_json::to_string(&ba.snapshot()).unwrap()
+        );
     }
 
     #[test]

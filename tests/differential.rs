@@ -13,19 +13,19 @@ use bastion::compiler::BastionCompiler;
 use bastion::harness::{run_app_benchmark, AppBenchmark, WorkloadSize};
 use bastion::ir::build::ModuleBuilder;
 use bastion::ir::{BinOp, CmpOp, Inst, IntrinsicOp, Module, Operand, Ty};
-use bastion::kernel::set_thread_legacy_interp;
+use bastion::kernel::LegacyInterpGuard;
 use bastion::vm::{interp, CostModel, Event, Image, Machine};
 use bastion::Protection;
 use proptest::prelude::*;
 use std::sync::Arc;
 
-/// Runs `f` with the thread-local legacy-interpreter default set, restoring
-/// the fast path afterwards even on panic-free early returns.
+/// Runs `f` with the thread-local legacy-interpreter default set; the RAII
+/// guard restores the previous engine even if `f` panics, so one failing
+/// differential test cannot poison the engine selection of whatever test
+/// the harness schedules next on this thread.
 fn on_legacy<T>(f: impl FnOnce() -> T) -> T {
-    set_thread_legacy_interp(true);
-    let r = f();
-    set_thread_legacy_interp(false);
-    r
+    let _guard = LegacyInterpGuard::set(true);
+    f()
 }
 
 fn assert_benchmarks_identical(fast: &AppBenchmark, legacy: &AppBenchmark) {

@@ -14,6 +14,8 @@ fn ct_only() -> ContextConfig {
         fetch_state: false,
         fast_path: true,
         resilience: bastion_monitor::Resilience::default(),
+        prefilter: false,
+        prefilter_differential: false,
     }
 }
 
@@ -25,6 +27,8 @@ fn cf_only() -> ContextConfig {
         fetch_state: false,
         fast_path: true,
         resilience: bastion_monitor::Resilience::default(),
+        prefilter: false,
+        prefilter_differential: false,
     }
 }
 
@@ -36,6 +40,8 @@ fn ai_only() -> ContextConfig {
         fetch_state: false,
         fast_path: true,
         resilience: bastion_monitor::Resilience::default(),
+        prefilter: false,
+        prefilter_differential: false,
     }
 }
 

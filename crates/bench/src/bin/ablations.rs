@@ -7,7 +7,8 @@
 //! 3. **Monitor initialization cost** (§9.2: ≈21 ms for NGINX).
 //! 4. **Stack-walk termination** at `main`/indirect entries vs. walk depth.
 //! 5. **Trap fast path**: batched remote reads + the verification cache
-//!    vs. the original word-by-word, recheck-everything monitor.
+//!    vs. the original word-by-word, recheck-everything monitor, and the
+//!    tier-1 seccomp-time prefilter on top (DESIGN.md §6g).
 //! 6. **Phase attribution**: span-traced breakdown of where the monitor's
 //!    trap cycles actually go, legacy vs fast path.
 
@@ -165,7 +166,7 @@ fn main() {
     }
 
     println!();
-    println!("Ablation 5: trap fast path — batched reads + verification cache");
+    println!("Ablation 5: trap fast path — batched reads, caches, tier-1 prefilter");
     println!("(full contexts; trace cycles per trap, monitor init excluded)");
     {
         use bastion::monitor::ContextConfig;
@@ -176,7 +177,11 @@ fn main() {
                 "legacy (word-by-word)",
                 ContextConfig::full().without_fast_path(),
             ),
-            ("fast path (batched+cached)", ContextConfig::full()),
+            (
+                "fast path (batched+cached)",
+                ContextConfig::full().with_prefilter(false),
+            ),
+            ("tier-1 prefilter (DESIGN §6g)", ContextConfig::full()),
         ] {
             let mut prot = Protection::full();
             prot.monitor = Some(cfg);
@@ -190,7 +195,7 @@ fn main() {
             let stats = r.monitor.as_ref().expect("monitor attached");
             let per_trap = (r.trace_cycles - stats.init_cycles) as f64 / r.traps.max(1) as f64;
             println!(
-                "  {:<27} {:>9.0} cycles/trap over {} traps  (ct hits {}, walk hits {}, batched frame reads {}, batched pointee reads {})",
+                "  {:<29} {:>9.0} cycles/trap over {} traps  (ct hits {}, walk hits {}, batched frame reads {}, batched pointee reads {}, prefilter hits {}/{})",
                 label,
                 per_trap,
                 r.traps,
@@ -198,6 +203,8 @@ fn main() {
                 stats.walk_cache_hits,
                 stats.batched_frame_reads,
                 stats.batched_pointee_reads,
+                stats.prefilter_hits,
+                stats.prefilter_checks,
             );
         }
     }
@@ -215,7 +222,11 @@ fn main() {
                 "legacy (word-by-word)",
                 ContextConfig::full().without_fast_path(),
             ),
-            ("fast path (batched+cached)", ContextConfig::full()),
+            (
+                "fast path (batched+cached)",
+                ContextConfig::full().with_prefilter(false),
+            ),
+            ("tier-1 prefilter (DESIGN §6g)", ContextConfig::full()),
         ] {
             let mut prot = Protection::full();
             prot.monitor = Some(cfg);

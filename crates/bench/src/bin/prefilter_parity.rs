@@ -1,0 +1,125 @@
+//! Prefilter parity smoke test (CI `prefilter-parity` step).
+//!
+//! Runs webserve/quick under full protection twice — tier-1 prefilter on
+//! (the default) and forced tier-2-only (the CLI's `--no-prefilter`) —
+//! renders the verdict-relevant surface of each run to a stats/deny
+//! report, and **byte-diffs** the two reports. Any difference in traps,
+//! syscall counts, retired steps, violation tallies, the allow/deny log,
+//! or a structured deny record is a parity break and exits non-zero.
+//!
+//! Cycle totals are deliberately *excluded* from the report: a tier-1 hit
+//! skips the ptrace stop, so time differs by design. Instead the clean
+//! -path win is asserted separately: the prefiltered run must spend less
+//! monitor time per trap (the ≥2× acceptance bound lives in
+//! `tests/prefilter_differential.rs` and EXPERIMENTS.md).
+//!
+//! A third run under `ContextConfig::with_differential` re-proves every
+//! tier-1 Allow against the full monitor in-process (panics on
+//! divergence), so the smoke test also fails if the check program and the
+//! monitor ever disagree on a webserve trap.
+
+use bastion::apps::App;
+use bastion::compiler::BastionCompiler;
+use bastion::harness::{run_app_benchmark, AppBenchmark, WorkloadSize};
+use bastion::monitor::{ContextConfig, NoPrefilterGuard};
+use bastion::vm::CostModel;
+use bastion::Protection;
+use std::fmt::Write as _;
+
+fn webserve(prot: &Protection) -> AppBenchmark {
+    run_app_benchmark(
+        App::Webserve,
+        prot,
+        &WorkloadSize::quick(),
+        &BastionCompiler::new(),
+        CostModel::default(),
+    )
+}
+
+/// Renders everything two modes must agree on, byte for byte.
+fn verdict_report(b: &AppBenchmark) -> String {
+    let stats = b.monitor.as_ref().expect("monitor attached");
+    let mut s = String::new();
+    let _ = writeln!(s, "app={} protection={}", b.app.id(), b.protection);
+    let _ = writeln!(s, "traps={} steps={}", b.traps, b.steps);
+    let _ = writeln!(s, "syscall_counts={:?}", b.syscall_counts);
+    let _ = writeln!(
+        s,
+        "violations: ct={} cf={} ai={} fc={} watchdog={}",
+        stats.ct_violations,
+        stats.cf_violations,
+        stats.ai_violations,
+        stats.fc_violations,
+        stats.watchdog_denies
+    );
+    let _ = writeln!(s, "ladder rung={}", stats.mode.label());
+    s
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let prot = Protection::full();
+
+    let pf = webserve(&prot);
+    let t2 = {
+        let _guard = NoPrefilterGuard::new(true);
+        webserve(&prot)
+    };
+    let (pf_stats, t2_stats) = (
+        pf.monitor.as_ref().expect("monitor"),
+        t2.monitor.as_ref().expect("monitor"),
+    );
+    if t2_stats.prefilter_checks != 0 {
+        fail("--no-prefilter mode still classified traps at tier 1");
+    }
+    if pf_stats.prefilter_hits == 0 {
+        fail("prefilter never hit on the webserve clean path");
+    }
+
+    let (rep_pf, rep_t2) = (verdict_report(&pf), verdict_report(&t2));
+    if rep_pf != rep_t2 {
+        eprintln!("--- prefilter on ---\n{rep_pf}");
+        eprintln!("--- no-prefilter ---\n{rep_t2}");
+        fail("verdict reports diverged between tiers");
+    }
+    println!("verdict reports byte-identical:\n{rep_pf}");
+    println!(
+        "prefilter: {}/{} hits ({:.1}%), {} escalations {:?}",
+        pf_stats.prefilter_hits,
+        pf_stats.prefilter_checks,
+        pf_stats.prefilter_hit_rate() * 100.0,
+        pf_stats.prefilter_escalations,
+        pf_stats.escalations_by_reason(),
+    );
+
+    let per_trap = |b: &AppBenchmark| {
+        let s = b.monitor.as_ref().unwrap();
+        (b.trace_cycles - s.init_cycles) as f64 / b.traps.max(1) as f64
+    };
+    let (c_pf, c_t2) = (per_trap(&pf), per_trap(&t2));
+    if c_pf >= c_t2 {
+        fail(&format!(
+            "prefiltered run is not cheaper per trap: {c_pf:.0} vs {c_t2:.0}"
+        ));
+    }
+    println!("clean-path cycles/trap: {c_pf:.0} (tier 1) vs {c_t2:.0} (tier 2 only)");
+
+    // Differential oracle: every tier-1 Allow re-verified by the full
+    // monitor in the same trap; panics (→ non-zero exit) on divergence.
+    let mut diff_prot = Protection::full();
+    diff_prot.monitor = Some(ContextConfig::full().with_differential());
+    let diff = webserve(&diff_prot);
+    let ds = diff.monitor.as_ref().expect("monitor");
+    if ds.prefilter_hits == 0 {
+        fail("differential run never exercised a tier-1 Allow");
+    }
+    println!(
+        "differential mode: {} tier-1 Allows re-proved against the full monitor",
+        ds.prefilter_hits
+    );
+    println!("prefilter-parity OK");
+}

@@ -60,6 +60,9 @@ USAGE:
         full (default), ct, ct-cf, hook, none. --stats prints the full
         monitor statistics; --verbose streams structured deny records as
         they occur and dumps trap/syscall counts at exit.
+        --no-prefilter forces every trap through the full ptrace monitor
+        (disables the tier-1 seccomp-time check program) — the
+        differential oracle for prefilter parity.
 
     bastion trace <file.mc>... [--protect MODE] [--cet] [--out=trace.json] [--capacity=N]
         Run with span tracing enabled and export a Chrome trace_event
@@ -172,6 +175,9 @@ fn parse_protect(flags: &[&str]) -> Result<Option<ContextConfig>, String> {
 /// Compiles `files` and runs them in a fresh world under the flags'
 /// protection. Returns the finished world and the victim pid.
 fn execute(files: &[&str], flags: &[&str]) -> Result<(World, bastion::kernel::Pid), String> {
+    // `--no-prefilter` pins tier-2-only verification for this run; the
+    // flag is read at `protect()` time, when the filter is built.
+    let _tier2_only = bastion::monitor::NoPrefilterGuard::new(flags.contains(&"--no-prefilter"));
     let monitor_cfg = parse_protect(flags)?;
     let out = compile(files)?;
     let image = Arc::new(Image::load(out.module).map_err(|e| format!("load: {e}"))?);
@@ -279,6 +285,16 @@ fn print_monitor_stats(stats: &bastion::monitor::MonitorStats) {
         stats.mode.label(),
         stats.mode_transitions
     );
+    println!(
+        "  prefilter:            checks={} hits={} escalations={} hit_rate={:.1}%",
+        stats.prefilter_checks,
+        stats.prefilter_hits,
+        stats.prefilter_escalations,
+        stats.prefilter_hit_rate() * 100.0
+    );
+    for (label, n) in stats.escalations_by_reason() {
+        println!("    escalate[{label}]: {n}");
+    }
     println!("  init cycles:          {}", stats.init_cycles);
 }
 

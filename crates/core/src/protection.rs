@@ -108,12 +108,15 @@ impl Protection {
     }
 
     /// The Table 7 row set, in paper order.
+    ///
+    /// Table 7 decomposes the *ptrace* monitor's trap cost (§11.2: hook →
+    /// state fetch → full verification), so its full row runs with the
+    /// tier-1 prefilter disabled — the prefilter's stop-free clean path
+    /// would hide exactly the state-fetch increment the table measures.
     pub fn table7() -> [Protection; 3] {
-        [
-            Protection::hook_only(),
-            Protection::fetch_state(),
-            Protection::full(),
-        ]
+        let mut full = Protection::full();
+        full.monitor = Some(ContextConfig::full().with_prefilter(false));
+        [Protection::hook_only(), Protection::fetch_state(), full]
     }
 
     /// Whether a BASTION monitor is attached.

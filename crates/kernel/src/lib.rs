@@ -40,7 +40,7 @@ pub use faults::{
 };
 pub use process::{ExitReason, Pid, Process};
 pub use seccomp::{SeccompAction, SeccompFilter};
-pub use trace::{Regs, TraceVerdict, Tracee, Tracer};
+pub use trace::{EscalateReason, PrefilterVerdict, Regs, TraceVerdict, Tracee, Tracer};
 pub use world::{
     set_thread_legacy_interp, thread_legacy_interp, ExtConnId, LegacyInterpGuard, RunStatus, World,
 };

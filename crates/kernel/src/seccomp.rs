@@ -1,10 +1,28 @@
 //! The seccomp-BPF model (paper §7.1, "Trapping a system call invocation").
 //!
-//! The BASTION monitor programs a filter with:
-//! * `SECCOMP_RET_ALLOW` for all non-sensitive syscalls,
-//! * `SECCOMP_RET_KILL` for *not-callable* syscalls, and
-//! * `SECCOMP_RET_TRACE` for directly/indirectly-callable sensitive
-//!   syscalls, which stop the process and wake the tracer.
+//! # Default-action semantics (authoritative)
+//!
+//! The *mechanism* in this file has no opinion: every [`SeccompFilter`]
+//! carries an explicit caller-chosen default, and `eval` falls back to it
+//! for any number without a rule. The *policy* lives in
+//! `monitor/src/filter.rs` and is **fail-closed**: the monitor builds its
+//! filter with a `Kill` default, so a syscall number absent from the
+//! compiled CT table kills the process. The allow-list is explicit:
+//!
+//! * `SECCOMP_RET_ALLOW` — an explicit per-number rule for every *callable
+//!   non-sensitive* syscall in the CT table (the doc shorthand
+//!   "non-sensitive → Allow" means these rules, never the default);
+//! * `SECCOMP_RET_KILL` — *not-callable* syscalls, plus the fail-closed
+//!   default for numbers the CT table has never heard of;
+//! * `SECCOMP_RET_TRACE` — callable sensitive syscalls, which stop the
+//!   process and wake the tracer;
+//! * `SECCOMP_RET_TRACE`-with-prefilter ([`SeccompAction::TracePrefiltered`])
+//!   — same set as `Trace`, but the world first evaluates the tier-1
+//!   prefilter at classify time and only stops the process on escalation.
+//!
+//! The tier-1 prefilter compiles against this single authoritative
+//! default: anything it has no table entry for is already dead at the
+//! filter, so the prefilter never needs a second default of its own.
 //!
 //! Filters are evaluated on every syscall entry (a fixed per-syscall cycle
 //! cost) and are inherited by children, matching seccomp semantics.
@@ -22,6 +40,10 @@ pub enum SeccompAction {
     Kill,
     /// `SECCOMP_RET_TRACE` — stop and wake the attached tracer.
     Trace,
+    /// `SECCOMP_RET_TRACE` with a tier-1 prefilter: evaluate the compiled
+    /// check program at classify time, in-kernel; stop and wake the tracer
+    /// only when the prefilter escalates.
+    TracePrefiltered,
 }
 
 /// A compiled filter: default action plus per-number overrides.
@@ -83,5 +105,25 @@ mod tests {
         f.set(60, SeccompAction::Allow);
         assert_eq!(f.eval(60), SeccompAction::Allow);
         assert_eq!(f.eval(59), SeccompAction::Kill);
+    }
+
+    #[test]
+    fn default_is_caller_authoritative_not_baked_in() {
+        // The mechanism must not smuggle in its own default: two filters
+        // differing only in default action diverge exactly on the numbers
+        // no rule covers. This is the contract the monitor's fail-closed
+        // `Kill` default (monitor/src/filter.rs) and the tier-1 prefilter
+        // both compile against.
+        for default in [
+            SeccompAction::Allow,
+            SeccompAction::Kill,
+            SeccompAction::Trace,
+            SeccompAction::TracePrefiltered,
+        ] {
+            let mut f = SeccompFilter::new(default);
+            f.set(1, SeccompAction::Allow);
+            assert_eq!(f.eval(1), SeccompAction::Allow);
+            assert_eq!(f.eval(0xFFFF), default, "uncovered nr takes default");
+        }
     }
 }

@@ -232,6 +232,62 @@ impl<'a> Tracee<'a> {
         self.machine.gs_base
     }
 
+    // ---- tier-1 prefilter primitives (in-kernel, no context switch) ----
+    //
+    // The prefilter runs at seccomp-classify time, inside the kernel, so
+    // its reads cost `prefilter_read` cycles — same-address-space loads —
+    // instead of a `process_vm_readv` round trip. Fault injection is
+    // deliberately NOT consulted here: a world with any fault schedule
+    // installed escalates every trap to tier 2 before the prefilter would
+    // read anything, so faults always land on the monitor's resilience
+    // ladder (DESIGN.md §6g).
+
+    /// In-kernel register snapshot for the prefilter. At classify time the
+    /// kernel already holds `seccomp_data` (nr, args, rip) and the stopped
+    /// task's stack registers, so this is uncharged — the fixed
+    /// `prefilter_eval` cost covers it.
+    pub fn kernel_regs(&self) -> Regs {
+        Regs {
+            nr: self.machine.trap_nr,
+            args: self.machine.trap_args,
+            rip: self.machine.trap_pc,
+            sp: self.machine.sp,
+            fp: self.machine.fp,
+        }
+    }
+
+    /// In-kernel tracee memory read (one `prefilter_read` charge).
+    ///
+    /// # Errors
+    /// Fails if the range is unmapped in the tracee.
+    pub fn kernel_read_mem(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), OutOfBounds> {
+        *self.charge += self.machine.cost.prefilter_read;
+        self.machine.mem.read(addr, buf)
+    }
+
+    /// In-kernel read of one u64 (one `prefilter_read` charge).
+    ///
+    /// # Errors
+    /// Fails if the word is unmapped in the tracee.
+    pub fn kernel_read_u64(&mut self, addr: u64) -> Result<u64, OutOfBounds> {
+        let mut b = [0u8; 8];
+        self.kernel_read_mem(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// In-kernel frame-head fetch: saved frame pointer and return address
+    /// in one `prefilter_read` charge (the 16-byte head is one load pair).
+    ///
+    /// # Errors
+    /// Fails if the frame head is unmapped in the tracee.
+    pub fn kernel_read_frame(&mut self, fp: u64) -> Result<(u64, u64), OutOfBounds> {
+        let mut b = [0u8; 16];
+        self.kernel_read_mem(fp, &mut b)?;
+        let saved_fp = u64::from_le_bytes(b[..8].try_into().expect("8 bytes"));
+        let ret = u64::from_le_bytes(b[8..].try_into().expect("8 bytes"));
+        Ok((saved_fp, ret))
+    }
+
     /// Total cycles charged so far on this trap.
     pub fn charged(&self) -> u64 {
         *self.charge
@@ -315,6 +371,87 @@ pub enum TraceVerdict {
     Deny(String),
 }
 
+/// Why the tier-1 prefilter handed a trap to the full monitor.
+///
+/// The codes are stable (exported as the `prefilter_escalate` span arg and
+/// as per-reason counters), ordered roughly by check order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EscalateReason {
+    /// The attached tracer implements no prefilter (default trait impl).
+    NoPrefilter,
+    /// A fault schedule is installed: faults must always land on the
+    /// monitor's fail-closed resilience ladder, never on tier 1.
+    FaultsInstalled,
+    /// The monitor is on a non-`Full` resilience rung.
+    NonFullMode,
+    /// The shadow region is quarantined (checksum strike).
+    ShadowQuarantine,
+    /// The trapped nr is not reachable from the tracked flow state in the
+    /// compiled syscall-flow digraph.
+    FlowMiss,
+    /// Call-Type table mismatch (unknown callsite, wrong kind, or a
+    /// not-callable flag combination).
+    CtMismatch,
+    /// The frame-pointer chain failed the compiled chain checks.
+    ChainAnomaly,
+    /// A direct argument predicate (constant, binding, global, stack
+    /// range) did not hold.
+    ArgMismatch,
+    /// The syscall has extended-pointee argument positions; the per-byte
+    /// probe is monitor work by design.
+    ExtendedArgs,
+    /// An in-kernel read needed by a check failed.
+    ReadFailure,
+}
+
+impl EscalateReason {
+    /// Stable numeric code (span arg / export payload).
+    pub fn code(self) -> u64 {
+        match self {
+            EscalateReason::NoPrefilter => 0,
+            EscalateReason::FaultsInstalled => 1,
+            EscalateReason::NonFullMode => 2,
+            EscalateReason::ShadowQuarantine => 3,
+            EscalateReason::FlowMiss => 4,
+            EscalateReason::CtMismatch => 5,
+            EscalateReason::ChainAnomaly => 6,
+            EscalateReason::ArgMismatch => 7,
+            EscalateReason::ExtendedArgs => 8,
+            EscalateReason::ReadFailure => 9,
+        }
+    }
+
+    /// Stable snake_case label (stats lines, exports).
+    pub fn label(self) -> &'static str {
+        match self {
+            EscalateReason::NoPrefilter => "no_prefilter",
+            EscalateReason::FaultsInstalled => "faults_installed",
+            EscalateReason::NonFullMode => "non_full_mode",
+            EscalateReason::ShadowQuarantine => "shadow_quarantine",
+            EscalateReason::FlowMiss => "flow_miss",
+            EscalateReason::CtMismatch => "ct_mismatch",
+            EscalateReason::ChainAnomaly => "chain_anomaly",
+            EscalateReason::ArgMismatch => "arg_mismatch",
+            EscalateReason::ExtendedArgs => "extended_args",
+            EscalateReason::ReadFailure => "read_failure",
+        }
+    }
+}
+
+/// The tier-1 verdict for a `TracePrefiltered` syscall.
+///
+/// Tier 1 **never denies**: it either proves the trap equivalent to a
+/// full-monitor Allow, or it escalates and the authoritative monitor
+/// decides. Every deny string in the system therefore still comes from
+/// one place, byte-identical with the prefilter off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefilterVerdict {
+    /// The compiled check program proved this trap clean; skip the stop.
+    Allow,
+    /// Hand the trap to the full monitor (with the reason why).
+    Escalate(EscalateReason),
+}
+
 /// A syscall tracer — implemented by the BASTION runtime monitor.
 ///
 /// `Send` is a supertrait so a [`crate::World`] carrying an attached
@@ -324,6 +461,17 @@ pub enum TraceVerdict {
 pub trait Tracer: std::any::Any + Send {
     /// Called when a traced syscall stops; inspect the tracee and decide.
     fn on_trap(&mut self, tracee: &mut Tracee<'_>) -> TraceVerdict;
+
+    /// Tier-1 check at seccomp-classify time for `TracePrefiltered`
+    /// syscalls, *before* any monitor stop. `faults_installed` tells the
+    /// implementation whether the world carries any fault schedule —
+    /// injected faults must always escalate so they land on the monitor's
+    /// resilience ladder. The default implementation escalates everything,
+    /// so tracers without a compiled prefilter behave exactly as under
+    /// plain `Trace`.
+    fn prefilter(&mut self, _tracee: &mut Tracee<'_>, _faults_installed: bool) -> PrefilterVerdict {
+        PrefilterVerdict::Escalate(EscalateReason::NoPrefilter)
+    }
 
     /// Downcast support so harnesses can recover concrete monitor
     /// statistics after a run.

@@ -17,7 +17,7 @@ use crate::net::{ConnId, ReadOutcome};
 use crate::process::{ExitReason, FdTable, Pid, ProcState, Process, WaitReason};
 use crate::seccomp::{SeccompAction, SeccompFilter};
 use crate::syscall::{Kernel, SysOutcome};
-use crate::trace::{TraceVerdict, Tracee, Tracer};
+use crate::trace::{PrefilterVerdict, TraceVerdict, Tracee, Tracer};
 use bastion_obs::{self as obs, Phase};
 use bastion_vm::{interp, CostModel, Event, Machine};
 use std::cell::{Cell, RefCell};
@@ -304,7 +304,7 @@ impl World {
                 self.procs[idx].kill(ExitReason::SeccompKill { nr });
                 return;
             }
-            SeccompAction::Trace => {
+            SeccompAction::Trace | SeccompAction::TracePrefiltered => {
                 if let (true, Some(tracer)) = (self.procs[idx].traced, self.tracer.as_mut()) {
                     self.trap_count += 1;
                     // The trap span opens on the monitor-time axis before
@@ -318,34 +318,81 @@ impl World {
                         trap_start,
                         u64::from(nr),
                     );
-                    self.trace_cycles += self.kernel.cost.ptrace_stop;
-                    if let Some(f) = &self.faults {
-                        f.borrow_mut().begin_trap(self.trap_count);
-                    }
-                    let verdict = {
-                        let p = &self.procs[idx];
-                        let mut tracee = Tracee::with_faults(
-                            &p.machine,
-                            p.pid,
-                            &mut self.trace_cycles,
-                            self.faults.as_ref(),
+                    // Tier 1: for prefiltered numbers, evaluate the
+                    // compiled check program at classify time — a hit
+                    // skips the monitor stop entirely.
+                    let mut tier1_allow = false;
+                    if action == SeccompAction::TracePrefiltered {
+                        let pf_start = self.trace_cycles;
+                        obs::span_begin(Phase::PrefilterCheck, self.trap_count, pf_start);
+                        self.trace_cycles += self.kernel.cost.prefilter_eval;
+                        let faults_installed = self.faults.is_some();
+                        let verdict = {
+                            let p = &self.procs[idx];
+                            // Tier 1 never sees injected faults: any
+                            // installed schedule escalates (the tracer is
+                            // told via `faults_installed`), so faults
+                            // always land on the monitor's fail-closed
+                            // resilience ladder, never on tier 1.
+                            let mut tracee = Tracee::new(&p.machine, p.pid, &mut self.trace_cycles);
+                            tracer.prefilter(&mut tracee, faults_installed)
+                        };
+                        let hit = matches!(verdict, PrefilterVerdict::Allow);
+                        obs::span_end(
+                            Phase::PrefilterCheck,
+                            self.trap_count,
+                            self.trace_cycles,
+                            u64::from(hit),
                         );
-                        tracer.on_trap(&mut tracee)
-                    };
-                    let denied = matches!(verdict, TraceVerdict::Deny(_));
-                    obs::span_end(
-                        Phase::Trap,
-                        self.trap_count,
-                        self.trace_cycles,
-                        u64::from(denied),
-                    );
-                    obs::observe(
-                        "kernel.cycles_per_trap",
-                        self.trace_cycles.saturating_sub(trap_start),
-                    );
-                    if let TraceVerdict::Deny(reason) = verdict {
-                        self.procs[idx].kill(ExitReason::MonitorKill { nr, reason });
-                        return;
+                        match verdict {
+                            PrefilterVerdict::Allow => tier1_allow = true,
+                            PrefilterVerdict::Escalate(reason) => {
+                                obs::instant(
+                                    Phase::PrefilterEscalate,
+                                    self.trap_count,
+                                    self.trace_cycles,
+                                    reason.code(),
+                                );
+                            }
+                        }
+                    }
+                    if tier1_allow {
+                        obs::span_end(Phase::Trap, self.trap_count, self.trace_cycles, 0);
+                        obs::observe(
+                            "kernel.cycles_per_trap",
+                            self.trace_cycles.saturating_sub(trap_start),
+                        );
+                    } else {
+                        // Tier 2: the authoritative monitor stop.
+                        self.trace_cycles += self.kernel.cost.ptrace_stop;
+                        if let Some(f) = &self.faults {
+                            f.borrow_mut().begin_trap(self.trap_count);
+                        }
+                        let verdict = {
+                            let p = &self.procs[idx];
+                            let mut tracee = Tracee::with_faults(
+                                &p.machine,
+                                p.pid,
+                                &mut self.trace_cycles,
+                                self.faults.as_ref(),
+                            );
+                            tracer.on_trap(&mut tracee)
+                        };
+                        let denied = matches!(verdict, TraceVerdict::Deny(_));
+                        obs::span_end(
+                            Phase::Trap,
+                            self.trap_count,
+                            self.trace_cycles,
+                            u64::from(denied),
+                        );
+                        obs::observe(
+                            "kernel.cycles_per_trap",
+                            self.trace_cycles.saturating_sub(trap_start),
+                        );
+                        if let TraceVerdict::Deny(reason) = verdict {
+                            self.procs[idx].kill(ExitReason::MonitorKill { nr, reason });
+                            return;
+                        }
                     }
                 } else {
                     // SECCOMP_RET_TRACE with no tracer attached: Linux

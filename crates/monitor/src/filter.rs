@@ -1,9 +1,15 @@
 //! seccomp filter construction from call-type metadata (paper §7.1).
 //!
-//! * not-callable syscalls (including every syscall with no stub in the
-//!   image) → `SECCOMP_RET_KILL`;
+//! This is the **authoritative default-action policy** (the mechanism in
+//! `kernel/src/seccomp.rs` is caller-agnostic): the filter is built with
+//! a fail-closed `Kill` default, and every `Allow` is an explicit
+//! per-number rule —
+//!
+//! * syscalls absent from the CT table, plus present-but-not-callable
+//!   ones → `SECCOMP_RET_KILL` (the default; no rule needed);
 //! * callable **sensitive** syscalls → `SECCOMP_RET_TRACE` (monitor
-//!   verifies the three contexts);
+//!   verifies the three contexts), or the prefiltered variant when a
+//!   tier-1 check program is installed (DESIGN.md §6g);
 //! * callable non-sensitive syscalls → `SECCOMP_RET_ALLOW`.
 
 use bastion_compiler::ContextMetadata;
@@ -21,13 +27,27 @@ pub fn build_filter(md: &ContextMetadata) -> SeccompFilter {
 /// callable sensitive syscalls run without stopping for the monitor —
 /// isolating the pure BPF-evaluation cost.
 pub fn build_filter_with_trace(md: &ContextMetadata, trace: bool) -> SeccompFilter {
+    build_filter_with_mode(md, trace, false)
+}
+
+/// Builds the filter, optionally marking traced syscalls for tier-1
+/// prefiltering: the world then evaluates the attached tracer's compiled
+/// check program at classify time and only stops the process on
+/// escalation. The allow/kill structure is identical either way — the
+/// prefilter only changes *how* a trace verdict is served.
+pub fn build_filter_with_mode(md: &ContextMetadata, trace: bool, prefilter: bool) -> SeccompFilter {
     let mut f = SeccompFilter::new(SeccompAction::Kill);
+    let trap = if prefilter {
+        SeccompAction::TracePrefiltered
+    } else {
+        SeccompAction::Trace
+    };
     for (&nr, class) in &md.syscall_classes {
         if !class.callable() {
             continue; // stays at the Kill default
         }
         if trace && md.sensitive_nrs.contains(&nr) {
-            f.set(nr, SeccompAction::Trace);
+            f.set(nr, trap);
         } else {
             f.set(nr, SeccompAction::Allow);
         }
@@ -71,5 +91,32 @@ mod tests {
         // Absent syscall → kill by default.
         assert_eq!(f.eval(sysno::PTRACE), SeccompAction::Kill);
         assert_eq!(f.eval(sysno::SETUID), SeccompAction::Kill);
+    }
+
+    #[test]
+    fn prefiltered_filter_only_swaps_the_trace_action() {
+        // The prefilter must not change the allow/kill surface: syscalls
+        // the CT table never heard of die at the fail-closed Kill default
+        // in both modes, and non-sensitive allows stay explicit rules.
+        let md = metadata();
+        let plain = build_filter_with_mode(&md, true, false);
+        let pre = build_filter_with_mode(&md, true, true);
+        assert_eq!(pre.eval(sysno::EXECVE), SeccompAction::TracePrefiltered);
+        assert_eq!(plain.eval(sysno::EXECVE), SeccompAction::Trace);
+        for nr in [
+            sysno::WRITE,
+            sysno::MPROTECT,
+            sysno::PTRACE,
+            sysno::SETUID,
+            0xFFFF,
+        ] {
+            assert_eq!(pre.eval(nr), plain.eval(nr), "nr {nr} diverged");
+        }
+        assert_eq!(
+            pre.eval(0xFFFF),
+            SeccompAction::Kill,
+            "absent nr fails closed"
+        );
+        assert_eq!(pre.rule_count(), plain.rule_count());
     }
 }

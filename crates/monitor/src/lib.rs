@@ -24,15 +24,57 @@
 
 pub mod cache;
 pub mod filter;
+pub mod prefilter;
 pub mod verify;
 
-pub use filter::{build_filter, build_filter_with_trace};
+pub use filter::{build_filter, build_filter_with_mode, build_filter_with_trace};
 
 use bastion_compiler::ContextMetadata;
-use bastion_kernel::{TraceVerdict, Tracee, Tracer};
+use bastion_kernel::{EscalateReason, PrefilterVerdict, TraceVerdict, Tracee, Tracer};
 use bastion_obs::{self as obs, DenyContext, DenyRecord, FaultCtx, Phase};
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::collections::HashMap;
+
+thread_local! {
+    /// When set, [`protect`] builds plain-`Trace` filters: every sensitive
+    /// trap stops for the full monitor and tier 1 never runs. This is the
+    /// differential oracle's "off" switch (the `--no-prefilter` CLI flag),
+    /// mirroring the kernel's thread-local legacy-interpreter toggle.
+    static NO_PREFILTER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Forces (or stops forcing) tier-2-only verification for worlds protected
+/// on this thread.
+pub fn set_thread_no_prefilter(on: bool) {
+    NO_PREFILTER.with(|c| c.set(on));
+}
+
+/// Whether tier-2-only verification is forced on this thread.
+pub fn thread_no_prefilter() -> bool {
+    NO_PREFILTER.with(|c| c.get())
+}
+
+/// RAII guard for [`set_thread_no_prefilter`]; restores the previous value
+/// on drop so nested scopes compose.
+pub struct NoPrefilterGuard {
+    prev: bool,
+}
+
+impl NoPrefilterGuard {
+    /// Sets the thread-local no-prefilter flag for the guard's lifetime.
+    pub fn new(on: bool) -> Self {
+        let prev = thread_no_prefilter();
+        set_thread_no_prefilter(on);
+        NoPrefilterGuard { prev }
+    }
+}
+
+impl Drop for NoPrefilterGuard {
+    fn drop(&mut self) {
+        set_thread_no_prefilter(self.prev);
+    }
+}
 
 /// Resilience policy: how the monitor reacts when its *substrate* (ptrace
 /// register fetches, `process_vm_readv` remote reads, the shared shadow
@@ -131,6 +173,20 @@ pub struct ContextConfig {
     /// Substrate-failure policy (retry/backoff, watchdog, degradation
     /// ladder).
     pub resilience: Resilience,
+    /// Evaluate the compiled tier-1 prefilter at seccomp-classify time
+    /// (DESIGN.md §6g): clean traps are proven equivalent to a monitor
+    /// Allow without a ptrace stop; everything else escalates to the
+    /// authoritative monitor. Default-on only for the full configuration;
+    /// [`protect`] additionally disables it under a watchdog deadline
+    /// (tier-1 traps charge almost nothing, which would hollow out the
+    /// deadline semantics) and under the thread-local
+    /// [`set_thread_no_prefilter`] override.
+    pub prefilter: bool,
+    /// Differential oracle: after every tier-1 Allow, run the full
+    /// tier-2 verification on the same stopped state and panic on any
+    /// verdict divergence. Test-only — the extra verification charges
+    /// cycles like real monitor work.
+    pub prefilter_differential: bool,
 }
 
 impl ContextConfig {
@@ -143,10 +199,14 @@ impl ContextConfig {
             fetch_state: true,
             fast_path: true,
             resilience: Resilience::default(),
+            prefilter: true,
+            prefilter_differential: false,
         }
     }
 
-    /// Call-Type only.
+    /// Call-Type only. The prefilter stays off outside the full
+    /// configuration: ablation rows measure monitor-side trap costs, and
+    /// tier-1 hits would hollow out exactly the quantity they isolate.
     pub fn ct() -> Self {
         ContextConfig {
             call_type: true,
@@ -155,10 +215,12 @@ impl ContextConfig {
             fetch_state: true,
             fast_path: true,
             resilience: Resilience::default(),
+            prefilter: false,
+            prefilter_differential: false,
         }
     }
 
-    /// Call-Type + Control-Flow.
+    /// Call-Type + Control-Flow (prefilter off, like [`ContextConfig::ct`]).
     pub fn ct_cf() -> Self {
         ContextConfig {
             call_type: true,
@@ -167,6 +229,8 @@ impl ContextConfig {
             fetch_state: true,
             fast_path: true,
             resilience: Resilience::default(),
+            prefilter: false,
+            prefilter_differential: false,
         }
     }
 
@@ -180,6 +244,8 @@ impl ContextConfig {
             fetch_state: false,
             fast_path: true,
             resilience: Resilience::default(),
+            prefilter: false,
+            prefilter_differential: false,
         }
     }
 
@@ -193,6 +259,8 @@ impl ContextConfig {
             fetch_state: true,
             fast_path: true,
             resilience: Resilience::default(),
+            prefilter: false,
+            prefilter_differential: false,
         }
     }
 
@@ -202,9 +270,25 @@ impl ContextConfig {
     }
 
     /// The same configuration with the trap fast path disabled — the
-    /// "before" side of the fast-path ablation.
+    /// "before" side of the fast-path ablation. The prefilter goes with
+    /// it: the ablation isolates monitor-side trap cost, and tier-1 hits
+    /// would bypass the very path being measured.
     pub fn without_fast_path(mut self) -> Self {
         self.fast_path = false;
+        self.prefilter = false;
+        self
+    }
+
+    /// The same configuration with the tier-1 prefilter forced on or off.
+    pub fn with_prefilter(mut self, on: bool) -> Self {
+        self.prefilter = on;
+        self
+    }
+
+    /// The same configuration with the tier-1/tier-2 differential oracle
+    /// enabled (panics on any verdict divergence; test harness use only).
+    pub fn with_differential(mut self) -> Self {
+        self.prefilter_differential = true;
         self
     }
 
@@ -311,16 +395,67 @@ pub struct MonitorStats {
     /// Ladder transitions taken (Full→Degraded and Degraded→FailClosed
     /// each count one).
     pub mode_transitions: u64,
+    /// Tier-1 prefilter evaluations (every classify of a
+    /// `TracePrefiltered` syscall; `traps` still counts all of them).
+    pub prefilter_checks: u64,
+    /// Tier-1 hits: traps proven clean at classify time, no monitor stop.
+    pub prefilter_hits: u64,
+    /// Tier-1 escalations to the full monitor.
+    pub prefilter_escalations: u64,
+    /// Escalations broken down by [`EscalateReason::code`] (grown on
+    /// first use; `Vec` because the serde shim has no fixed-array impls).
+    pub prefilter_escalations_by_reason: Vec<u64>,
 }
 
 impl MonitorStats {
-    /// Average stack-walk depth per trap.
+    /// Average stack-walk depth per *monitor-walked* trap. Tier-1 hits
+    /// never walk (that is the point), so they are excluded from the §9.2
+    /// depth denominator.
     pub fn avg_depth(&self) -> f64 {
+        let walked_traps = self.traps.saturating_sub(self.prefilter_hits);
+        if walked_traps == 0 {
+            0.0
+        } else {
+            self.frames_walked as f64 / walked_traps as f64
+        }
+    }
+
+    /// Tier-1 hit rate over all delivered traps (0 when no trap ran).
+    pub fn prefilter_hit_rate(&self) -> f64 {
         if self.traps == 0 {
             0.0
         } else {
-            self.frames_walked as f64 / self.traps as f64
+            self.prefilter_hits as f64 / self.traps as f64
         }
+    }
+
+    /// Per-reason escalation counts as `(label, count)` rows, non-zero
+    /// entries only, in stable code order.
+    pub fn escalations_by_reason(&self) -> Vec<(&'static str, u64)> {
+        use EscalateReason as R;
+        [
+            R::NoPrefilter,
+            R::FaultsInstalled,
+            R::NonFullMode,
+            R::ShadowQuarantine,
+            R::FlowMiss,
+            R::CtMismatch,
+            R::ChainAnomaly,
+            R::ArgMismatch,
+            R::ExtendedArgs,
+            R::ReadFailure,
+        ]
+        .into_iter()
+        .map(|r| {
+            let n = self
+                .prefilter_escalations_by_reason
+                .get(r.code() as usize)
+                .copied()
+                .unwrap_or(0);
+            (r.label(), n)
+        })
+        .filter(|&(_, n)| n > 0)
+        .collect()
     }
 
     /// Total violations across contexts (fail-closed denies included:
@@ -408,9 +543,21 @@ pub fn protect(
     // sensitive syscalls are not stopped for the monitor.
     let trace = cfg.verifies() || cfg.fetch_state;
     let info = LaunchInfo::from_image(image, metadata);
-    let monitor = Monitor::new(metadata, cfg, info);
+    let mut monitor = Monitor::new(metadata, cfg, info);
+    // Tier-1 prefilter: only for verifying configurations, never under a
+    // watchdog deadline (tier-1 traps charge almost nothing, which would
+    // change what the deadline measures), and subject to the thread-local
+    // differential-oracle override.
+    let prefiltered = trace
+        && cfg.verifies()
+        && cfg.prefilter
+        && cfg.resilience.deadline_cycles.is_none()
+        && !thread_no_prefilter();
+    if prefiltered {
+        monitor.enable_prefilter();
+    }
     world.trace_cycles += monitor.stats.init_cycles;
-    let filter = filter::build_filter_with_trace(metadata, trace);
+    let filter = filter::build_filter_with_mode(metadata, trace, prefiltered);
     world.install_seccomp(pid, filter.shared(), trace);
     if trace {
         world.attach_tracer(Box::new(monitor));
@@ -439,6 +586,12 @@ pub struct Monitor {
     /// Resilience state: degradation-ladder rung, strikes, retry/watchdog
     /// counters.
     pub res: std::cell::RefCell<ResilienceState>,
+    /// Compiled tier-1 check program (`None` until
+    /// [`Monitor::enable_prefilter`]).
+    pf: Option<prefilter::Prefilter>,
+    /// Set when the last prefilter verdict was an escalation, so the
+    /// following `on_trap` does not double-count the trap.
+    pending_escalation: bool,
 }
 
 impl Monitor {
@@ -466,7 +619,23 @@ impl Monitor {
             deny_log: Vec::new(),
             cache: std::cell::RefCell::new(cache::VerifyCache::new()),
             res: std::cell::RefCell::new(ResilienceState::default()),
+            pf: None,
+            pending_escalation: false,
         }
+    }
+
+    /// Compiles the tier-1 check program from the (already rebased)
+    /// metadata and launch info. Compilation cost joins
+    /// [`MonitorStats::init_cycles`] — call before the harness charges it.
+    pub fn enable_prefilter(&mut self) {
+        let pf = prefilter::Prefilter::compile(&self.md, &self.info, &self.cfg);
+        self.stats.init_cycles += pf.compile_cycles();
+        self.pf = Some(pf);
+    }
+
+    /// Whether a compiled tier-1 check program is installed.
+    pub fn prefilter_enabled(&self) -> bool {
+        self.pf.is_some()
     }
 
     /// The current degradation-ladder rung.
@@ -572,6 +741,57 @@ impl Monitor {
         self.deny_log.push(rec);
         verdict
     }
+
+    /// Tier-1 gates plus check-program evaluation for one classify. The
+    /// gate order is part of the §6g contract: faults and non-`Full`
+    /// rungs escalate before tier 1 reads anything, so injected faults
+    /// always land on the monitor's resilience ladder.
+    fn tier1_verdict(
+        &mut self,
+        tracee: &mut Tracee<'_>,
+        faults_installed: bool,
+    ) -> PrefilterVerdict {
+        use EscalateReason as R;
+        if self.pf.is_none() {
+            return PrefilterVerdict::Escalate(R::NoPrefilter);
+        }
+        if faults_installed {
+            return PrefilterVerdict::Escalate(R::FaultsInstalled);
+        }
+        {
+            let r = self.res.borrow();
+            if r.mode != MonitorMode::Full {
+                return PrefilterVerdict::Escalate(R::NonFullMode);
+            }
+            if r.shadow_quarantined {
+                return PrefilterVerdict::Escalate(R::ShadowQuarantine);
+            }
+        }
+        self.pf.as_mut().expect("checked above").check(tracee)
+    }
+
+    /// Differential oracle: tier 1 just allowed this trap, so the full
+    /// verification must agree — any deny here is a prefilter soundness
+    /// bug and panics the harness.
+    fn differential_check(&mut self, tracee: &mut Tracee<'_>) {
+        let regs = match verify::getregs_resilient(self, tracee) {
+            Ok(r) => r,
+            Err(v) => panic!(
+                "prefilter divergence: tier 1 allowed a trap whose registers \
+                 the monitor cannot read: {}",
+                v.msg
+            ),
+        };
+        if let Err(v) = verify::verify_trap(self, tracee, &regs) {
+            panic!(
+                "prefilter divergence: tier 1 allowed syscall {} that the \
+                 monitor denies: {}: {}",
+                regs.nr,
+                v.ctx.label(),
+                v.msg
+            );
+        }
+    }
 }
 
 impl Tracer for Monitor {
@@ -579,8 +799,45 @@ impl Tracer for Monitor {
         self
     }
 
-    fn on_trap(&mut self, tracee: &mut Tracee<'_>) -> TraceVerdict {
+    fn prefilter(&mut self, tracee: &mut Tracee<'_>, faults_installed: bool) -> PrefilterVerdict {
+        // Every classify counts as a trap, whichever tier settles it —
+        // `traps` stays comparable with prefilter off, and the deny log's
+        // `trap_seq` stays aligned with the world's trap counter.
         self.stats.traps += 1;
+        self.stats.prefilter_checks += 1;
+        let verdict = self.tier1_verdict(tracee, faults_installed);
+        match verdict {
+            PrefilterVerdict::Allow => {
+                self.pending_escalation = false;
+                self.stats.prefilter_hits += 1;
+                self.log.push((tracee.kernel_regs().nr, true));
+                if self.cfg.prefilter_differential {
+                    self.differential_check(tracee);
+                }
+            }
+            PrefilterVerdict::Escalate(r) => {
+                self.pending_escalation = true;
+                self.stats.prefilter_escalations += 1;
+                let idx = r.code() as usize;
+                if self.stats.prefilter_escalations_by_reason.len() <= idx {
+                    self.stats
+                        .prefilter_escalations_by_reason
+                        .resize(idx + 1, 0);
+                }
+                self.stats.prefilter_escalations_by_reason[idx] += 1;
+            }
+        }
+        verdict
+    }
+
+    fn on_trap(&mut self, tracee: &mut Tracee<'_>) -> TraceVerdict {
+        if self.pending_escalation {
+            // This stop is the tier-2 half of a classify already counted
+            // (and reason-tallied) by `prefilter`.
+            self.pending_escalation = false;
+        } else {
+            self.stats.traps += 1;
+        }
 
         // Non-verifying configurations do not enforce anything, so the
         // degradation ladder does not apply to them.

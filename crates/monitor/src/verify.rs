@@ -63,6 +63,18 @@ impl Violation {
     }
 }
 
+/// The single signed-constant comparison rule. Compiler metadata carries
+/// constants as `i64`; trapped registers and parameter slots are raw
+/// `u64` bit patterns. Every comparison between the two goes through this
+/// two's-complement widening, so `Const(-1)` matches exactly
+/// `0xFFFF_FFFF_FFFF_FFFF` — and *only* that pattern: a zero-extended
+/// 32-bit forgery (`0x0000_0000_FFFF_FFFF`) must not pass. Scattered
+/// ad-hoc `as` casts at each comparison site are how a narrowing cast
+/// (`as u32 as u64`) silently sneaks in; keep them all here.
+pub(crate) fn const_to_u64(v: i64) -> u64 {
+    u64::from_ne_bytes(v.to_ne_bytes())
+}
+
 // ---- Substrate resilience (fail-closed policy layer) ----
 //
 // Every remote access the verification paths make goes through the helpers
@@ -889,7 +901,7 @@ fn verify_args(
                             format!("param slot unreadable: {e}"),
                         )
                     })?;
-                    if cur != *v as u64 {
+                    if cur != const_to_u64(*v) {
                         return Err(ai_err(
                             DenyRule::ConstParamCorrupted,
                             format!(
@@ -897,7 +909,7 @@ fn verify_args(
                                 fm.name
                             ),
                         )
-                        .vals(*v as u64, cur));
+                        .vals(const_to_u64(*v), cur));
                     }
                 }
                 ArgMeta::Global { .. } | ArgMeta::StackAddr | ArgMeta::Opaque => {}
@@ -920,12 +932,12 @@ fn check_arg(
 ) -> Result<(), Violation> {
     match am {
         ArgMeta::Const(v) => {
-            if actual != *v as u64 {
+            if actual != const_to_u64(*v) {
                 return Err(ai_err(
                     DenyRule::ConstArgMismatch,
                     format!("argument {pos}: {actual:#x} != expected constant {v:#x}"),
                 )
-                .vals(*v as u64, actual));
+                .vals(const_to_u64(*v), actual));
             }
         }
         ArgMeta::Mem => {
@@ -965,12 +977,12 @@ fn check_arg(
                     }
                 }
                 Some(Binding::Const(c)) => {
-                    if actual != c as u64 {
+                    if actual != const_to_u64(c) {
                         return Err(ai_err(
                             DenyRule::BoundConstMismatch,
                             format!("argument {pos}: {actual:#x} != bound constant {c:#x}"),
                         )
-                        .vals(c as u64, actual));
+                        .vals(const_to_u64(c), actual));
                     }
                 }
                 None => {
@@ -1096,10 +1108,27 @@ fn verify_pointee_shadow(
             }
         }
     }
-    // The window ended before a terminator (torn read, racing unmap, or a
-    // mapping edge): bytes past it were never compared against their shadow
-    // entries. If any of them IS shadow-backed, a recorded byte escaped
-    // verification — deny rather than trust the truncated window.
+    // The scan read real bytes and then hit the end of the mapping with no
+    // terminator: the pointee provably runs off its mapping (`ptr + n` is
+    // the first unmapped byte). Historically the failed last-byte read
+    // just ended the loop and the truncated window could pass as a clean
+    // string; that is a deterministic property of the tracee's memory, so
+    // it gets a deterministic deny with provenance — identically on the
+    // fast (prefix-read) and legacy (per-byte) paths.
+    if !nul_found && n > 0 && n < buf.len() {
+        return Err(ai_err(
+            DenyRule::PointeeRunsOffMapping,
+            format!(
+                "argument {pos}: pointee at {ptr:#x} runs off its mapping at {:#x} with no terminator",
+                ptr + n as u64
+            ),
+        )
+        .vals(ptr, ptr + n as u64));
+    }
+    // Nothing was readable at all (`n == 0`: torn read, racing unmap, or a
+    // wild pointer): bytes past the window were never compared against
+    // their shadow entries. If any of them IS shadow-backed, a recorded
+    // byte escaped verification — deny rather than trust the empty window.
     if !nul_found && n < buf.len() {
         for i in n..buf.len() {
             if shadow_value(mon, tracee, shadow, ptr + i as u64)?.is_some() {
@@ -1114,4 +1143,137 @@ fn verify_pointee_shadow(
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ContextConfig, LaunchInfo, Monitor};
+    use bastion_compiler::BastionCompiler;
+    use bastion_ir::build::ModuleBuilder;
+    use bastion_ir::{sysno, Operand, Ty};
+    use bastion_vm::{CostModel, Image, Machine};
+    use std::sync::Arc;
+
+    // ---- the single signed-constant comparison rule ----
+
+    #[test]
+    fn const_widening_is_twos_complement() {
+        assert_eq!(const_to_u64(-1), u64::MAX);
+        assert_eq!(const_to_u64(0), 0);
+        assert_eq!(const_to_u64(i64::MIN), 0x8000_0000_0000_0000);
+        assert_eq!(const_to_u64(0x21), 0x21);
+    }
+
+    #[test]
+    fn zero_extended_forgery_does_not_match_negative_constant() {
+        // The historical bug class: a narrowing cast would compare
+        // Const(-1) against the low 32 bits only, letting a forged
+        // 0x0000_0000_FFFF_FFFF register pass as the legitimate -1.
+        assert_ne!(const_to_u64(-1), 0xFFFF_FFFFu64);
+        assert_ne!(const_to_u64(-2), const_to_u64(-2) as u32 as u64);
+    }
+
+    fn fixture() -> (Arc<Image>, Monitor, Machine) {
+        let mut mb = ModuleBuilder::new("fx");
+        let execve = mb.declare_syscall_stub("execve", sysno::EXECVE, 3);
+        let mut f = mb.function("main", &[], Ty::I64);
+        let z = Operand::Imm(0);
+        let _ = f.call_direct(execve, &[z, z, z]);
+        f.ret(Some(z));
+        f.finish();
+        let out = BastionCompiler::new().compile(mb.finish()).unwrap();
+        let image = Arc::new(Image::load(out.module).unwrap());
+        let info = LaunchInfo::from_image(&image, &out.metadata);
+        let mon = Monitor::new(&out.metadata, ContextConfig::full(), info);
+        let machine = Machine::new(image.clone(), CostModel::default());
+        (image, mon, machine)
+    }
+
+    /// Satellite regression: an AI `Const(-1)` predicate accepts exactly
+    /// the two's-complement widening and denies the 32-bit forgery.
+    #[test]
+    fn negative_constant_arg_accepts_widened_rejects_forged() {
+        let (_image, mon, machine) = fixture();
+        let mut charge = 0u64;
+        let mut tracee = Tracee::new(&machine, 1, &mut charge);
+        let shadow = ShadowTable::new(tracee.gs_base());
+        let am = ArgMeta::Const(-1);
+        assert!(check_arg(&mon, &mut tracee, &shadow, 0x1000, 5, &am, u64::MAX, false).is_ok());
+        let err = check_arg(
+            &mon,
+            &mut tracee,
+            &shadow,
+            0x1000,
+            5,
+            &am,
+            0xFFFF_FFFF,
+            false,
+        )
+        .expect_err("zero-extended forgery must be denied");
+        assert_eq!(err.rule, DenyRule::ConstArgMismatch);
+        assert_eq!(err.expected, Some(u64::MAX));
+        assert_eq!(err.observed, Some(0xFFFF_FFFF));
+    }
+
+    // ---- extended-pointee mapping-boundary probe ----
+
+    /// A pointee that runs to the end of its mapping with no terminator is
+    /// a deterministic deny with provenance — on both fetch paths.
+    #[test]
+    fn pointee_running_off_its_mapping_is_denied_on_both_paths() {
+        let (_image, mut mon, mut machine) = fixture();
+        // One private page; the last 16 bytes hold 'A's and the string
+        // runs straight into the unmapped page after it.
+        let base = 0x6100_0000_0000u64;
+        machine.mem.map_region(base, 0x1000);
+        let tail = base + 0x1000 - 16;
+        machine.mem.write_unchecked(tail, &[b'A'; 16]);
+
+        for fast in [true, false] {
+            mon.cfg.fast_path = fast;
+            let mut charge = 0u64;
+            let mut tracee = Tracee::new(&machine, 1, &mut charge);
+            let shadow = ShadowTable::new(tracee.gs_base());
+            let err = verify_pointee_shadow(&mon, &mut tracee, &shadow, 1, tail)
+                .expect_err("unterminated string at a mapping edge must be denied");
+            assert_eq!(
+                err.rule,
+                DenyRule::PointeeRunsOffMapping,
+                "fast_path={fast}"
+            );
+            assert_eq!(err.expected, Some(tail), "fast_path={fast}");
+            assert_eq!(err.observed, Some(base + 0x1000), "fast_path={fast}");
+            assert_eq!(
+                err.msg,
+                format!(
+                    "argument 1: pointee at {tail:#x} runs off its mapping at {:#x} with no terminator",
+                    base + 0x1000
+                ),
+                "deny string must be identical on both paths"
+            );
+        }
+    }
+
+    /// Control: the same placement with a NUL inside the mapping passes.
+    #[test]
+    fn terminated_string_at_mapping_edge_passes_both_paths() {
+        let (_image, mut mon, mut machine) = fixture();
+        let base = 0x6200_0000_0000u64;
+        machine.mem.map_region(base, 0x1000);
+        let tail = base + 0x1000 - 16;
+        let mut bytes = [b'A'; 16];
+        bytes[15] = 0;
+        machine.mem.write_unchecked(tail, &bytes);
+        for fast in [true, false] {
+            mon.cfg.fast_path = fast;
+            let mut charge = 0u64;
+            let mut tracee = Tracee::new(&machine, 1, &mut charge);
+            let shadow = ShadowTable::new(tracee.gs_base());
+            assert!(
+                verify_pointee_shadow(&mon, &mut tracee, &shadow, 1, tail).is_ok(),
+                "fast_path={fast}"
+            );
+        }
+    }
 }

@@ -110,6 +110,9 @@ pub enum DenyRule {
     /// Shadow-backed pointee bytes past the readable window escaped
     /// verification.
     PointeeTailUnverifiable,
+    /// An extended-argument pointee ran off the end of its mapping with no
+    /// terminator inside the readable window.
+    PointeeRunsOffMapping,
     /// A bound variable's current memory could not be read.
     BoundVarUnreadable,
     /// A bound sensitive variable up-stack disagrees with its shadow copy.
@@ -175,6 +178,7 @@ impl DenyRule {
             DenyRule::PointeeUnreadable => "pointee_unreadable",
             DenyRule::PointeeByteCorrupted => "pointee_byte_corrupted",
             DenyRule::PointeeTailUnverifiable => "pointee_tail_unverifiable",
+            DenyRule::PointeeRunsOffMapping => "pointee_runs_off_mapping",
             DenyRule::BoundVarUnreadable => "bound_var_unreadable",
             DenyRule::SensitiveVarCorrupted => "sensitive_var_corrupted",
             DenyRule::MissingMemBinding => "missing_mem_binding",

@@ -26,6 +26,12 @@ pub enum Phase {
     Trap,
     /// Instant: the seccomp filter classified this syscall as traced.
     SeccompClassify,
+    /// Tier-1 prefilter evaluation at seccomp-classify time (no monitor
+    /// stop). Nested directly inside [`Phase::Trap`].
+    PrefilterCheck,
+    /// Instant: the prefilter escalated this trap to the full monitor
+    /// (arg = escalation reason code).
+    PrefilterEscalate,
     /// `PTRACE_GETREGS` register snapshot (with retries).
     GetRegs,
     /// Trap-frame head fetch (batched or word-by-word).
@@ -57,6 +63,8 @@ impl Phase {
         match self {
             Phase::Trap => "trap",
             Phase::SeccompClassify => "seccomp_classify",
+            Phase::PrefilterCheck => "prefilter_check",
+            Phase::PrefilterEscalate => "prefilter_escalate",
             Phase::GetRegs => "getregs",
             Phase::FrameRead => "frame_read",
             Phase::CtCheck => "ct_check",
@@ -74,7 +82,10 @@ impl Phase {
     /// Which layer emits the phase (the Chrome-trace category).
     pub fn category(self) -> &'static str {
         match self {
-            Phase::Trap | Phase::SeccompClassify => "kernel",
+            Phase::Trap
+            | Phase::SeccompClassify
+            | Phase::PrefilterCheck
+            | Phase::PrefilterEscalate => "kernel",
             _ => "monitor",
         }
     }
@@ -227,7 +238,10 @@ mod tests {
     fn phase_names_are_stable() {
         assert_eq!(Phase::Trap.name(), "trap");
         assert_eq!(Phase::CfWalk.name(), "cf_walk");
+        assert_eq!(Phase::PrefilterCheck.name(), "prefilter_check");
+        assert_eq!(Phase::PrefilterEscalate.name(), "prefilter_escalate");
         assert_eq!(Phase::Trap.category(), "kernel");
+        assert_eq!(Phase::PrefilterCheck.category(), "kernel");
         assert_eq!(Phase::AiExtended.category(), "monitor");
     }
 }

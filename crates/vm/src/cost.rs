@@ -37,6 +37,13 @@ pub struct CostModel {
     pub seccomp: u64,
     /// Monitor wake-up on a traced syscall (two context switches).
     pub ptrace_stop: u64,
+    /// Tier-1 prefilter evaluation at seccomp-classify time: one dense
+    /// table lookup plus the compiled check program, all in-kernel — no
+    /// context switch, no monitor stop.
+    pub prefilter_eval: u64,
+    /// One in-kernel tracee memory read issued by the prefilter (same
+    /// address space, no `process_vm_readv` round trip).
+    pub prefilter_read: u64,
     /// One `ptrace(PTRACE_GETREGS)`-style call.
     pub ptrace_getregs: u64,
     /// Base cost of one `process_vm_readv` call...
@@ -59,6 +66,8 @@ impl Default for CostModel {
             syscall: 400,
             seccomp: 10,
             ptrace_stop: 3600,
+            prefilter_eval: 40,
+            prefilter_read: 16,
             ptrace_getregs: 700,
             remote_read: 500,
             remote_read_per_64b: 8,
@@ -73,6 +82,8 @@ impl CostModel {
     pub fn in_kernel_monitor() -> Self {
         CostModel {
             ptrace_stop: 60,
+            prefilter_eval: 40,
+            prefilter_read: 4,
             ptrace_getregs: 10,
             remote_read: 10,
             remote_read_per_64b: 1,
@@ -96,6 +107,10 @@ mod tests {
         assert!(c.ptrace_stop > 5 * c.syscall);
         assert!(c.remote_read > 10 * c.seccomp);
         assert!(c.cet <= c.inst);
+        // The whole point of the tier-1 prefilter: evaluating it must be
+        // integer factors cheaper than even reaching the monitor.
+        assert!(c.prefilter_eval * 10 < c.ptrace_stop);
+        assert!(c.prefilter_read * 10 < c.remote_read);
     }
 
     #[test]

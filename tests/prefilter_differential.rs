@@ -1,0 +1,409 @@
+//! Prefilter differential suite: tier-1 (seccomp-time check program) and
+//! tier-2 (full ptrace monitor) must be observably equivalent on every
+//! verdict-relevant surface — Table 6 attack outcomes, deny strings,
+//! trap counts, syscall counts — and every injected-fault cell must
+//! escalate to tier 2 (the fail-closed ladder never runs at tier 1).
+//!
+//! The tier-2-only oracle is the thread-local
+//! [`bastion::monitor::NoPrefilterGuard`] switch (the CLI's
+//! `--no-prefilter`), so whole-stack code paths run unmodified in both
+//! modes. Cycle totals legitimately differ — a tier-1 hit skips the
+//! ptrace stop — so parity is asserted on verdicts, never on time.
+
+use bastion::attacks::{catalog, AttackEnv, Scenario};
+use bastion::chaos;
+use bastion::compiler::BastionCompiler;
+use bastion::harness::{run_app_benchmark, WorkloadSize};
+use bastion::ir::build::ModuleBuilder;
+use bastion::ir::{sysno, Module, Operand, Ty};
+use bastion::kernel::{ExitReason, FaultKind, FaultSchedule, RunStatus, Trigger, World};
+use bastion::monitor::{protect, ContextConfig, NoPrefilterGuard};
+use bastion::obs::DenyRecord;
+use bastion::vm::{CostModel, Image, Machine};
+use bastion::Protection;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Runs `f` with tier-2-only verification forced on this thread; the RAII
+/// guard restores the previous mode even if `f` panics.
+fn on_tier2<T>(f: impl FnOnce() -> T) -> T {
+    let _guard = NoPrefilterGuard::new(true);
+    f()
+}
+
+/// Everything verdict-relevant one world run produces.
+#[derive(Debug, PartialEq)]
+struct Observables {
+    exits: Vec<Option<ExitReason>>,
+    traps: u64,
+    syscall_counts: Vec<(u32, u64)>,
+    monitor_traps: u64,
+    violations: (u64, u64, u64, u64),
+    log: Vec<(u32, bool)>,
+    denies: Vec<DenyRecord>,
+}
+
+fn observe(mut world: World) -> Observables {
+    let exits = world.procs.iter().map(|p| p.exit.clone()).collect();
+    let traps = world.trap_count;
+    let syscall_counts = world
+        .kernel
+        .counts
+        .iter()
+        .map(|(&nr, &n)| (nr, n))
+        .collect();
+    let tracer = world.take_tracer().expect("monitor attached");
+    let m = tracer
+        .as_any()
+        .downcast_ref::<bastion::monitor::Monitor>()
+        .expect("tracer is the BASTION monitor");
+    Observables {
+        exits,
+        traps,
+        syscall_counts,
+        monitor_traps: m.stats.traps,
+        violations: (
+            m.stats.ct_violations,
+            m.stats.cf_violations,
+            m.stats.ai_violations,
+            m.stats.fc_violations,
+        ),
+        log: m.log.clone(),
+        denies: m.deny_log.clone(),
+    }
+}
+
+// ---- Table 6: the 32-attack catalog, byte-identical in both modes ----
+
+/// Runs one scenario under full BASTION and captures the observables plus
+/// the attack's own success predicate.
+fn attack_observables(s: &Scenario) -> (bool, Observables) {
+    let mut env = AttackEnv::deploy(s.victim, Some(ContextConfig::full()), s.extended_set, false);
+    (s.attack)(&mut env);
+    env.settle();
+    let succeeded = (s.success)(&env);
+    (succeeded, observe(env.world))
+}
+
+/// All 32 Table 6 rows: prefiltered and tier-2-only runs must agree on
+/// every observable — exit reasons (which embed the deny strings), trap
+/// and syscall counts, per-context violation tallies, the allow/deny log,
+/// and the structured deny records. Zero detection loss: no attack the
+/// full monitor blocks may slip past the prefilter.
+#[test]
+fn table6_catalog_is_byte_identical_with_and_without_prefilter() {
+    for s in &catalog() {
+        let (pf_success, pf) = attack_observables(s);
+        let (t2_success, t2) = on_tier2(|| attack_observables(s));
+        assert_eq!(
+            pf_success, t2_success,
+            "#{} {}: attack success flipped",
+            s.id, s.name
+        );
+        assert_eq!(pf, t2, "#{} {}: observables diverged", s.id, s.name);
+        assert!(
+            !pf_success,
+            "#{} {}: attack succeeded under full BASTION",
+            s.id, s.name
+        );
+    }
+}
+
+// ---- chaos matrix: every injected-fault cell escalates to tier 2 ----
+
+/// The enforcement fixture: main → worker → mmap plus an execve upgrade.
+fn faultable_app() -> Module {
+    let mut mb = ModuleBuilder::new("pfchaos");
+    let mmap = mb.declare_syscall_stub("mmap", sysno::MMAP, 6);
+    let execve = mb.declare_syscall_stub("execve", sysno::EXECVE, 3);
+    let exit = mb.declare_syscall_stub("exit", sysno::EXIT, 1);
+    let path = mb.global_str("upgrade_path", "/sbin/upgrade");
+
+    let worker = mb.declare("worker", &[("flags", Ty::I64)], Ty::Void);
+    let mut f = mb.define(worker);
+    let prots = f.local("prots", Ty::I64);
+    let pa = f.frame_addr(prots);
+    f.store(pa, 3i64);
+    let pa2 = f.frame_addr(prots);
+    let pv = f.load(pa2);
+    let fa = f.frame_addr(f.param_slot(0));
+    let fv = f.load(fa);
+    let _ = f.call_direct(
+        mmap,
+        &[
+            0i64.into(),
+            4096i64.into(),
+            pv.into(),
+            fv.into(),
+            (-1i64).into(),
+            0i64.into(),
+        ],
+    );
+    f.ret(None);
+    f.finish();
+
+    let upgrade = mb.declare("upgrade", &[], Ty::Void);
+    let mut f = mb.define(upgrade);
+    let p = f.global_addr(path);
+    let _ = f.call_direct(execve, &[p.into(), 0i64.into(), 0i64.into()]);
+    f.ret(None);
+    f.finish();
+
+    let mut f = mb.function("main", &[], Ty::I64);
+    let flags = f.local("flags", Ty::I64);
+    let fa = f.frame_addr(flags);
+    f.store(fa, 0x21i64);
+    let fa2 = f.frame_addr(flags);
+    let fv = f.load(fa2);
+    let _ = f.call_direct(worker, &[fv.into()]);
+    let _ = f.call_direct(upgrade, &[]);
+    let _ = f.call_direct(exit, &[0i64.into()]);
+    f.ret(Some(Operand::Imm(0)));
+    f.finish();
+    mb.finish()
+}
+
+/// With a fault schedule installed, tier 1 must never serve a verdict:
+/// every prefilter check escalates with reason `faults_installed`, so all
+/// faults land in the authoritative monitor's fail-closed ladder. One
+/// cell per fault class.
+#[test]
+fn every_injected_fault_cell_escalates_to_tier_2() {
+    let kinds: [(&str, FaultKind); 6] = [
+        ("mix", FaultKind::Mix),
+        ("read-error", FaultKind::ReadError),
+        ("torn-read", FaultKind::TornRead),
+        ("frame-corrupt", FaultKind::FrameCorrupt),
+        ("shadow-flip", FaultKind::ShadowBitFlip),
+        ("stall", FaultKind::Stall { cycles: 120_000 }),
+    ];
+    for (label, kind) in kinds {
+        let out = BastionCompiler::new().compile(faultable_app()).unwrap();
+        let image = Arc::new(Image::load(out.module).unwrap());
+        let machine = Machine::new(image.clone(), CostModel::default());
+        let mut world = World::new(CostModel::default());
+        world
+            .kernel
+            .vfs
+            .put_file("/sbin/upgrade", vec![0x7f], 0o755);
+        let pid = world.spawn(machine);
+        protect(
+            &mut world,
+            pid,
+            &image,
+            &out.metadata,
+            ContextConfig::full(),
+        );
+        // Faults are live from the very first trap: no clean-boot window.
+        world.install_faults(FaultSchedule::new(11).with(
+            kind,
+            Trigger::TrapRange {
+                from: 1,
+                to: u64::MAX,
+            },
+        ));
+        assert_eq!(world.run(50_000_000), RunStatus::AllExited, "{label}");
+        let (stats, _denies) = chaos::monitor_report(&mut world).expect("monitor attached");
+        assert!(
+            stats.prefilter_checks > 0,
+            "{label}: no trap ever classified"
+        );
+        assert_eq!(
+            stats.prefilter_hits, 0,
+            "{label}: tier 1 served a verdict while faults were installed"
+        );
+        assert_eq!(
+            stats.prefilter_escalations, stats.prefilter_checks,
+            "{label}: check/escalation mismatch"
+        );
+        assert_eq!(
+            stats.escalations_by_reason(),
+            vec![("faults_installed", stats.prefilter_checks)],
+            "{label}: wrong escalation reason"
+        );
+    }
+}
+
+// ---- differential mode: tier-1 Allow re-proved by tier 2 every trap ----
+
+/// `ContextConfig::with_differential` runs the full monitor after every
+/// tier-1 Allow and panics on divergence. A clean pass over the real
+/// applications and a representative Table 6 slice is the machine-checked
+/// equivalence proof for the compiled check program.
+#[test]
+fn differential_mode_proves_tier_1_allows_equivalent() {
+    let quick = WorkloadSize::quick();
+    let compiler = BastionCompiler::new();
+    let mut prot = Protection::full();
+    prot.monitor = Some(ContextConfig::full().with_differential());
+    for app in [
+        bastion::apps::App::Webserve,
+        bastion::apps::App::Dbkv,
+        bastion::apps::App::Ftpd,
+    ] {
+        let r = run_app_benchmark(app, &prot, &quick, &compiler, CostModel::default());
+        let stats = r.monitor.as_ref().expect("monitor attached");
+        assert!(
+            stats.prefilter_hits > 0,
+            "{:?}: differential mode never exercised a tier-1 Allow",
+            app
+        );
+    }
+    // One scenario per Table 6 section (the differential.rs subset).
+    let cat = catalog();
+    for id in [1u32, 14, 19, 25, 32] {
+        let s = cat.iter().find(|s| s.id == id).expect("scenario exists");
+        let cfg = ContextConfig::full().with_differential();
+        let mut env = AttackEnv::deploy(s.victim, Some(cfg), s.extended_set, false);
+        (s.attack)(&mut env);
+        env.settle();
+        assert!(!(s.success)(&env), "#{id}: attack succeeded");
+    }
+}
+
+// ---- application parity + the clean-path win ----
+
+/// The workload apps under full protection: identical verdict surface,
+/// strictly cheaper clean path. The ≥2× per-trap acceptance bound is
+/// asserted on webserve, the app the committed bench baseline tracks.
+#[test]
+fn app_benchmarks_agree_and_prefilter_pays() {
+    let quick = WorkloadSize::quick();
+    let compiler = BastionCompiler::new();
+    let cost = CostModel::default();
+    for app in [
+        bastion::apps::App::Webserve,
+        bastion::apps::App::Dbkv,
+        bastion::apps::App::Ftpd,
+    ] {
+        let pf = run_app_benchmark(app, &Protection::full(), &quick, &compiler, cost);
+        let t2 = on_tier2(|| run_app_benchmark(app, &Protection::full(), &quick, &compiler, cost));
+        assert_eq!(pf.traps, t2.traps, "{app:?}: trap counts diverged");
+        assert_eq!(pf.steps, t2.steps, "{app:?}: retired steps diverged");
+        assert_eq!(
+            pf.syscall_counts, t2.syscall_counts,
+            "{app:?}: syscall counts diverged"
+        );
+        let (spf, st2) = (pf.monitor.as_ref().unwrap(), t2.monitor.as_ref().unwrap());
+        assert_eq!(spf.violations(), 0, "{app:?}: clean run denied");
+        assert_eq!(st2.violations(), 0, "{app:?}: clean run denied (tier 2)");
+        assert_eq!(
+            st2.prefilter_checks, 0,
+            "{app:?}: guard did not disable tier 1"
+        );
+        assert!(spf.prefilter_hits > 0, "{app:?}: prefilter never hit");
+        let per_trap = |b: &bastion::harness::AppBenchmark, s: &bastion::monitor::MonitorStats| {
+            (b.trace_cycles - s.init_cycles) as f64 / b.traps.max(1) as f64
+        };
+        let (c_pf, c_t2) = (per_trap(&pf, spf), per_trap(&t2, st2));
+        assert!(
+            c_pf < c_t2,
+            "{app:?}: prefilter did not reduce per-trap cost ({c_pf:.0} vs {c_t2:.0})"
+        );
+        if app == bastion::apps::App::Webserve {
+            assert!(
+                c_t2 / c_pf >= 2.0,
+                "webserve clean-path per-trap cost must drop >=2x: {c_pf:.0} vs {c_t2:.0}"
+            );
+        }
+    }
+}
+
+// ---- random-IR parity ----
+
+/// A small random program exercising the monitored surface: frame-local
+/// stores that become Mem bindings, constant and negative-constant args,
+/// direct call depth, and a global-pathname execve — compiled and run
+/// under full protection in both modes.
+fn random_program(flag: i64, depth_via_worker: bool, do_exec: bool, reps: usize) -> Module {
+    let mut mb = ModuleBuilder::new("pfrand");
+    let mmap = mb.declare_syscall_stub("mmap", sysno::MMAP, 6);
+    let execve = mb.declare_syscall_stub("execve", sysno::EXECVE, 3);
+    let path = mb.global_str("p", "/bin/true");
+
+    let worker = mb.declare("worker", &[("flags", Ty::I64)], Ty::Void);
+    {
+        let mut f = mb.define(worker);
+        let fa = f.frame_addr(f.param_slot(0));
+        let fv = f.load(fa);
+        let _ = f.call_direct(
+            mmap,
+            &[
+                0i64.into(),
+                4096i64.into(),
+                3i64.into(),
+                fv.into(),
+                (-1i64).into(),
+                0i64.into(),
+            ],
+        );
+        f.ret(None);
+        f.finish();
+    }
+
+    let mut f = mb.function("main", &[], Ty::I64);
+    let flags = f.local("flags", Ty::I64);
+    for _ in 0..reps.max(1) {
+        let fa = f.frame_addr(flags);
+        f.store(fa, flag);
+        let fa2 = f.frame_addr(flags);
+        let fv = f.load(fa2);
+        if depth_via_worker {
+            let _ = f.call_direct(worker, &[fv.into()]);
+        } else {
+            let _ = f.call_direct(
+                mmap,
+                &[
+                    0i64.into(),
+                    4096i64.into(),
+                    3i64.into(),
+                    fv.into(),
+                    (-1i64).into(),
+                    0i64.into(),
+                ],
+            );
+        }
+    }
+    if do_exec {
+        let p = f.global_addr(path);
+        let _ = f.call_direct(execve, &[p.into(), 0i64.into(), 0i64.into()]);
+    }
+    f.ret(Some(Operand::Imm(0)));
+    f.finish();
+    mb.finish()
+}
+
+fn run_random(module: Module) -> Observables {
+    let out = BastionCompiler::new().compile(module).unwrap();
+    let image = Arc::new(Image::load(out.module).unwrap());
+    let machine = Machine::new(image.clone(), CostModel::default());
+    let mut world = World::new(CostModel::default());
+    world.kernel.vfs.put_file("/bin/true", vec![0x7f], 0o755);
+    let pid = world.spawn(machine);
+    protect(
+        &mut world,
+        pid,
+        &image,
+        &out.metadata,
+        ContextConfig::full(),
+    );
+    assert_eq!(world.run(200_000_000), RunStatus::AllExited);
+    observe(world)
+}
+
+proptest! {
+    /// Random-IR parity: for arbitrary flag values (including negatives),
+    /// call depths, and syscall mixes, the prefiltered run is observably
+    /// identical to the tier-2-only run.
+    #[test]
+    fn random_ir_verdicts_identical_with_and_without_prefilter(
+        flag in -4i64..1 << 20,
+        depth_via_worker in any::<bool>(),
+        do_exec in any::<bool>(),
+        reps in 1usize..4,
+    ) {
+        let pf = run_random(random_program(flag, depth_via_worker, do_exec, reps));
+        let t2 = on_tier2(|| run_random(random_program(flag, depth_via_worker, do_exec, reps)));
+        prop_assert_eq!(pf, t2);
+    }
+}

@@ -17,6 +17,8 @@ fn ai_only() -> ContextConfig {
         fetch_state: false,
         fast_path: true,
         resilience: bastion_monitor::Resilience::default(),
+        prefilter: false,
+        prefilter_differential: false,
     }
 }
 

@@ -14,6 +14,9 @@
 //!   analysis that discovers *sensitive variables* (system call arguments
 //!   and everything that defines them) and decides where instrumentation
 //!   must be placed.
+//! * [`sysflow`] — the main-rooted syscall-flow automaton (initial
+//!   sensitive nrs + ordered adjacency edges) the tier-1 prefilter
+//!   evaluates as a per-pid state machine.
 //! * [`typesig`] — the equivalence classes coarse LLVM CFI would build
 //!   (address-taken functions grouped by type signature); used by the
 //!   `bastion-defenses` baseline.
@@ -22,10 +25,12 @@ pub mod callgraph;
 pub mod calltype;
 pub mod paths;
 pub mod sensitive;
+pub mod sysflow;
 pub mod typesig;
 
 pub use callgraph::{CallGraph, CallsiteKind, CallsiteRec};
 pub use calltype::{CallTypeClass, CallTypeReport};
 pub use paths::ControlFlowReport;
 pub use sensitive::{ArgSpec, Loc, PropSite, SensitiveReport, StoreSite, SyscallSite};
+pub use sysflow::SyscallFlow;
 pub use typesig::TypeSigReport;

@@ -4,9 +4,14 @@
 //! writes jobs-vs-wall-clock rows to `BENCH_fleet.json` (or the path given
 //! as the first argument).
 //!
-//! `--jobs-list=1,2,4,8` overrides the ladder — CI uses `1,2` as the fleet
-//! smoke (a parallel run diffed against the serial run), the committed
-//! BENCH_fleet.json uses the full ladder.
+//! The default ladder is powers of two capped at the host's
+//! `available_parallelism` — worker counts past the core count only add
+//! scheduler churn and read as phantom regressions on small hosts.
+//! `--jobs-list=1,2,4,8` overrides the ladder explicitly (CI uses `1,2`
+//! as the fleet smoke — a parallel run diffed against the serial run);
+//! rows whose worker count exceeds the core count are annotated
+//! `oversubscribed` so their speedups are read as scheduling noise, not
+//! fleet regressions.
 
 use bastion::fleet;
 use serde::Serialize;
@@ -20,6 +25,21 @@ struct ScalingRow {
     speedup: f64,
     /// This run's report matched the serial report byte-for-byte.
     byte_identical: bool,
+    /// More workers than host cores: the wall-clock column measures
+    /// scheduler contention, not fleet scaling.
+    oversubscribed: bool,
+}
+
+/// Powers of two up to (and including the nearest below) the host's
+/// available parallelism, always starting at the serial run.
+fn default_ladder(ap: usize) -> Vec<usize> {
+    let mut ladder = vec![1];
+    let mut j = 2;
+    while j <= ap {
+        ladder.push(j);
+        j *= 2;
+    }
+    ladder
 }
 
 #[derive(Debug, Serialize)]
@@ -37,7 +57,8 @@ struct Report {
 
 fn main() {
     let mut out_path = "BENCH_fleet.json".to_string();
-    let mut ladder: Vec<usize> = vec![1, 2, 4, 8];
+    let ap = fleet::default_jobs();
+    let mut ladder: Vec<usize> = default_ladder(ap);
     for a in std::env::args().skip(1) {
         if let Some(v) = a.strip_prefix("--jobs-list=") {
             ladder = v
@@ -84,12 +105,21 @@ fn main() {
             "jobs={jobs} report diverged from the serial run"
         );
         let speedup = serial_secs / wall_secs.max(1e-9);
-        eprintln!("  {wall_secs:.2}s ({speedup:.2}x vs serial), byte-identical");
+        let oversubscribed = jobs > ap;
+        eprintln!(
+            "  {wall_secs:.2}s ({speedup:.2}x vs serial), byte-identical{}",
+            if oversubscribed {
+                ", oversubscribed"
+            } else {
+                ""
+            }
+        );
         rows.push(ScalingRow {
             jobs,
             wall_secs,
             speedup,
             byte_identical,
+            oversubscribed,
         });
     }
 
@@ -99,7 +129,7 @@ fn main() {
         seeds: seeds.len(),
         fault_classes: 6,
         benign_apps: fleet::BENIGN_SEEDS.len(),
-        available_parallelism: fleet::default_jobs(),
+        available_parallelism: ap,
         all_byte_identical: rows.iter().all(|r| r.byte_identical),
         rows,
     };

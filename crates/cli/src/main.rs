@@ -295,7 +295,10 @@ fn print_monitor_stats(stats: &bastion::monitor::MonitorStats) {
     for (label, n) in stats.escalations_by_reason() {
         println!("    escalate[{label}]: {n}");
     }
-    println!("  init cycles:          {}", stats.init_cycles);
+    println!(
+        "  init cycles:          {} (prefilter compile: {})",
+        stats.init_cycles, stats.prefilter_compile_cycles
+    );
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {

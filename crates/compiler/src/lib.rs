@@ -121,6 +121,10 @@ impl BastionCompiler {
         let ct = CallTypeReport::build(&module, &cg);
         let cf = ControlFlowReport::build(&module, &cg, &self.sensitive);
         let sens = SensitiveReport::build(&module, &cg, &self.sensitive);
+        // Flow is call-structural, so the pre-instrumentation module (the
+        // pass only inserts straight-line intrinsics) gives the same
+        // automaton as the instrumented one.
+        let syscall_flow = bastion_analysis::sysflow::analyze(&module, &cg, &self.sensitive);
 
         let inst = instrument_with_breadth(&module, &sens, self.breadth);
         inst.module.validate()?;
@@ -266,6 +270,7 @@ impl BastionCompiler {
             functions,
             syscall_sites,
             prop_sites,
+            syscall_flow,
             stats,
         };
 
@@ -344,6 +349,23 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(site.args[1], ArgMeta::Const(0));
+    }
+
+    #[test]
+    fn metadata_carries_the_syscall_flow_automaton() {
+        let out = BastionCompiler::new().compile(listing1_module()).unwrap();
+        let flow = &out.metadata.syscall_flow;
+        // execve (via ngx_execute_proc) is the only sensitive trap: it can
+        // come first and nothing can follow it.
+        assert_eq!(
+            flow.initial.iter().copied().collect::<Vec<_>>(),
+            vec![sysno::EXECVE]
+        );
+        assert!(flow.edges.is_empty());
+        // The automaton survives JSON and rebasing untouched (nr-based).
+        let back = ContextMetadata::from_json(&out.metadata.to_json().unwrap()).unwrap();
+        assert_eq!(&back.syscall_flow, flow);
+        assert_eq!(&out.metadata.rebased(0x2000).syscall_flow, flow);
     }
 
     #[test]

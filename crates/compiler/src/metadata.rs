@@ -6,7 +6,7 @@
 //! to translate the whole table — BASTION is relative-addressing based and
 //! fully ASLR-compatible (paper §9.2).
 
-use bastion_analysis::CallTypeClass;
+use bastion_analysis::{CallTypeClass, SyscallFlow};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -139,6 +139,11 @@ pub struct ContextMetadata {
     /// Non-syscall callsites passing sensitive arguments:
     /// callsite → (position, spec) pairs.
     pub prop_sites: BTreeMap<u64, Vec<(u8, ArgMeta)>>,
+    /// Main-rooted syscall-flow automaton over the sensitive alphabet
+    /// (initial nrs + ordered adjacency edges); nr-based, so rebasing is
+    /// the identity. Empty means "no flow information" and consumers fall
+    /// back to coarse reachability.
+    pub syscall_flow: SyscallFlow,
     /// Table 5 statistics.
     pub stats: InstrStats,
 }
@@ -211,6 +216,7 @@ impl ContextMetadata {
                     )
                 })
                 .collect(),
+            syscall_flow: self.syscall_flow.clone(),
             stats: self.stats.clone(),
         }
     }
@@ -289,6 +295,7 @@ mod tests {
             functions,
             syscall_sites,
             prop_sites: BTreeMap::new(),
+            syscall_flow: SyscallFlow::default(),
             stats: InstrStats::default(),
         }
     }

@@ -143,9 +143,15 @@ where
     let mut merged = obs::MetricsRegistry::new();
     let mut rings: Vec<Vec<obs::TraceEvent>> = Vec::with_capacity(per_task.len());
     let mut results = Vec::with_capacity(per_task.len());
-    for (r, events, registry) in per_task {
+    for (r, mut events, registry) in per_task {
         results.push(r);
         merged.merge(registry);
+        // The stitched document must be byte-identical for any worker
+        // count; the diagnostic wall clock is scheduling-dependent, so it
+        // is dropped from fleet lanes (single-run exports keep it).
+        for ev in &mut events {
+            ev.wall_ns = 0;
+        }
         rings.push(events);
     }
     let events = rings.iter().map(|e| e.len() as u64).sum();

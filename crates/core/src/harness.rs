@@ -227,6 +227,27 @@ pub fn run_table7_row(
     (baseline, rows)
 }
 
+/// Runs one app under the extended filesystem scope (§11.2) twice — the
+/// two-tier split on and off — and returns `(two_tier, tier2_only)`. The
+/// pair shares one compiler so both runs verify the identical sensitive
+/// surface; only the tier-1 prefilter differs.
+pub fn run_extended_scope_pair(
+    app: App,
+    size: &WorkloadSize,
+    cost: CostModel,
+) -> (AppBenchmark, AppBenchmark) {
+    let compiler = BastionCompiler::with_sensitive(bastion_ir::sysno::extended_sensitive_set());
+    let two_tier = run_app_benchmark(app, &Protection::extended_two_tier(), size, &compiler, cost);
+    let tier2_only = run_app_benchmark(
+        app,
+        &Protection::extended_tier2_only(),
+        size,
+        &compiler,
+        cost,
+    );
+    (two_tier, tier2_only)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -54,7 +54,7 @@ pub mod protection;
 
 pub use chaos::{attack_chaos, benign_chaos, AttackChaosReport, BenignChaosReport};
 pub use fleet::{run_ordered, run_ordered_traced, ChaosMatrixOutcome, FleetTelemetry};
-pub use harness::{run_app_benchmark, AppBenchmark, WorkloadSize};
+pub use harness::{run_app_benchmark, run_extended_scope_pair, AppBenchmark, WorkloadSize};
 pub use protection::Protection;
 
 /// Re-export: static analyses.

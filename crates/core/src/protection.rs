@@ -119,6 +119,30 @@ impl Protection {
         [Protection::hook_only(), Protection::fetch_state(), full]
     }
 
+    /// Extended-scope two-tier companion to Table 7 (§11.2): the same
+    /// filesystem-extended sensitive set, full verification, with the
+    /// tier-1/tier-2 split **on**. Table 7 itself stays ptrace-only —
+    /// this row is the counterpart showing what the prefilter buys once
+    /// the sensitive surface grows.
+    pub fn extended_two_tier() -> Self {
+        Protection {
+            label: "extended two-tier",
+            hardening: HardeningConfig::cet(),
+            monitor: Some(ContextConfig::full()),
+        }
+    }
+
+    /// Extended-scope tier-2-only baseline: identical verification to
+    /// [`Protection::extended_two_tier`] with the prefilter off — the
+    /// denominator of the §11.2 two-tier speedup.
+    pub fn extended_tier2_only() -> Self {
+        Protection {
+            label: "extended tier-2 only",
+            hardening: HardeningConfig::cet(),
+            monitor: Some(ContextConfig::full().with_prefilter(false)),
+        }
+    }
+
     /// Whether a BASTION monitor is attached.
     pub fn has_monitor(&self) -> bool {
         self.monitor.is_some()
@@ -150,5 +174,23 @@ mod tests {
         assert!(rows[1].monitor.unwrap().fetch_state);
         assert!(!rows[1].monitor.unwrap().verifies());
         assert!(rows[2].monitor.unwrap().verifies());
+        // Table 7 decomposes ptrace costs: its full row must stay
+        // prefilter-free even now that an extended two-tier preset exists.
+        assert!(!rows[2].monitor.unwrap().prefilter);
+    }
+
+    #[test]
+    fn extended_scope_pair_differs_only_in_prefilter() {
+        let two_tier = Protection::extended_two_tier().monitor.unwrap();
+        let t2 = Protection::extended_tier2_only().monitor.unwrap();
+        assert!(two_tier.prefilter);
+        assert!(!t2.prefilter);
+        assert_eq!(
+            ContextConfig {
+                prefilter: false,
+                ..two_tier
+            },
+            t2
+        );
     }
 }

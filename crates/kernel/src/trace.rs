@@ -288,6 +288,28 @@ impl<'a> Tracee<'a> {
         Ok((saved_fp, ret))
     }
 
+    /// In-kernel bounded prefix read (one `prefilter_read` charge): fills
+    /// `buf` with as many bytes from `addr` as are mapped and returns the
+    /// count (`0` if `addr` itself is unmapped). The in-kernel analogue of
+    /// [`Tracee::read_mem_prefix`] — same partial-read and racing-unmap
+    /// semantics, but no fault consultation (the faults-installed gate
+    /// escalates before tier 1 ever reads) and no remote round trip, so
+    /// the call is infallible.
+    pub fn kernel_read_mem_prefix(&mut self, addr: u64, buf: &mut [u8]) -> usize {
+        *self.charge += self.machine.cost.prefilter_read;
+        let mut n = self.machine.mem.mapped_prefix_len(addr, buf.len() as u64) as usize;
+        // Shrink (strictly, so this terminates) until a whole prefix
+        // reads cleanly, mirroring read_mem_prefix's race handling.
+        while n > 0 {
+            if self.machine.mem.read(addr, &mut buf[..n]).is_ok() {
+                break;
+            }
+            let again = self.machine.mem.mapped_prefix_len(addr, n as u64) as usize;
+            n = if again < n { again } else { n - 1 };
+        }
+        n
+    }
+
     /// Total cycles charged so far on this trap.
     pub fn charged(&self) -> u64 {
         *self.charge
@@ -473,6 +495,12 @@ pub trait Tracer: std::any::Any + Send {
         PrefilterVerdict::Escalate(EscalateReason::NoPrefilter)
     }
 
+    /// Called after a fork completes, once the child exists. The tracer
+    /// can seed per-pid state (the prefilter copies the parent's flow
+    /// state so the child's next trap classifies against the parent's
+    /// last-trapped position). The default does nothing.
+    fn on_fork(&mut self, _parent: Pid, _child: Pid) {}
+
     /// Downcast support so harnesses can recover concrete monitor
     /// statistics after a run.
     fn as_any(&self) -> &dyn std::any::Any;
@@ -588,6 +616,28 @@ mod tests {
         assert_eq!(t.read_mem_prefix(top - 64, &mut buf).unwrap(), 64);
         // Starting exactly at the boundary: nothing is mapped.
         assert_eq!(t.read_mem_prefix(top, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn kernel_read_mem_prefix_is_partial_and_flat_charged() {
+        let m = machine();
+        let mut charge = 0;
+        let mut t = Tracee::new(&m, 1, &mut charge);
+        let top = m.image.stack_top;
+        // A read straddling the top of the stack keeps the mapped prefix,
+        // for exactly one prefilter_read charge (no remote round trip).
+        let mut buf = [0u8; 256];
+        assert_eq!(t.kernel_read_mem_prefix(top - 32, &mut buf), 32);
+        assert_eq!(t.charged(), m.cost.prefilter_read);
+        // Fully unmapped start: zero bytes, same flat charge.
+        assert_eq!(t.kernel_read_mem_prefix(0x10, &mut buf), 0);
+        assert_eq!(t.charged(), 2 * m.cost.prefilter_read);
+        // Fully mapped: the whole buffer, identical bytes to a plain read.
+        let base = m.image.stack_base;
+        assert_eq!(t.kernel_read_mem_prefix(base, &mut buf), 256);
+        let mut plain = [0u8; 256];
+        m.mem.read(base, &mut plain).unwrap();
+        assert_eq!(buf, plain);
     }
 
     #[test]

@@ -434,8 +434,14 @@ impl World {
         child.seccomp = parent.seccomp.clone();
         child.traced = parent.traced;
         let fds = child.fds.clone();
+        let parent_pid = self.procs[idx].pid;
         self.procs.push(child);
         self.kernel.ref_table(&fds);
+        // Let the tracer seed per-pid state for the new process (the
+        // prefilter inherits the parent's flow position).
+        if let Some(t) = self.tracer.as_mut() {
+            t.on_fork(parent_pid, child_pid);
+        }
     }
 
     fn wake_blocked(&mut self) {

@@ -30,7 +30,7 @@ pub mod verify;
 pub use filter::{build_filter, build_filter_with_mode, build_filter_with_trace};
 
 use bastion_compiler::ContextMetadata;
-use bastion_kernel::{EscalateReason, PrefilterVerdict, TraceVerdict, Tracee, Tracer};
+use bastion_kernel::{EscalateReason, Pid, PrefilterVerdict, TraceVerdict, Tracee, Tracer};
 use bastion_obs::{self as obs, DenyContext, DenyRecord, FaultCtx, Phase};
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
@@ -359,6 +359,10 @@ pub struct MonitorStats {
     pub max_depth: u64,
     /// Virtual cycles spent initializing (metadata load, §9.2 "≈21 ms").
     pub init_cycles: u64,
+    /// Portion of `init_cycles` spent compiling the tier-1 check program
+    /// (0 when the prefilter is off) — reported separately so steady-state
+    /// per-trap cost can be read without the one-time compile charge.
+    pub prefilter_compile_cycles: u64,
     /// Call-Type verdicts served from the verification cache.
     pub ct_cache_hits: u64,
     /// Stack-walk verdicts served from the verification cache (full chain
@@ -629,6 +633,7 @@ impl Monitor {
     /// [`MonitorStats::init_cycles`] — call before the harness charges it.
     pub fn enable_prefilter(&mut self) {
         let pf = prefilter::Prefilter::compile(&self.md, &self.info, &self.cfg);
+        self.stats.prefilter_compile_cycles = pf.compile_cycles();
         self.stats.init_cycles += pf.compile_cycles();
         self.pf = Some(pf);
     }
@@ -797,6 +802,14 @@ impl Monitor {
 impl Tracer for Monitor {
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn on_fork(&mut self, parent: Pid, child: Pid) {
+        // The child resumes at the parent's program point, so its flow
+        // automaton starts from the parent's position.
+        if let Some(pf) = self.pf.as_mut() {
+            pf.inherit_state(parent, child);
+        }
     }
 
     fn prefilter(&mut self, tracee: &mut Tracee<'_>, faults_installed: bool) -> PrefilterVerdict {

@@ -1,7 +1,7 @@
-//! Tier-1 seccomp-time prefilter (DESIGN.md §6g).
+//! Tier-1 seccomp-time prefilter (DESIGN.md §6g–§6h).
 //!
-//! At monitor-attach time the CT table, a coarse syscall-flow digraph, and
-//! the constant direct-argument predicates are compiled into a **flat
+//! At monitor-attach time the CT table, the main-rooted syscall-flow
+//! automaton, and the argument predicates are compiled into a **flat
 //! check program**: dense tables indexed by sensitive-syscall index and by
 //! the monitor-tracked flow state, plus sorted flat rows for callsites,
 //! functions, valid callers, and argument predicates. The kernel's trap
@@ -13,15 +13,25 @@
 //! [`crate::verify`] and has exactly two outcomes: pass, or escalate to
 //! the authoritative monitor (which re-derives the verdict from scratch
 //! and owns every deny string). Anything tier 1 cannot replicate cheaply
-//! — extended-pointee probes, retry/backoff policy, the degradation
-//! ladder, injected faults — escalates unconditionally, so detection
-//! power and deny provenance are byte-identical with the prefilter off.
+//! — retry/backoff policy, the degradation ladder, injected faults —
+//! escalates unconditionally, so detection power and deny provenance are
+//! byte-identical with the prefilter off.
+//!
+//! Extended-pointee positions are handled by per-site **probe rows**
+//! (§6h): a bounded, page-boundary-aware scan of the pointee against its
+//! shadow entries via the in-address-space kernel accessors, escalating
+//! wherever the monitor's [`crate::verify`] probe would deny and on any
+//! read anomaly. The flow check is an **edge-precise automaton** over the
+//! compiler's [`bastion_compiler::metadata::ContextMetadata::syscall_flow`]
+//! (one compact state word per pid); metadata without flow information
+//! falls back to the PR-6 coarse reachability digraph.
 
 use crate::verify::const_to_u64;
 use crate::{ContextConfig, LaunchInfo};
 use bastion_compiler::metadata::{ArgMeta, CallsiteKind, ContextMetadata};
 use bastion_ir::CALL_SIZE;
 use bastion_kernel::{EscalateReason as R, Pid, PrefilterVerdict, Tracee};
+use bastion_obs as obs;
 use bastion_vm::shadow::Binding;
 use bastion_vm::ShadowTable;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -83,6 +93,10 @@ struct SiteRow {
     callsite: u64,
     nr: u32,
     args: Vec<ArgPred>,
+    /// Per-position extended-pointee flag (index 0 = position 1): the
+    /// probe row runs after the direct predicate passes, exactly where
+    /// the monitor runs its pointee probe.
+    ext: Vec<bool>,
 }
 
 /// A propagation-site predicate (re-validated per walked frame).
@@ -106,12 +120,13 @@ pub struct Prefilter {
     nrs: Vec<u32>,
     /// CT flag byte per nr index.
     ct_flags: Vec<u8>,
-    /// Whether the nr has extended-pointee positions (tier-2 work).
-    extended: Vec<bool>,
-    /// Dense flow digraph: `flow[state * nrs.len() + nr_idx]` says whether
-    /// the nr may trap while the pid is in `state`. State 0 is "no trap
-    /// yet"; state `i + 1` means the last trapped nr was `nrs[i]`.
-    flow: Vec<bool>,
+    /// Whether `nrs[i]` may be a pid's **first** sensitive trap.
+    flow_initial: Vec<bool>,
+    /// Dense transition table: `flow_edges[i * nrs.len() + j]` says
+    /// whether `nrs[j]` may trap when the pid's last trapped nr was
+    /// `nrs[i]`. Any transition outside the table escalates (never
+    /// denies — flow precision only trades escalations).
+    flow_edges: Vec<bool>,
 
     /// Flat callsite table, sorted by address.
     callsites: Vec<CsRow>,
@@ -130,7 +145,8 @@ pub struct Prefilter {
     main_entry: u64,
     stack: (u64, u64),
 
-    /// Monitor-tracked flow state per pid (index into `flow` rows).
+    /// Monitor-tracked automaton position per pid: 0 = no sensitive trap
+    /// yet, `i + 1` = last trapped nr was `nrs[i]`.
     state: HashMap<Pid, usize>,
 }
 
@@ -151,64 +167,35 @@ impl Prefilter {
                 })
             })
             .collect();
-        let extended = nrs
-            .iter()
-            .map(|&nr| !bastion_ir::sysno::extended_positions(nr).is_empty())
-            .collect();
-
-        // ---- coarse syscall-flow digraph ----
-        // Callgraph closure from `main`: direct edges from callsite
-        // metadata, indirect callsites fanning out to every address-taken
-        // function. A sensitive nr is *flow-reachable* iff some syscall
-        // site invoking it sits in a reachable function. The digraph is
-        // deliberately coarse (order-insensitive: every state row permits
-        // exactly the reachable set) — precision only trades escalations,
-        // never allows, because a flow miss hands the trap to the monitor.
-        let mut edges: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
-        let taken: Vec<u64> = md
-            .functions
-            .values()
-            .filter(|f| f.address_taken)
-            .map(|f| f.entry)
-            .collect();
-        for cs in md.callsites.values() {
-            let outs = edges.entry(cs.in_func).or_default();
-            match cs.kind {
-                CallsiteKind::Direct(t) => {
-                    outs.insert(t);
-                }
-                CallsiteKind::Indirect => {
-                    outs.extend(taken.iter().copied());
+        // ---- syscall-flow automaton ----
+        // The compiler's main-rooted flow analysis gives the edge-precise
+        // automaton: which nrs may trap first, and which nr-to-nr
+        // transitions the program can actually produce. Metadata without
+        // flow information (hand-built, or from an older compiler) falls
+        // back to the coarse order-insensitive reachability digraph —
+        // every state permits exactly the main-reachable set. Either
+        // table only trades escalations, never allows: a flow miss hands
+        // the trap to the monitor, which has no flow check at all.
+        let (flow_initial, flow_edges) = if md.syscall_flow.is_empty() {
+            let reach = reachable_nrs(md, &nrs, &nr_idx);
+            let mut dense = vec![false; nrs.len() * nrs.len()];
+            for row in dense.chunks_mut(nrs.len().max(1)) {
+                row.copy_from_slice(&reach);
+            }
+            (reach, dense)
+        } else {
+            let initial = nrs
+                .iter()
+                .map(|nr| md.syscall_flow.initial.contains(nr))
+                .collect();
+            let mut dense = vec![false; nrs.len() * nrs.len()];
+            for &(a, b) in &md.syscall_flow.edges {
+                if let (Some(&i), Some(&j)) = (nr_idx.get(&a), nr_idx.get(&b)) {
+                    dense[i * nrs.len() + j] = true;
                 }
             }
-        }
-        let mut reachable: BTreeSet<u64> = BTreeSet::new();
-        let mut queue = vec![md.main_entry];
-        while let Some(f) = queue.pop() {
-            if !reachable.insert(f) {
-                continue;
-            }
-            if let Some(outs) = edges.get(&f) {
-                queue.extend(outs.iter().copied());
-            }
-        }
-        let mut nr_reachable = vec![false; nrs.len()];
-        for (cs_addr, site) in &md.syscall_sites {
-            let in_reach = md
-                .callsites
-                .get(cs_addr)
-                .is_some_and(|c| reachable.contains(&c.in_func));
-            if in_reach {
-                if let Some(&i) = nr_idx.get(&site.nr) {
-                    nr_reachable[i] = true;
-                }
-            }
-        }
-        let states = nrs.len() + 1;
-        let mut flow = vec![false; states * nrs.len()];
-        for s in 0..states {
-            flow[s * nrs.len()..(s + 1) * nrs.len()].copy_from_slice(&nr_reachable);
-        }
+            (initial, dense)
+        };
 
         let callsites = md
             .callsites
@@ -252,10 +239,16 @@ impl Prefilter {
         let sites = md
             .syscall_sites
             .iter()
-            .map(|(&callsite, s)| SiteRow {
-                callsite,
-                nr: s.nr,
-                args: s.args.iter().map(compile_arg).collect(),
+            .map(|(&callsite, s)| {
+                let ext_pos = bastion_ir::sysno::extended_positions(s.nr);
+                SiteRow {
+                    callsite,
+                    nr: s.nr,
+                    args: s.args.iter().map(compile_arg).collect(),
+                    ext: (1..=s.args.len() as u8)
+                        .map(|p| ext_pos.contains(&p))
+                        .collect(),
+                }
             })
             .collect();
         let prop = md
@@ -282,8 +275,8 @@ impl Prefilter {
             arg_integrity: cfg.arg_integrity,
             nrs,
             ct_flags,
-            extended,
-            flow,
+            flow_initial,
+            flow_edges,
             callsites,
             funcs,
             valid_callers,
@@ -300,6 +293,15 @@ impl Prefilter {
     pub fn compile_cycles(&self) -> u64 {
         8 * (self.callsites.len() + self.funcs.len() + self.sites.len()) as u64
             + 4 * self.nrs.len() as u64
+    }
+
+    /// Seeds the child's automaton position from the parent at fork: the
+    /// child resumes at the same program point, so its next trap follows
+    /// the parent's last trapped nr in the static flow graph.
+    pub fn inherit_state(&mut self, parent: Pid, child: Pid) {
+        if let Some(&st) = self.state.get(&parent) {
+            self.state.insert(child, st);
+        }
     }
 
     fn nr_pos(&self, nr: u32) -> Option<usize> {
@@ -357,15 +359,20 @@ impl Prefilter {
         let regs = tracee.kernel_regs();
         let nr = regs.nr;
 
-        // ---- flow digraph (state × sysno dense table) ----
+        // ---- flow automaton (state word × transition table) ----
         let Some(ni) = self.nr_pos(nr) else {
             return esc(R::FlowMiss);
         };
         let st = self.state.get(&tracee.pid()).copied().unwrap_or(0);
-        let allowed = self.flow[st * self.nrs.len() + ni];
         // The tracked state is "last trapped nr" regardless of which tier
-        // handles the trap.
+        // handles the trap — tier 2 sees the same sequence, so the
+        // automaton position stays synchronized across escalations.
         self.state.insert(tracee.pid(), ni + 1);
+        let allowed = if st == 0 {
+            self.flow_initial[ni]
+        } else {
+            self.flow_edges[(st - 1) * self.nrs.len() + ni]
+        };
         if !allowed {
             return esc(R::FlowMiss);
         }
@@ -465,12 +472,8 @@ impl Prefilter {
             return esc(R::ChainAnomaly);
         }
 
-        // ---- Argument Integrity (direct predicates only) ----
+        // ---- Argument Integrity (direct predicates + probe rows) ----
         if self.arg_integrity {
-            // Extended-pointee probing is monitor work by design (§6g).
-            if self.extended[ni] {
-                return esc(R::ExtendedArgs);
-            }
             let Some(&(_, Some(syscall_cs), _)) = frames.first() else {
                 // Tier 2 denies NoSyscallCallsite.
                 return esc(R::ArgMismatch);
@@ -496,6 +499,13 @@ impl Prefilter {
                             check_mem_binding(tracee, &shadow, syscall_cs, pos, actual)
                         {
                             return esc(r);
+                        }
+                        // Probe row: the monitor runs its pointee probe
+                        // right here, after the binding checks pass.
+                        if site.ext[i] {
+                            if let Err(r) = probe_pointee(tracee, &shadow, actual) {
+                                return esc(r);
+                            }
                         }
                     }
                     ArgPred::Global { addr, expected } => {
@@ -569,6 +579,98 @@ impl Prefilter {
 
         PrefilterVerdict::Allow
     }
+}
+
+/// The PR-6 fallback flow table: a sensitive nr is *flow-reachable* iff
+/// some syscall site invoking it sits in a function reachable from `main`
+/// through the callsite metadata (indirect callsites fan out to every
+/// address-taken function).
+fn reachable_nrs(md: &ContextMetadata, nrs: &[u32], nr_idx: &BTreeMap<u32, usize>) -> Vec<bool> {
+    let mut edges: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    let taken: Vec<u64> = md
+        .functions
+        .values()
+        .filter(|f| f.address_taken)
+        .map(|f| f.entry)
+        .collect();
+    for cs in md.callsites.values() {
+        let outs = edges.entry(cs.in_func).or_default();
+        match cs.kind {
+            CallsiteKind::Direct(t) => {
+                outs.insert(t);
+            }
+            CallsiteKind::Indirect => {
+                outs.extend(taken.iter().copied());
+            }
+        }
+    }
+    let mut reachable: BTreeSet<u64> = BTreeSet::new();
+    let mut queue = vec![md.main_entry];
+    while let Some(f) = queue.pop() {
+        if !reachable.insert(f) {
+            continue;
+        }
+        if let Some(outs) = edges.get(&f) {
+            queue.extend(outs.iter().copied());
+        }
+    }
+    let mut reach = vec![false; nrs.len()];
+    for (cs_addr, site) in &md.syscall_sites {
+        let in_reach = md
+            .callsites
+            .get(cs_addr)
+            .is_some_and(|c| reachable.contains(&c.in_func));
+        if in_reach {
+            if let Some(&i) = nr_idx.get(&site.nr) {
+                reach[i] = true;
+            }
+        }
+    }
+    reach
+}
+
+/// Tier-1 probe row: mirrors the monitor's extended-pointee verification
+/// (`verify_pointee_shadow`) byte for byte, escalating wherever it would
+/// deny. The bounded window is read with the flat-charged in-address-space
+/// prefix accessor, so a pointee stopping at a page boundary is observed
+/// exactly like the monitor's batched prefix read — page-boundary aware,
+/// never faulting, never denying.
+fn probe_pointee(tracee: &mut Tracee<'_>, shadow: &ShadowTable, ptr: u64) -> Result<(), R> {
+    let mut buf = [0u8; 256];
+    let mapped = tracee.kernel_read_mem_prefix(ptr, &mut buf);
+    let nul = buf[..mapped].iter().position(|&b| b == 0);
+    let (n, nul_found) = (nul.map_or(mapped, |z| z + 1), nul.is_some());
+    obs::observe("prefilter.pointee_probe_len", n as u64);
+    for (i, &byte) in buf[..n].iter().enumerate() {
+        match shadow.read_value_checked(&tracee.shared_shadow(), ptr + i as u64) {
+            Ok(Some((legit, size))) => {
+                // Tier 2 denies PointeeByteCorrupted.
+                if size == 1 && (legit & 0xff) as u8 != byte {
+                    return Err(R::ExtendedArgs);
+                }
+            }
+            Ok(_) => {}
+            Err(_) => return Err(R::ReadFailure),
+        }
+    }
+    // Non-terminated string ending mid-window: tier 2 denies
+    // PointeeRunsOffMapping (real bytes ran off the mapping) — a
+    // deterministic property of tracee memory, so hand it over.
+    if !nul_found && n > 0 && n < buf.len() {
+        return Err(R::ExtendedArgs);
+    }
+    // Nothing readable at all: if any window byte is shadow-backed, tier 2
+    // denies PointeeTailUnverifiable.
+    if !nul_found && n < buf.len() {
+        for i in n..buf.len() {
+            match shadow.read_value_checked(&tracee.shared_shadow(), ptr + i as u64) {
+                Ok(Some(_)) => return Err(R::ExtendedArgs),
+                Ok(None) => {}
+                Err(_) => return Err(R::ReadFailure),
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Mirrors the monitor's `ArgMeta::Mem` direct-argument check: binding →
@@ -645,5 +747,84 @@ fn shadow_mem_current(
         }
         // Tier 2 denies MissingMemBinding.
         Some(Binding::Const(_)) | None => Err(R::ArgMismatch),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bastion_compiler::BastionCompiler;
+    use bastion_ir::build::ModuleBuilder;
+    use bastion_ir::{sysno, Operand, Ty};
+    use bastion_vm::{CostModel, Image, Machine};
+    use std::sync::Arc;
+
+    fn machine() -> Machine {
+        let mut mb = ModuleBuilder::new("fx");
+        let execve = mb.declare_syscall_stub("execve", sysno::EXECVE, 3);
+        let mut f = mb.function("main", &[], Ty::I64);
+        let z = Operand::Imm(0);
+        let _ = f.call_direct(execve, &[z, z, z]);
+        f.ret(Some(z));
+        f.finish();
+        let out = BastionCompiler::new().compile(mb.finish()).unwrap();
+        let image = Arc::new(Image::load(out.module).unwrap());
+        Machine::new(image, CostModel::default())
+    }
+
+    // ---- classify-time mapping-boundary probe (ports the tier-2
+    // `PointeeRunsOffMapping` fixtures to seccomp-classify time) ----
+
+    /// An unterminated string running to the end of its mapping makes the
+    /// probe **escalate** — tier 1 has no deny path by construction (the
+    /// return type is an `EscalateReason`); the monitor then re-observes
+    /// the same deterministic memory and issues the canonical
+    /// `PointeeRunsOffMapping` deny.
+    #[test]
+    fn probe_escalates_never_denies_on_last_byte_unmapped() {
+        let mut m = machine();
+        let base = 0x6100_0000_0000u64;
+        m.mem.map_region(base, 0x1000);
+        let tail = base + 0x1000 - 16;
+        m.mem.write_unchecked(tail, &[b'A'; 16]);
+        let mut charge = 0u64;
+        let mut tracee = Tracee::new(&m, 1, &mut charge);
+        let shadow = ShadowTable::new(tracee.gs_base());
+        assert_eq!(
+            probe_pointee(&mut tracee, &shadow, tail),
+            Err(R::ExtendedArgs)
+        );
+    }
+
+    /// Control: the same placement with a NUL inside the mapping passes
+    /// tier 1, and the bounded window costs exactly one flat
+    /// `prefilter_read` charge (shadow reads are free).
+    #[test]
+    fn probe_passes_terminated_string_at_mapping_edge() {
+        let mut m = machine();
+        let base = 0x6200_0000_0000u64;
+        m.mem.map_region(base, 0x1000);
+        let tail = base + 0x1000 - 16;
+        let mut bytes = [b'A'; 16];
+        bytes[15] = 0;
+        m.mem.write_unchecked(tail, &bytes);
+        let mut charge = 0u64;
+        let mut tracee = Tracee::new(&m, 1, &mut charge);
+        let shadow = ShadowTable::new(tracee.gs_base());
+        assert_eq!(probe_pointee(&mut tracee, &shadow, tail), Ok(()));
+        assert_eq!(charge, CostModel::default().prefilter_read);
+    }
+
+    /// A completely unmapped pointer reads zero bytes; with no
+    /// shadow-backed bytes in the window the probe passes (mirroring the
+    /// monitor, which only denies the empty window when a recorded byte
+    /// escaped verification).
+    #[test]
+    fn probe_mirrors_empty_window_policy() {
+        let m = machine();
+        let mut charge = 0u64;
+        let mut tracee = Tracee::new(&m, 1, &mut charge);
+        let shadow = ShadowTable::new(tracee.gs_base());
+        assert_eq!(probe_pointee(&mut tracee, &shadow, 0x10), Ok(()));
     }
 }

@@ -269,7 +269,11 @@ fn ct_and_cf_disabled_still_catch_with_ai() {
 
 #[test]
 fn monitor_collects_depth_statistics() {
-    let mut s = launch(ContextConfig::full());
+    // Depth statistics come from monitor walks, so measure with tier 1
+    // off — with the prefilter on, every clean trap (including the
+    // extended-pointee execve, since the probe rows landed) is settled at
+    // classify time and nothing walks.
+    let mut s = launch(ContextConfig::full().with_prefilter(false));
     assert_eq!(s.world.run(50_000_000), RunStatus::AllExited);
     assert_eq!(s.world.trap_count, 2);
     assert!(s.world.trace_cycles > 0);
@@ -285,6 +289,39 @@ fn monitor_collects_depth_statistics() {
     assert!((monitor.stats.avg_depth() - 3.0).abs() < 1e-9);
     assert_eq!(monitor.stats.violations(), 0);
     assert!(monitor.stats.init_cycles > 0);
+    assert_eq!(monitor.stats.prefilter_compile_cycles, 0);
+    assert_eq!(
+        monitor.log,
+        vec![(sysno::MMAP, true), (sysno::EXECVE, true)]
+    );
+}
+
+#[test]
+fn clean_traps_all_settle_in_tier_1() {
+    // With the prefilter on, the same clean run produces zero escalations
+    // and zero walks: the mmap trap hits the direct predicates, and the
+    // execve trap — an extended-pointee position — hits its probe row.
+    let mut s = launch(ContextConfig::full());
+    assert_eq!(s.world.run(50_000_000), RunStatus::AllExited);
+    assert_eq!(s.world.trap_count, 2);
+    let tracer = s.world.take_tracer().unwrap();
+    let monitor = tracer
+        .as_any()
+        .downcast_ref::<bastion_monitor::Monitor>()
+        .expect("tracer is the BASTION monitor");
+    assert_eq!(monitor.stats.traps, 2);
+    assert_eq!(monitor.stats.prefilter_checks, 2);
+    assert_eq!(monitor.stats.prefilter_hits, 2);
+    assert_eq!(monitor.stats.prefilter_escalations, 0);
+    assert_eq!(monitor.stats.escalations_by_reason(), vec![]);
+    // Nothing walked: depth statistics stay at their no-walk sentinel.
+    assert_eq!(monitor.stats.frames_walked, 0);
+    assert_eq!(monitor.stats.min_depth, 0);
+    assert_eq!(monitor.stats.violations(), 0);
+    // The one-time tier-1 compile charge is visible separately and folded
+    // into init, not into per-trap cost.
+    assert!(monitor.stats.prefilter_compile_cycles > 0);
+    assert!(monitor.stats.init_cycles > monitor.stats.prefilter_compile_cycles);
     assert_eq!(
         monitor.log,
         vec![(sysno::MMAP, true), (sysno::EXECVE, true)]

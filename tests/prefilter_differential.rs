@@ -166,9 +166,8 @@ fn faultable_app() -> Module {
 /// With a fault schedule installed, tier 1 must never serve a verdict:
 /// every prefilter check escalates with reason `faults_installed`, so all
 /// faults land in the authoritative monitor's fail-closed ladder. One
-/// cell per fault class.
-#[test]
-fn every_injected_fault_cell_escalates_to_tier_2() {
+/// cell per fault class, per sensitive-syscall scope.
+fn assert_fault_cells_escalate(compiler: &BastionCompiler, scope: &str) {
     let kinds: [(&str, FaultKind); 6] = [
         ("mix", FaultKind::Mix),
         ("read-error", FaultKind::ReadError),
@@ -177,8 +176,9 @@ fn every_injected_fault_cell_escalates_to_tier_2() {
         ("shadow-flip", FaultKind::ShadowBitFlip),
         ("stall", FaultKind::Stall { cycles: 120_000 }),
     ];
-    for (label, kind) in kinds {
-        let out = BastionCompiler::new().compile(faultable_app()).unwrap();
+    for (kind_label, kind) in kinds {
+        let label = format!("{scope}/{kind_label}");
+        let out = compiler.compile(faultable_app()).unwrap();
         let image = Arc::new(Image::load(out.module).unwrap());
         let machine = Machine::new(image.clone(), CostModel::default());
         let mut world = World::new(CostModel::default());
@@ -222,6 +222,20 @@ fn every_injected_fault_cell_escalates_to_tier_2() {
             "{label}: wrong escalation reason"
         );
     }
+}
+
+#[test]
+fn every_injected_fault_cell_escalates_to_tier_2() {
+    assert_fault_cells_escalate(&BastionCompiler::new(), "table1");
+}
+
+/// §11.2: growing the sensitive surface (and with it the probe rows) must
+/// not open a tier-1 window under injected faults — the extended-scope
+/// check program escalates every cell exactly like the Table-1 one.
+#[test]
+fn every_injected_fault_cell_escalates_under_extended_scope() {
+    let compiler = BastionCompiler::with_sensitive(bastion::ir::sysno::extended_sensitive_set());
+    assert_fault_cells_escalate(&compiler, "extended");
 }
 
 // ---- differential mode: tier-1 Allow re-proved by tier 2 every trap ----

@@ -77,6 +77,21 @@ pub struct Parked {
     pub conn: Option<ExtConnId>,
 }
 
+/// A warm checkpoint of a deployed [`AttackEnv`]: the world snapshot plus
+/// the attacker-side bookkeeping (image, metadata, scratch cursor, notes).
+/// Produced by [`AttackEnv::checkpoint`], consumed any number of times by
+/// [`AttackEnv::restore`].
+#[derive(Debug)]
+pub struct DeployCheckpoint {
+    snap: bastion_kernel::WorldSnapshot,
+    image: Arc<Image>,
+    metadata: ContextMetadata,
+    victim: Victim,
+    root_pid: Pid,
+    scratch_cursor: u64,
+    notes: std::collections::HashMap<&'static str, u64>,
+}
+
 /// A deployed victim plus attacker primitives.
 pub struct AttackEnv {
     /// The world hosting the victim.
@@ -140,6 +155,38 @@ impl AttackEnv {
             root_pid,
             scratch_cursor: 0,
             notes: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Captures a warm checkpoint of the deployed, booted environment.
+    /// Any number of attack cells can [`AttackEnv::restore`] from it, each
+    /// forking the world copy-on-write instead of recompiling and
+    /// rebooting the victim. Taken after `deploy`'s boot run, so the
+    /// checkpoint sits at a deterministic trap index and a restored cell
+    /// replays a cold deploy bit-for-bit.
+    pub fn checkpoint(&mut self) -> DeployCheckpoint {
+        DeployCheckpoint {
+            snap: self.world.snapshot(),
+            image: self.image.clone(),
+            metadata: self.metadata.clone(),
+            victim: self.victim,
+            root_pid: self.root_pid,
+            scratch_cursor: self.scratch_cursor,
+            notes: self.notes.clone(),
+        }
+    }
+
+    /// Forks a fresh environment from a warm checkpoint (the cell-level
+    /// dual of a cold [`AttackEnv::deploy`]).
+    pub fn restore(ck: &DeployCheckpoint) -> AttackEnv {
+        AttackEnv {
+            world: World::restore(&ck.snap),
+            image: ck.image.clone(),
+            metadata: ck.metadata.clone(),
+            victim: ck.victim,
+            root_pid: ck.root_pid,
+            scratch_cursor: ck.scratch_cursor,
+            notes: ck.notes.clone(),
         }
     }
 

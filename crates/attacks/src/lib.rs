@@ -22,12 +22,14 @@
 
 pub mod catalog;
 pub mod env;
+pub mod generate;
 pub mod scenario;
 pub mod table6;
 pub mod victim;
 
 pub use catalog::catalog;
 pub use env::{AttackEnv, Defense, RunOutcome};
+pub use generate::{AttackProgram, GenReport, Generator, Verdict};
 pub use scenario::{Category, Expected, Scenario};
 pub use table6::{evaluate, evaluate_all, render, ScenarioResult};
 pub use victim::Victim;

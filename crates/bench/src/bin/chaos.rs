@@ -16,8 +16,10 @@
 use bastion::fleet;
 
 fn main() {
-    let jobs = std::env::args()
-        .skip(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cold = args.iter().any(|a| a == "--cold");
+    let jobs = args
+        .iter()
         .find_map(|a| {
             a.strip_prefix("--jobs=")
                 .map(str::to_string)
@@ -33,10 +35,11 @@ fn main() {
         });
 
     eprintln!(
-        "replaying 32 attacks x 6 fault classes x {} seeds on {jobs} worker(s) (this takes a minute)...",
-        fleet::ATTACK_SEEDS.len()
+        "replaying 32 attacks x 7 fault classes x {} seeds on {jobs} worker(s), {} cells...",
+        fleet::ATTACK_SEEDS.len(),
+        if cold { "cold-deployed" } else { "warm-forked" }
     );
-    let outcome = fleet::chaos_matrix(jobs, fleet::ATTACK_SEEDS, None);
+    let outcome = fleet::chaos_matrix_mode(jobs, fleet::ATTACK_SEEDS, None, cold);
     print!("{}", outcome.report);
 
     if outcome.faults_fired == 0 {

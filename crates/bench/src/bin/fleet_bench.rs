@@ -42,6 +42,22 @@ fn default_ladder(ap: usize) -> Vec<usize> {
     ladder
 }
 
+/// Warm-forked checkpoint cells vs cold per-cell re-deploys, measured at
+/// the widest ladder entry within the host's core count — an
+/// oversubscribed entry would charge scheduler churn to the checkpoint
+/// (DESIGN.md §6i's headline number).
+#[derive(Debug, Serialize)]
+struct SnapshotRow {
+    jobs: usize,
+    warm_secs: f64,
+    cold_secs: f64,
+    /// Cold wall time over warm wall time (the checkpoint payoff; the PR
+    /// gate is ≥3x).
+    warm_speedup: f64,
+    /// The cold report matched the warm report byte-for-byte.
+    byte_identical: bool,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     bench: String,
@@ -53,6 +69,7 @@ struct Report {
     /// sha-agnostic determinism gate: every ladder entry byte-matched.
     all_byte_identical: bool,
     rows: Vec<ScalingRow>,
+    snapshot: SnapshotRow,
 }
 
 fn main() {
@@ -123,15 +140,42 @@ fn main() {
         });
     }
 
+    // Warm vs cold: the ladder above runs warm-forked (the default); one
+    // extra cold run at the widest non-oversubscribed worker count prices
+    // the checkpoint.
+    let wide_row = rows
+        .iter()
+        .rfind(|r| !r.oversubscribed)
+        .expect("ladder starts at the serial run");
+    let (wide, warm_wide) = (wide_row.jobs, wide_row.wall_secs);
+    eprintln!("chaos matrix, jobs={wide}, cold cells...");
+    let t0 = Instant::now();
+    let cold = fleet::chaos_matrix_mode(wide, seeds, None, true);
+    let cold_secs = t0.elapsed().as_secs_f64();
+    let cold_identical = cold.report == serial_report;
+    assert!(cold_identical, "cold report diverged from the warm run");
+    let warm_speedup = cold_secs / warm_wide.max(1e-9);
+    eprintln!(
+        "  cold {cold_secs:.2}s vs warm {warm_wide:.2}s ({warm_speedup:.2}x), byte-identical"
+    );
+    let snapshot = SnapshotRow {
+        jobs: wide,
+        warm_secs: warm_wide,
+        cold_secs,
+        warm_speedup,
+        byte_identical: cold_identical,
+    };
+
     let report = Report {
         bench: "fleet".to_string(),
         scenarios,
         seeds: seeds.len(),
-        fault_classes: 6,
+        fault_classes: 7,
         benign_apps: fleet::BENIGN_SEEDS.len(),
         available_parallelism: ap,
         all_byte_identical: rows.iter().all(|r| r.byte_identical),
         rows,
+        snapshot,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("write report");

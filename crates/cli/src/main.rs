@@ -30,6 +30,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(rest),
         "stats" => cmd_stats(rest),
         "attack" => cmd_attack(rest),
+        "chaos" => cmd_chaos(rest),
         "fleet" => cmd_fleet(rest),
         "inspect" => cmd_inspect(rest),
         "help" | "--help" | "-h" => {
@@ -75,7 +76,12 @@ USAGE:
     bastion attack [ID]
         Run the Table 6 security evaluation (one scenario or all 32).
 
-    bastion fleet [--jobs=N] [--only=chaos|table6|bench]
+    bastion chaos [--jobs=N] [--cold]
+        Run the chaos matrix alone. Cells fork warm from a copy-on-write
+        world checkpoint by default; --cold forces a full re-deploy per
+        cell. The rendered report is byte-identical either way.
+
+    bastion fleet [--jobs=N] [--only=chaos|table6|bench] [--cold]
         Run the evaluation surfaces — chaos matrix, Table 6, app
         benchmarks — sharded over N worker threads (default: one per
         core). The report is byte-identical for any N.
@@ -286,6 +292,10 @@ fn print_monitor_stats(stats: &bastion::monitor::MonitorStats) {
         stats.mode_transitions
     );
     println!(
+        "  memory:               resident_pages={} snapshot_shared_pages={}",
+        stats.resident_pages, stats.snapshot_shared_pages
+    );
+    println!(
         "  prefilter:            checks={} hits={} escalations={} hit_rate={:.1}%",
         stats.prefilter_checks,
         stats.prefilter_hits,
@@ -443,6 +453,43 @@ fn cmd_attack(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Shared chaos-matrix driver for `bastion chaos` and the fleet's chaos
+/// section: runs the matrix, prints the report, and collects gate
+/// failures.
+fn run_chaos_section(jobs: usize, cold: bool, failures: &mut Vec<String>) {
+    use bastion::fleet;
+    let outcome = fleet::chaos_matrix_mode(jobs, fleet::ATTACK_SEEDS, None, cold);
+    print!("{}", outcome.report);
+    if outcome.faults_fired == 0 {
+        failures.push("chaos matrix never injected a fault".into());
+    }
+    if outcome.flipped > 0 {
+        failures.push(format!(
+            "{} attack(s) flipped to Allow under faults",
+            outcome.flipped
+        ));
+    }
+}
+
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    use bastion::fleet;
+    let (_, flags) = split_flags(args);
+    let jobs = match flag_value(&flags, "jobs") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--jobs={v}: not a positive integer"))?,
+        None => fleet::default_jobs(),
+    };
+    let cold = flags.contains(&"--cold");
+    let mut failures: Vec<String> = Vec::new();
+    run_chaos_section(jobs, cold, &mut failures);
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
 fn cmd_fleet(args: &[String]) -> Result<(), String> {
     use bastion::fleet;
     let (_, flags) = split_flags(args);
@@ -452,23 +499,14 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
             .map_err(|_| format!("--jobs={v}: not a positive integer"))?,
         None => fleet::default_jobs(),
     };
+    let cold = flags.contains(&"--cold");
     let only = flag_value(&flags, "only");
     let want = |section: &str| only.is_none_or(|o| o == section);
     let mut failures: Vec<String> = Vec::new();
 
     if want("chaos") {
         println!("== chaos matrix ==");
-        let outcome = fleet::chaos_matrix(jobs, fleet::ATTACK_SEEDS, None);
-        print!("{}", outcome.report);
-        if outcome.faults_fired == 0 {
-            failures.push("chaos matrix never injected a fault".into());
-        }
-        if outcome.flipped > 0 {
-            failures.push(format!(
-                "{} attack(s) flipped to Allow under faults",
-                outcome.flipped
-            ));
-        }
+        run_chaos_section(jobs, cold, &mut failures);
         println!();
     }
     if want("table6") {

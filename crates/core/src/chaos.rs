@@ -20,6 +20,16 @@
 //! set-up, priming requests) stays fault-free, which keeps the attack
 //! payload itself deliverable — the faults hit the *verification* of the
 //! malicious syscall, the worst case for the monitor.
+//!
+//! Both drivers fork their cells from a warm copy-on-write checkpoint
+//! ([`bastion_kernel::World::snapshot`]) taken right after the fault-free
+//! boot, instead of recompiling and rebooting the victim per cell; a
+//! `cold` flag forces the full replay, and reports are byte-identical
+//! either way (CI gates the diff). The schedule families cover the
+//! monitor-substrate faults (DESIGN.md §6d) plus the `app-flip` family:
+//! SFP-style bit flips in the *application's* registers, stack frames and
+//! shadow-bound locals at trap entry, which the monitor must survive
+//! without ever approving corrupted state.
 
 use bastion_apps::App;
 use bastion_attacks::env::{AttackEnv, RunOutcome};
@@ -42,10 +52,16 @@ pub fn monitor_stats(world: &mut World) -> Option<MonitorStats> {
 /// attached. The deny records join against the world's fault log via
 /// `DenyRecord::trap_seq` == `InjectedFault::world_trap`.
 pub fn monitor_report(world: &mut World) -> Option<(MonitorStats, Vec<DenyRecord>)> {
+    let (resident, shared) = world.page_stats();
     world.take_tracer().and_then(|t| {
         t.as_any()
             .downcast_ref::<bastion_monitor::Monitor>()
-            .map(|m| (m.stats.clone(), m.deny_log.clone()))
+            .map(|m| {
+                let mut stats = m.stats.clone();
+                stats.resident_pages = resident;
+                stats.snapshot_shared_pages = shared;
+                (stats, m.deny_log.clone())
+            })
     })
 }
 
@@ -66,6 +82,32 @@ pub struct BenignChaosReport {
     pub stats: Option<MonitorStats>,
 }
 
+/// Boots `app` under `cfg` to the point where the server listens (boot is
+/// always fault-free: the chaos clock starts afterwards).
+///
+/// # Panics
+/// Panics only if the application fails to compile or boot *without*
+/// faults (shipped apps are tested to do both).
+fn deploy_benign(app: App, cfg: ContextConfig) -> World {
+    let compiler = bastion_compiler::BastionCompiler::new();
+    let module = app.module().expect("app compiles");
+    let out = compiler.compile(module).expect("instrumentation succeeds");
+    let image = std::sync::Arc::new(bastion_vm::Image::load(out.module).expect("image loads"));
+    let cost = bastion_vm::CostModel::default();
+    let mut world = World::new(cost);
+    app.setup_vfs(&mut world);
+    let machine = bastion_vm::Machine::new(image.clone(), cost);
+    let pid = world.spawn(machine);
+    bastion_monitor::protect(&mut world, pid, &image, &out.metadata, cfg);
+    world.run(1_000_000_000);
+    assert!(
+        world.alive_count() > 0,
+        "{} died during clean boot",
+        app.id()
+    );
+    world
+}
+
 /// Boots `app` under `cfg`, installs `schedule` *after* a clean boot, and
 /// drives `requests` lenient requests. Never panics on a dead or
 /// degraded server — that is the outcome being measured.
@@ -79,24 +121,60 @@ pub fn benign_chaos(
     schedule: FaultSchedule,
     requests: u64,
 ) -> BenignChaosReport {
-    let compiler = bastion_compiler::BastionCompiler::new();
-    let module = app.module().expect("app compiles");
-    let out = compiler.compile(module).expect("instrumentation succeeds");
-    let image = std::sync::Arc::new(bastion_vm::Image::load(out.module).expect("image loads"));
-    let cost = bastion_vm::CostModel::default();
-    let mut world = World::new(cost);
-    app.setup_vfs(&mut world);
-    let machine = bastion_vm::Machine::new(image.clone(), cost);
-    let pid = world.spawn(machine);
-    bastion_monitor::protect(&mut world, pid, &image, &out.metadata, cfg);
+    drive_benign(deploy_benign(app, cfg), app, schedule, requests)
+}
 
-    // Boot is fault-free: the chaos clock starts once the server listens.
-    world.run(1_000_000_000);
-    assert!(
-        world.alive_count() > 0,
-        "{} died during clean boot",
-        app.id()
-    );
+/// Runs the benign half's full schedule family for one app: one fault-free
+/// deploy, then one cell per [`benign_schedules`] entry. Warm cells fork
+/// the booted world from a copy-on-write checkpoint; `cold` forces a full
+/// re-deploy per cell (byte-identical reports either way).
+pub fn benign_chaos_suite(
+    app: App,
+    cfg: ContextConfig,
+    seed: u64,
+    requests: u64,
+    cold: bool,
+) -> Vec<(&'static str, BenignChaosReport)> {
+    let mut checkpoint = (!cold).then(|| deploy_benign(app, cfg).snapshot());
+    benign_schedules(seed)
+        .into_iter()
+        .map(|(label, schedule)| {
+            let world = match &mut checkpoint {
+                Some(ck) => World::restore(ck),
+                None => deploy_benign(app, cfg),
+            };
+            (label, drive_benign(world, app, schedule, requests))
+        })
+        .collect()
+}
+
+/// The benign half's schedule families: the sparse substrate chaos mix
+/// plus the app-state flip family (the SFP dual — one bit of the app's
+/// own state flips at every monitor trap).
+pub fn benign_schedules(seed: u64) -> Vec<(&'static str, FaultSchedule)> {
+    vec![
+        ("mix", FaultSchedule::chaos(seed, 7)),
+        (
+            "app-flip",
+            FaultSchedule::new(seed).with(
+                FaultKind::AppStateFlip,
+                Trigger::TrapRange {
+                    from: 1,
+                    to: u64::MAX,
+                },
+            ),
+        ),
+    ]
+}
+
+/// Drives `requests` lenient requests against a booted world, with
+/// `schedule` installed before the first request.
+fn drive_benign(
+    mut world: World,
+    app: App,
+    schedule: FaultSchedule,
+    requests: u64,
+) -> BenignChaosReport {
     world.install_faults(schedule);
 
     let request: &[u8] = match app {
@@ -237,13 +315,23 @@ struct AttackRun {
 }
 
 /// Runs `scenario` under `cfg` with an optional fault schedule installed
-/// right after boot.
+/// right after boot (one cold deploy per call).
 fn run_attack(
     scenario: &Scenario,
     cfg: ContextConfig,
     schedule: Option<FaultSchedule>,
 ) -> AttackRun {
-    let mut env = AttackEnv::deploy(scenario.victim, Some(cfg), scenario.extended_set, false);
+    let env = AttackEnv::deploy(scenario.victim, Some(cfg), scenario.extended_set, false);
+    run_attack_in(scenario, env, schedule)
+}
+
+/// Stages and settles `scenario` against an already-deployed environment
+/// — freshly booted or warm-forked from a [`bastion_attacks::env::DeployCheckpoint`].
+fn run_attack_in(
+    scenario: &Scenario,
+    mut env: AttackEnv,
+    schedule: Option<FaultSchedule>,
+) -> AttackRun {
     // Install even for calibration: an empty schedule injects nothing but
     // counts traps, pinning the window for the chaos replay.
     env.world
@@ -303,21 +391,45 @@ pub fn chaos_schedules(seed: u64, clean_traps: u64) -> Vec<(&'static str, FaultS
         ("frame-corrupt", window(FaultKind::FrameCorrupt)),
         ("shadow-flip", window(FaultKind::ShadowBitFlip)),
         ("stall", window(FaultKind::Stall { cycles: 120_000 })),
+        ("app-flip", window(FaultKind::AppStateFlip)),
     ]
 }
 
-/// Runs the full chaos matrix for one scenario: calibrates once, then
-/// replays under every schedule in [`chaos_schedules`] for every seed.
+/// Runs the full chaos matrix for one scenario, warm-forked: one cold
+/// deploy, then calibration and every `seeds` × [`chaos_schedules`] cell
+/// restores from the copy-on-write checkpoint. See [`attack_chaos_mode`]
+/// for the cold variant (byte-identical reports, one deploy per cell).
 pub fn attack_chaos(
     scenario: &Scenario,
     cfg: ContextConfig,
     seeds: &[u64],
 ) -> Vec<AttackChaosReport> {
-    let clean_traps = calibrate(scenario, cfg);
+    attack_chaos_mode(scenario, cfg, seeds, false)
+}
+
+/// [`attack_chaos`] with an explicit replay mode: `cold` re-deploys the
+/// victim for every cell (the pre-checkpoint behaviour), warm forks every
+/// cell from one post-boot checkpoint. Reports are byte-identical across
+/// modes — worlds are deterministic and the checkpoint is taken exactly
+/// where a cold deploy hands the world to the cell — which CI gates.
+pub fn attack_chaos_mode(
+    scenario: &Scenario,
+    cfg: ContextConfig,
+    seeds: &[u64],
+    cold: bool,
+) -> Vec<AttackChaosReport> {
+    let checkpoint = (!cold).then(|| {
+        AttackEnv::deploy(scenario.victim, Some(cfg), scenario.extended_set, false).checkpoint()
+    });
+    let cell = |schedule: Option<FaultSchedule>| match &checkpoint {
+        Some(ck) => run_attack_in(scenario, AttackEnv::restore(ck), schedule),
+        None => run_attack(scenario, cfg, schedule),
+    };
+    let clean_traps = cell(None).traps;
     let mut reports = Vec::new();
     for &seed in seeds {
         for (label, schedule) in chaos_schedules(seed, clean_traps) {
-            let run = run_attack(scenario, cfg, Some(schedule));
+            let run = cell(Some(schedule));
             reports.push(AttackChaosReport {
                 id: scenario.id,
                 name: scenario.name.clone(),

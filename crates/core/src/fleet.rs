@@ -27,13 +27,13 @@
 //! Wall-clock numbers (and only those) vary run to run; nothing derived
 //! from them enters a fleet report.
 
-use crate::chaos::{attack_chaos, benign_chaos, AttackChaosReport, BenignChaosReport};
+use crate::chaos::{attack_chaos_mode, benign_chaos_suite, AttackChaosReport, BenignChaosReport};
 use crate::harness::{run_app_benchmark, AppBenchmark, WorkloadSize};
 use crate::Protection;
 use bastion_apps::App;
-use bastion_attacks::{catalog, evaluate, Scenario, ScenarioResult};
+use bastion_attacks::{catalog, evaluate, generate, Scenario, ScenarioResult};
 use bastion_compiler::BastionCompiler;
-use bastion_kernel::{FaultSchedule, LegacyInterpGuard, Tracer, World};
+use bastion_kernel::{LegacyInterpGuard, Tracer, World};
 use bastion_monitor::{ContextConfig, Monitor};
 use bastion_obs as obs;
 use bastion_vm::CostModel;
@@ -193,19 +193,37 @@ pub struct ChaosMatrixOutcome {
     pub deny_total: u64,
     /// Fault→deny provenance joins observed.
     pub join_total: u64,
+    /// Generated attack programs whose malicious effect landed under full
+    /// protection (must be 0; counted into `flipped` as well).
+    pub generated_flipped: u32,
 }
 
-/// Runs the full chaos matrix — benign degradation for the three apps plus
-/// every catalog attack replayed under each fault class and seed — sharded
-/// over `jobs` workers, and renders the canonical report. `filter` limits
-/// the attack half to the given scenario ids (tests use a small subset).
+/// Runs the full chaos matrix with warm copy-on-write cell forking (see
+/// [`chaos_matrix_mode`]).
 pub fn chaos_matrix(jobs: usize, seeds: &[u64], filter: Option<&[u32]>) -> ChaosMatrixOutcome {
+    chaos_matrix_mode(jobs, seeds, filter, false)
+}
+
+/// Runs the full chaos matrix — benign degradation for the three apps
+/// under each schedule family, every catalog attack replayed under each
+/// fault class and seed, plus the generated adversarial-program corpus —
+/// sharded over `jobs` workers, and renders the canonical report.
+/// `filter` limits the attack half to the given scenario ids (tests use a
+/// small subset). `cold` forces every cell to re-deploy from scratch
+/// instead of forking the warmed checkpoint; the rendered report is
+/// byte-identical either way (that identity is CI-gated).
+pub fn chaos_matrix_mode(
+    jobs: usize,
+    seeds: &[u64],
+    filter: Option<&[u32]>,
+    cold: bool,
+) -> ChaosMatrixOutcome {
     use std::fmt::Write as _;
 
-    let benign: Vec<BenignChaosReport> =
+    let benign: Vec<Vec<(&'static str, BenignChaosReport)>> =
         run_ordered(jobs, BENIGN_SEEDS.to_vec(), |_, &(app, seed)| {
             let _interp = LegacyInterpGuard::set(false);
-            benign_chaos(app, ContextConfig::full(), FaultSchedule::chaos(seed, 7), 6)
+            benign_chaos_suite(app, ContextConfig::full(), seed, 6, cold)
         });
 
     let scenarios: Vec<Scenario> = catalog()
@@ -214,34 +232,44 @@ pub fn chaos_matrix(jobs: usize, seeds: &[u64], filter: Option<&[u32]>) -> Chaos
         .collect();
     let per_scenario: Vec<Vec<AttackChaosReport>> = run_ordered(jobs, scenarios, |_, scenario| {
         let _interp = LegacyInterpGuard::set(false);
-        attack_chaos(scenario, ContextConfig::full(), seeds)
+        attack_chaos_mode(scenario, ContextConfig::full(), seeds, cold)
     });
+
+    let corpus = generate::corpus();
+    let generated: Vec<(&'static str, &'static str, generate::GenReport)> =
+        run_ordered(jobs, corpus, |_, &(family, expect, source)| {
+            let _interp = LegacyInterpGuard::set(false);
+            (family, expect, generate::run_protected(source))
+        });
 
     // ---- ordered aggregation: everything below is scheduling-blind ----
     let mut out = String::new();
     let w = &mut out;
     let _ = writeln!(
         w,
-        "benign chaos (Mix fault every 7th substrate access, 6 requests)"
+        "benign chaos (per-app schedule families, 6 requests each)"
     );
     let _ = writeln!(
         w,
-        "{:<10} {:>6} {:>9} {:>7} {:>8} {:>8}  mode",
-        "app", "served", "attempted", "faults", "strikes", "survived"
+        "{:<10} {:<9} {:>6} {:>9} {:>7} {:>8} {:>8}  mode",
+        "app", "schedule", "served", "attempted", "faults", "strikes", "survived"
     );
-    for r in &benign {
-        let stats = r.stats.as_ref().expect("monitor attached");
-        let _ = writeln!(
-            w,
-            "{:<10} {:>6} {:>9} {:>7} {:>8} {:>8}  {:?}",
-            r.app.id(),
-            r.served,
-            r.attempted,
-            r.faults_fired,
-            stats.substrate_strikes,
-            r.survived,
-            stats.mode
-        );
+    for suite in &benign {
+        for (label, r) in suite {
+            let stats = r.stats.as_ref().expect("monitor attached");
+            let _ = writeln!(
+                w,
+                "{:<10} {:<9} {:>6} {:>9} {:>7} {:>8} {:>8}  {:?}",
+                r.app.id(),
+                label,
+                r.served,
+                r.attempted,
+                r.faults_fired,
+                stats.substrate_strikes,
+                r.survived,
+                stats.mode
+            );
+        }
     }
 
     let _ = writeln!(
@@ -301,12 +329,50 @@ pub fn chaos_matrix(jobs: usize, seeds: &[u64], filter: Option<&[u32]>) -> Chaos
         );
     }
 
+    let _ = writeln!(
+        w,
+        "\ngenerated attack corpus ({} programs, one per deny-rule family)",
+        generated.len()
+    );
+    let _ = writeln!(
+        w,
+        "{:<20} {:<28} {:<28}  outcome",
+        "family", "expected", "observed"
+    );
+    let mut generated_flipped = 0u32;
+    for (family, expect, rep) in &generated {
+        let observed = rep.verdict.key();
+        let ok = !rep.flipped_to_allow() && observed == *expect;
+        let _ = writeln!(
+            w,
+            "{:<20} {:<28} {:<28}  {}",
+            family,
+            expect,
+            observed,
+            if rep.flipped_to_allow() {
+                "FLIPPED-TO-ALLOW"
+            } else if ok {
+                "denied"
+            } else {
+                "off-family"
+            }
+        );
+        if rep.flipped_to_allow() {
+            generated_flipped += 1;
+            flipped += 1;
+        }
+    }
+    if generated_flipped == 0 && !generated.is_empty() {
+        let _ = writeln!(w, "all generated programs stopped (zero flips to Allow)");
+    }
+
     ChaosMatrixOutcome {
         report: out,
         flipped,
         faults_fired,
         deny_total,
         join_total,
+        generated_flipped,
     }
 }
 

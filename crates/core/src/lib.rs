@@ -52,7 +52,10 @@ pub mod fleet;
 pub mod harness;
 pub mod protection;
 
-pub use chaos::{attack_chaos, benign_chaos, AttackChaosReport, BenignChaosReport};
+pub use chaos::{
+    attack_chaos, attack_chaos_mode, benign_chaos, benign_chaos_suite, AttackChaosReport,
+    BenignChaosReport,
+};
 pub use fleet::{run_ordered, run_ordered_traced, ChaosMatrixOutcome, FleetTelemetry};
 pub use harness::{run_app_benchmark, run_extended_scope_pair, AppBenchmark, WorkloadSize};
 pub use protection::Protection;

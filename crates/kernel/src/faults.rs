@@ -23,6 +23,11 @@
 //!   mapping as the monitor reads it;
 //! * [`FaultKind::Stall`] — the access takes far longer than modeled
 //!   (scheduling delay / contention), charged as extra virtual cycles.
+//! * [`FaultKind::AppStateFlip`] — the dual family: a bit flips in the
+//!   *application's* state (a frame register, a stack word, a shadow-bound
+//!   local) at trap entry, before the monitor looks at anything. SFP-style:
+//!   the app is the faulty component and the monitor must either observe a
+//!   benign run or deny/escalate — never approve corrupted state.
 
 /// Which substrate access a fault applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +42,10 @@ pub enum AccessClass {
     ReadPrefix,
     /// A load from the shared shadow mapping.
     Shadow,
+    /// Not a substrate access at all: a trap-entry mutation of the app's
+    /// own registers/stack/shadow-bound locals (see
+    /// [`FaultKind::AppStateFlip`]).
+    AppState,
 }
 
 impl AccessClass {
@@ -48,6 +57,7 @@ impl AccessClass {
             AccessClass::ReadFrame => "read_frame",
             AccessClass::ReadPrefix => "read_prefix",
             AccessClass::Shadow => "shadow",
+            AccessClass::AppState => "app_state",
         }
     }
 }
@@ -72,6 +82,13 @@ pub enum FaultKind {
         /// Extra virtual cycles charged to the trap.
         cycles: u64,
     },
+    /// One seeded bit flips in the *app's* state at trap entry: a live
+    /// frame register, a word of the current stack frame, or a word of the
+    /// shadow region. Fires through [`FaultInjector::app_state_flips`]
+    /// (trap-scoped triggers only), never through the per-access path, so
+    /// adding an app-state rule leaves every substrate access index
+    /// untouched.
+    AppStateFlip,
     /// A seeded mix: each firing picks one of the above kinds applicable
     /// to the access class from the schedule's random stream.
     Mix,
@@ -91,7 +108,10 @@ impl FaultKind {
             ),
             FaultKind::FrameCorrupt => class == AccessClass::ReadFrame,
             FaultKind::ShadowBitFlip => class == AccessClass::Shadow,
-            FaultKind::Mix => true,
+            // App-state flips are trap-entry events, not substrate-access
+            // mutations; they never match on the per-access path.
+            FaultKind::AppStateFlip => false,
+            FaultKind::Mix => class != AccessClass::AppState,
         }
     }
 }
@@ -235,8 +255,9 @@ pub enum FaultAction {
 
 /// Replays a [`FaultSchedule`] against a run. Deterministic: the random
 /// stream advances only when a fault fires, so identical runs see identical
-/// faults.
-#[derive(Debug)]
+/// faults. `Clone` so a [`crate::World`] snapshot can capture mid-schedule
+/// injector state.
+#[derive(Debug, Clone)]
 pub struct FaultInjector {
     schedule: FaultSchedule,
     rng: u64,
@@ -315,6 +336,41 @@ impl FaultInjector {
         Some(action)
     }
 
+    /// Trap-entry hook for the app-state fault family. Called by the world
+    /// once per monitor trap, right after [`FaultInjector::begin_trap`] and
+    /// before the tracer sees the stop. Returns one `(a, b)` draw pair per
+    /// `AppStateFlip` rule whose trap-scoped trigger matches this trap; the
+    /// world spends the draws on [`bastion_vm::Machine::chaos_flip`].
+    /// Deliberately leaves the access counter untouched, so installing an
+    /// app-state rule never shifts the access indices substrate rules key
+    /// on. Only [`Trigger::OnTrap`]/[`Trigger::TrapRange`] fire this family.
+    pub fn app_state_flips(&mut self) -> Vec<(u64, u64)> {
+        let trap = self.traps;
+        let n = self
+            .schedule
+            .specs
+            .iter()
+            .filter(|s| {
+                s.kind == FaultKind::AppStateFlip
+                    && matches!(s.trigger, Trigger::OnTrap(_) | Trigger::TrapRange { .. })
+                    && s.trigger.matches(0, trap)
+            })
+            .count();
+        (0..n)
+            .map(|_| {
+                let draws = (self.next_rand(), self.next_rand());
+                self.log.push(InjectedFault {
+                    access: self.accesses,
+                    trap,
+                    world_trap: self.world_trap,
+                    class: AccessClass::AppState,
+                    kind: FaultKind::AppStateFlip,
+                });
+                draws
+            })
+            .collect()
+    }
+
     /// Resolves [`FaultKind::Mix`] into a concrete kind applicable to
     /// `class` using the seeded stream.
     fn resolve(&mut self, kind: FaultKind, class: AccessClass) -> FaultKind {
@@ -345,6 +401,9 @@ impl FaultInjector {
                 2 => FaultKind::FrameCorrupt,
                 _ => stall,
             },
+            // `applies` rejects Mix on AppState, so this arm is never hit;
+            // it exists only for match exhaustiveness.
+            AccessClass::AppState => FaultKind::AppStateFlip,
         }
     }
 
@@ -377,6 +436,8 @@ impl FaultInjector {
                 })
             }
             FaultKind::Stall { cycles } => Some(FaultAction::Stall { cycles }),
+            // App-state flips fire through `app_state_flips`, never here.
+            FaultKind::AppStateFlip => None,
             FaultKind::Mix => unreachable!("Mix resolved before action_for"),
         }
     }
@@ -471,6 +532,72 @@ mod tests {
                 other => panic!("expected FlipBit, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn app_state_flips_fire_per_trap_without_touching_access_indices() {
+        let s = FaultSchedule::new(11)
+            .with(
+                FaultKind::AppStateFlip,
+                Trigger::TrapRange { from: 2, to: 3 },
+            )
+            .with(FaultKind::ReadError, Trigger::OnAccess(2));
+        let mut inj = FaultInjector::new(s);
+        inj.begin_trap(10);
+        assert!(inj.app_state_flips().is_empty());
+        inj.begin_trap(11);
+        let flips = inj.app_state_flips();
+        assert_eq!(flips.len(), 1);
+        // The per-access stream is unperturbed: access #2 still errors.
+        assert!(inj.on_access(AccessClass::ReadMem, 8).is_none());
+        assert!(inj.on_access(AccessClass::ReadMem, 8).is_some());
+        inj.begin_trap(12);
+        assert_eq!(inj.app_state_flips().len(), 1);
+        inj.begin_trap(13);
+        assert!(inj.app_state_flips().is_empty());
+        // Every firing is logged with the app_state class for provenance.
+        let app = |f: &&InjectedFault| f.class == AccessClass::AppState;
+        assert_eq!(inj.log().iter().filter(app).count(), 2);
+        assert_eq!(inj.log().iter().find(app).unwrap().world_trap, 11);
+    }
+
+    #[test]
+    fn app_state_rules_never_fire_on_substrate_accesses() {
+        let s = FaultSchedule::new(13).with(FaultKind::AppStateFlip, Trigger::FromAccess(1));
+        let mut inj = FaultInjector::new(s);
+        inj.begin_trap(1);
+        for class in [
+            AccessClass::GetRegs,
+            AccessClass::ReadMem,
+            AccessClass::ReadFrame,
+            AccessClass::ReadPrefix,
+            AccessClass::Shadow,
+        ] {
+            assert!(inj.on_access(class, 16).is_none());
+        }
+        // And an access-scoped trigger never reaches the trap hook either.
+        assert!(inj.app_state_flips().is_empty());
+    }
+
+    #[test]
+    fn cloned_injector_replays_identically() {
+        let s = FaultSchedule::chaos(21, 2).with(
+            FaultKind::AppStateFlip,
+            Trigger::TrapRange { from: 1, to: 8 },
+        );
+        let mut a = FaultInjector::new(s);
+        a.begin_trap(1);
+        a.app_state_flips();
+        a.on_access(AccessClass::ReadMem, 32);
+        let mut b = a.clone();
+        a.begin_trap(2);
+        b.begin_trap(2);
+        assert_eq!(a.app_state_flips(), b.app_state_flips());
+        assert_eq!(
+            drain(&mut a, AccessClass::ReadFrame, 8),
+            drain(&mut b, AccessClass::ReadFrame, 8)
+        );
+        assert_eq!(a.log(), b.log());
     }
 
     #[test]

@@ -43,4 +43,5 @@ pub use seccomp::{SeccompAction, SeccompFilter};
 pub use trace::{EscalateReason, PrefilterVerdict, Regs, TraceVerdict, Tracee, Tracer};
 pub use world::{
     set_thread_legacy_interp, thread_legacy_interp, ExtConnId, LegacyInterpGuard, RunStatus, World,
+    WorldSnapshot,
 };

@@ -162,8 +162,10 @@ impl FdTable {
     }
 }
 
-/// One simulated process.
-#[derive(Debug)]
+/// One simulated process. `Clone` is the world-snapshot path: the machine's
+/// memory clones copy-on-write (page table of shared `Arc` pages), and the
+/// seccomp filter stays shared behind its `Arc`.
+#[derive(Debug, Clone)]
 pub struct Process {
     /// Process id.
     pub pid: Pid,

@@ -73,8 +73,10 @@ pub enum SysOutcome {
     Fork,
 }
 
-/// Shared kernel state.
-#[derive(Debug)]
+/// Shared kernel state. `Clone` is the world-snapshot path: VFS, network
+/// namespace, open-file table, logs, and the seeded RNG are all captured so
+/// a restored world replays syscalls bit-identically.
+#[derive(Debug, Clone)]
 pub struct Kernel {
     /// The filesystem.
     pub vfs: Vfs,

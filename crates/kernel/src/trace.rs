@@ -504,6 +504,16 @@ pub trait Tracer: std::any::Any + Send {
     /// Downcast support so harnesses can recover concrete monitor
     /// statistics after a run.
     fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Deep-copies the tracer for [`crate::World::snapshot`]. The default
+    /// returns `None`, meaning the tracer does not support checkpointing;
+    /// snapshotting a world with such a tracer attached panics. The BASTION
+    /// monitor overrides this with a structural clone (stats, deny log,
+    /// caches, prefilter per-pid state), so a restored world resumes
+    /// verification exactly where the checkpoint left it.
+    fn snapshot_box(&self) -> Option<Box<dyn Tracer>> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -366,7 +366,20 @@ impl World {
                         // Tier 2: the authoritative monitor stop.
                         self.trace_cycles += self.kernel.cost.ptrace_stop;
                         if let Some(f) = &self.faults {
-                            f.borrow_mut().begin_trap(self.trap_count);
+                            let flips = {
+                                let mut inj = f.borrow_mut();
+                                inj.begin_trap(self.trap_count);
+                                // App-state fault family: flip bits in the
+                                // *app's* registers/stack/shadow locals at
+                                // trap entry, before the monitor fetches
+                                // anything — the monitor must verify the
+                                // post-fault state, never approve it.
+                                inj.app_state_flips()
+                            };
+                            for (a, b) in flips {
+                                let label = self.procs[idx].machine.chaos_flip(a, b);
+                                obs::counter_add(label, 1);
+                            }
                         }
                         let verdict = {
                             let p = &self.procs[idx];
@@ -537,6 +550,146 @@ impl World {
     /// (HTTP/1.0-style end-of-response signal for load generators).
     pub fn net_server_closed(&self, c: ExtConnId) -> bool {
         self.kernel.net.server_closed(c)
+    }
+}
+
+/// A copy-on-write checkpoint of a whole [`World`]: kernel (VFS, network,
+/// open files, logs, RNG), every process (machine registers, frames, CoW
+/// page table, fd table, seccomp), the attached tracer (monitor stats, deny
+/// log, caches, prefilter per-pid flow state), the scheduler words, and any
+/// installed fault injector. Because worlds are deterministic, restoring a
+/// snapshot and resuming reproduces a cold run bit-for-bit from the capture
+/// point — the basis of warm-forked chaos cells (DESIGN.md §6i).
+///
+/// Memory is the only large state: pages are shared `Arc`s, so a snapshot
+/// costs one page-table clone and each restored world copies only the pages
+/// it subsequently writes.
+pub struct WorldSnapshot {
+    kernel: Kernel,
+    procs: Vec<Process>,
+    tracer: Option<Box<dyn Tracer>>,
+    trace_cycles: u64,
+    trap_count: u64,
+    steps: u64,
+    clock: u64,
+    next_pid: Pid,
+    quantum: u64,
+    legacy_interp: bool,
+    faults: Option<FaultInjector>,
+    shared_pages: u64,
+}
+
+impl std::fmt::Debug for WorldSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorldSnapshot")
+            .field("procs", &self.procs.len())
+            .field("traps", &self.trap_count)
+            .field("shared_pages", &self.shared_pages)
+            .finish()
+    }
+}
+
+impl WorldSnapshot {
+    /// Pages shared between the snapshot and the live world at capture
+    /// time (all resident pages, by construction).
+    pub fn shared_pages(&self) -> u64 {
+        self.shared_pages
+    }
+
+    /// World trap count at capture time (the deterministic checkpoint
+    /// index).
+    pub fn trap_count(&self) -> u64 {
+        self.trap_count
+    }
+}
+
+impl World {
+    /// Captures a copy-on-write checkpoint of the world. All-zero pages are
+    /// pruned from the *live* page tables first (snapshot hygiene: a page
+    /// dirtied and later zeroed reads identically to one never touched), so
+    /// the checkpoint and the original agree on resident pages and the
+    /// snapshot pins no dead memory.
+    ///
+    /// # Panics
+    /// Panics if an attached tracer does not implement
+    /// [`Tracer::snapshot_box`] — checkpointing a world mid-verification
+    /// with a tracer that cannot be cloned would silently drop monitor
+    /// state.
+    pub fn snapshot(&mut self) -> WorldSnapshot {
+        for p in &mut self.procs {
+            p.machine.mem.prune_zero_pages();
+        }
+        let tracer = self.tracer.as_ref().map(|t| {
+            t.snapshot_box()
+                .expect("attached tracer does not support world snapshots")
+        });
+        let procs = self.procs.clone();
+        let shared_pages = procs.iter().map(|p| p.machine.mem.shared_pages()).sum();
+        WorldSnapshot {
+            kernel: self.kernel.clone(),
+            procs,
+            tracer,
+            trace_cycles: self.trace_cycles,
+            trap_count: self.trap_count,
+            steps: self.steps,
+            clock: self.clock,
+            next_pid: self.next_pid,
+            quantum: self.quantum,
+            legacy_interp: self.legacy_interp,
+            faults: self.faults.as_ref().map(|f| f.borrow().clone()),
+            shared_pages,
+        }
+    }
+
+    /// Builds a fresh world from a checkpoint. The snapshot is not
+    /// consumed: any number of worlds can fork from one checkpoint, each
+    /// sharing its pages copy-on-write. The restored world keeps the
+    /// snapshot's interpreter selection (not the thread-local default), so
+    /// a checkpoint taken under the legacy interpreter replays on it.
+    pub fn restore(snap: &WorldSnapshot) -> World {
+        World {
+            kernel: snap.kernel.clone(),
+            procs: snap.procs.clone(),
+            tracer: snap.tracer.as_ref().map(|t| {
+                t.snapshot_box()
+                    .expect("snapshotted tracer lost snapshot support")
+            }),
+            trace_cycles: snap.trace_cycles,
+            trap_count: snap.trap_count,
+            steps: snap.steps,
+            clock: snap.clock,
+            next_pid: snap.next_pid,
+            quantum: snap.quantum,
+            legacy_interp: snap.legacy_interp,
+            faults: snap.faults.clone().map(RefCell::new),
+        }
+    }
+
+    /// Runs until at least `traps` tracer stops have been delivered (or
+    /// exit/idle/budget). Places checkpoints at a deterministic trap index
+    /// instead of an arbitrary cycle count.
+    pub fn run_until_traps(&mut self, traps: u64, max_cycles: u64) -> RunStatus {
+        let deadline = self.now().saturating_add(max_cycles);
+        let mut status = RunStatus::Budget;
+        while self.trap_count < traps && self.now() < deadline {
+            status = self.run((deadline - self.now()).min(100_000));
+            if status != RunStatus::Budget {
+                break;
+            }
+        }
+        status
+    }
+
+    /// Page-table totals across all processes, as
+    /// `(resident_pages, shared_pages)`: how many backing pages exist and
+    /// how many are shared with a live snapshot or fork sibling.
+    pub fn page_stats(&self) -> (u64, u64) {
+        self.procs.iter().fold((0, 0), |(r, s), p| {
+            (
+                r + p.machine.mem.resident_pages(),
+                s + p.machine.mem.shared_pages(),
+            )
+        })
     }
 }
 

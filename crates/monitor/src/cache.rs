@@ -47,7 +47,7 @@ pub type CachedVerdict = Result<(), Violation>;
 /// would share a verdict, and a cached `Ok` reused for a different chain
 /// is a false-allow primitive. With full-key confirmation a collision is
 /// served as a miss (and counted), so aliasing can never cross chains.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct VerifyCache {
     ct: HashMap<(u32, u64), CachedVerdict>,
     walks: HashMap<u64, (Box<[u64]>, CachedVerdict)>,

@@ -409,6 +409,14 @@ pub struct MonitorStats {
     /// Escalations broken down by [`EscalateReason::code`] (grown on
     /// first use; `Vec` because the serde shim has no fixed-array impls).
     pub prefilter_escalations_by_reason: Vec<u64>,
+    /// Backing pages resident across the world's page tables when the
+    /// stats were collected (snapshot hygiene: all-zero pages are pruned
+    /// at checkpoint time, so this tracks live data only).
+    pub resident_pages: u64,
+    /// Resident pages still shared copy-on-write with a live
+    /// [`bastion_kernel::WorldSnapshot`] or fork sibling — memory a warm
+    /// restore did not have to copy.
+    pub snapshot_shared_pages: u64,
 }
 
 impl MonitorStats {
@@ -471,7 +479,7 @@ impl MonitorStats {
 
 /// Mutable resilience state (interior mutability: verification runs behind
 /// a shared borrow of the monitor, like the cache).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ResilienceState {
     /// Current degradation-ladder rung.
     pub mode: MonitorMode,
@@ -568,8 +576,12 @@ pub fn protect(
     }
 }
 
-/// The BASTION runtime monitor.
-#[derive(Debug)]
+/// The BASTION runtime monitor. `Clone` is the world-snapshot path
+/// ([`bastion_kernel::Tracer::snapshot_box`]): stats, deny log, caches,
+/// resilience rung, and the prefilter's per-pid flow state are all
+/// structural copies, so a restored world resumes verification exactly
+/// where the checkpoint left it.
+#[derive(Debug, Clone)]
 pub struct Monitor {
     /// Rebased metadata (runtime addresses).
     pub md: ContextMetadata,
@@ -802,6 +814,10 @@ impl Monitor {
 impl Tracer for Monitor {
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn snapshot_box(&self) -> Option<Box<dyn bastion_kernel::Tracer>> {
+        Some(Box::new(self.clone()))
     }
 
     fn on_fork(&mut self, parent: Pid, child: Pid) {

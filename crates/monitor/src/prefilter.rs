@@ -107,7 +107,7 @@ enum PropPred {
 }
 
 /// The compiled flat check program plus the per-pid flow state it tracks.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Prefilter {
     // Which contexts the program replicates (copied from the config so
     // tier 1 checks exactly what tier 2 would).

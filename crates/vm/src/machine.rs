@@ -198,6 +198,56 @@ impl Machine {
         self.cfi = Some(policy);
     }
 
+    /// Flips one bit of *application* state — a live frame register, a word
+    /// of the current stack frame (locals, saved fp, return address), or a
+    /// word of the $gs shadow region backing shadow-bound locals — selected
+    /// by the seeded draws `a`/`b`. This is the dual of the substrate faults
+    /// the kernel injector applies to the monitor's read path: it models an
+    /// SFP-style soft error inside the protected app itself. Returns a
+    /// stable label for the fault log.
+    pub fn chaos_flip(&mut self, a: u64, b: u64) -> &'static str {
+        let bit = (b >> 56) % 64;
+        match a % 3 {
+            0 if !self.frames.is_empty() => {
+                let fi = (a / 3) as usize % self.frames.len();
+                let regs = &mut self.frames[fi].regs;
+                if !regs.is_empty() {
+                    let ri = (b & 0xffff_ffff) as usize % regs.len();
+                    regs[ri] ^= 1 << bit;
+                    return "app_reg";
+                }
+                self.flip_stack_word(b, bit)
+            }
+            1 => self.flip_stack_word(b, bit),
+            _ => {
+                // A word inside the shadow region: corrupts a shadow-bound
+                // local's duplicate copy or its checksum.
+                let slots = crate::shadow::SHADOW_REGION_SIZE / 8;
+                let addr = self.gs_base + 8 * ((b & 0xffff_ffff) % slots);
+                self.flip_word_at(addr, bit);
+                "app_shadow"
+            }
+        }
+    }
+
+    /// Flips `bit` of an 8-byte-aligned word in `[sp, fp + 16)`: the active
+    /// frame's locals plus its saved frame pointer and return address.
+    fn flip_stack_word(&mut self, b: u64, bit: u64) -> &'static str {
+        let lo = self.sp & !7;
+        let hi = (self.fp + 16).max(lo + 8);
+        let slots = (hi - lo) / 8;
+        let addr = lo + 8 * ((b & 0xffff_ffff) % slots);
+        self.flip_word_at(addr, bit);
+        "app_stack"
+    }
+
+    fn flip_word_at(&mut self, addr: u64, bit: u64) {
+        let mut w = [0u8; 8];
+        self.mem.read_unchecked(addr, &mut w);
+        let v = u64::from_le_bytes(w) ^ (1 << bit);
+        self.mem.write_unchecked(addr, &v.to_le_bytes());
+    }
+
     /// The current frame.
     ///
     /// # Panics

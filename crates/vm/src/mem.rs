@@ -10,6 +10,7 @@ use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
 /// Page size in bytes.
 pub const PAGE_SIZE: u64 = 4096;
@@ -39,7 +40,10 @@ impl Hasher for PageHasher {
     }
 }
 
-type PageMap = HashMap<u64, Box<[u8; PAGE_SIZE as usize]>, BuildHasherDefault<PageHasher>>;
+/// Pages are reference-counted so that a cloned `Memory` (a snapshot, or a
+/// fork child) shares every page with its source; `page_mut` breaks the
+/// sharing one page at a time on first write (copy-on-write).
+type PageMap = HashMap<u64, Arc<[u8; PAGE_SIZE as usize]>, BuildHasherDefault<PageHasher>>;
 
 /// An access outside any mapped region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -222,10 +226,38 @@ impl Memory {
         self.pages.len() as u64 * PAGE_SIZE
     }
 
-    fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_SIZE as usize] {
+    /// Number of backing pages currently in the page table.
+    pub fn resident_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Number of resident pages whose backing store is shared with at least
+    /// one other `Memory` (a live snapshot or fork sibling) and would be
+    /// copied on the next write.
+    pub fn shared_pages(&self) -> u64 {
         self.pages
-            .entry(page)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+            .values()
+            .filter(|p| Arc::strong_count(p) > 1)
+            .count() as u64
+    }
+
+    /// Drops every all-zero backing page. Semantics-preserving: absent pages
+    /// read as zeros (`read_unchecked`) and mapping checks consult the
+    /// region set, never the page table. Called on snapshot so a checkpoint
+    /// neither pins dead zero pages nor diverges in `resident_pages` from a
+    /// world that never dirtied them. Returns the number of pages reclaimed.
+    pub fn prune_zero_pages(&mut self) -> u64 {
+        let before = self.pages.len();
+        self.pages.retain(|_, p| p.iter().any(|&b| b != 0));
+        (before - self.pages.len()) as u64
+    }
+
+    fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        Arc::make_mut(
+            self.pages
+                .entry(page)
+                .or_insert_with(|| Arc::new([0u8; PAGE_SIZE as usize])),
+        )
     }
 
     /// Raw read that ignores the region map (used by the attack framework's
@@ -426,6 +458,41 @@ mod tests {
         m.map_region(0x1800, 0x2000); // bridges the gap, overlapping both
         assert!(m.is_mapped(0x1000, 0x3000));
         assert_eq!(m.regions().collect::<Vec<_>>(), vec![(0x1000, 0x3000)]);
+    }
+
+    #[test]
+    fn cloned_memory_shares_pages_until_written() {
+        let mut m = Memory::new();
+        m.map_region(0x1000, 0x3000);
+        m.write_u64(0x1000, 1).unwrap();
+        m.write_u64(0x2000, 2).unwrap();
+        let mut c = m.clone();
+        assert_eq!(m.shared_pages(), 2);
+        assert_eq!(c.shared_pages(), 2);
+        // Writing through the clone copies only the touched page and never
+        // disturbs the original.
+        c.write_u64(0x1000, 99).unwrap();
+        assert_eq!(m.read_u64(0x1000).unwrap(), 1);
+        assert_eq!(c.read_u64(0x1000).unwrap(), 99);
+        assert_eq!(m.shared_pages(), 1);
+        assert_eq!(c.read_u64(0x2000).unwrap(), 2);
+    }
+
+    #[test]
+    fn prune_zero_pages_reclaims_and_preserves_reads() {
+        let mut m = Memory::new();
+        m.map_region(0x1000, 0x3000);
+        m.write_u64(0x1000, 7).unwrap();
+        m.write_u64(0x2000, 7).unwrap();
+        m.write_u64(0x2000, 0).unwrap(); // page dirtied, then zeroed
+        m.write_u64(0x3000, 0).unwrap(); // page dirtied with zeros only
+        assert_eq!(m.resident_pages(), 3);
+        assert_eq!(m.prune_zero_pages(), 2);
+        assert_eq!(m.resident_pages(), 1);
+        assert_eq!(m.read_u64(0x1000).unwrap(), 7);
+        assert_eq!(m.read_u64(0x2000).unwrap(), 0);
+        assert_eq!(m.read_u64(0x3000).unwrap(), 0);
+        assert!(m.is_mapped(0x2000, 8));
     }
 
     #[test]

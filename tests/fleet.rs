@@ -36,6 +36,37 @@ fn fleet_chaos_report_is_byte_identical_across_worker_counts() {
     assert!(!bastion::obs::is_enabled());
 }
 
+/// Warm-forked cells (the default) and cold per-cell re-deploys render the
+/// same bytes: the checkpoint is taken exactly where a cold deploy would
+/// hand the world to the cell, and worlds are deterministic from there.
+#[test]
+fn fleet_chaos_report_is_byte_identical_warm_vs_cold() {
+    let subset: &[u32] = &[1, 2, 3, 4];
+    let seeds: &[u64] = &[0xA77C_0001];
+    let warm = fleet::chaos_matrix_mode(1, seeds, Some(subset), false);
+    let cold = fleet::chaos_matrix_mode(1, seeds, Some(subset), true);
+    assert_eq!(
+        warm.report, cold.report,
+        "warm-forked and cold-deployed chaos reports diverged"
+    );
+    assert_eq!(
+        (
+            warm.faults_fired,
+            warm.deny_total,
+            warm.join_total,
+            warm.flipped,
+            warm.generated_flipped
+        ),
+        (
+            cold.faults_fired,
+            cold.deny_total,
+            cold.join_total,
+            cold.flipped,
+            cold.generated_flipped
+        )
+    );
+}
+
 /// A `World` with an attached monitor is `Send`: build it here, run it to
 /// completion on another thread.
 #[test]

@@ -1,0 +1,61 @@
+//! Regression corpus for the seeded attack-program generator
+//! (`bastion_attacks::generate`): ≥10 shrunk adversarial MiniC programs,
+//! one per deny-rule family, checked in under `crates/attacks/corpus/`.
+//! Each must (a) be stopped by the protected pipeline on exactly its
+//! labeled rule, (b) never flip to Allow, and (c) really land its
+//! malicious effect when run unprotected — so a monitor regression *and*
+//! a generator regression both fail loudly, without proptest in the loop.
+
+use bastion_attacks::generate;
+
+#[test]
+fn corpus_spans_at_least_ten_families() {
+    let corpus = generate::corpus();
+    assert!(
+        corpus.len() >= 10,
+        "corpus shrank to {} programs",
+        corpus.len()
+    );
+    let mut expects: Vec<&str> = corpus.iter().map(|(_, e, _)| *e).collect();
+    expects.sort_unstable();
+    expects.dedup();
+    assert_eq!(
+        expects.len(),
+        corpus.len(),
+        "corpus families must exercise pairwise-distinct deny rules"
+    );
+}
+
+#[test]
+fn corpus_programs_are_denied_on_their_labeled_family() {
+    for (family, expect, source) in generate::corpus() {
+        let protected = generate::run_protected(source);
+        assert!(
+            !protected.flipped_to_allow(),
+            "{family}: FLIPPED TO ALLOW (verdict {:?})",
+            protected.verdict
+        );
+        assert!(
+            protected.verdict.stopped(),
+            "{family}: not stopped: {:?}",
+            protected.verdict
+        );
+        assert_eq!(
+            protected.verdict.key(),
+            expect,
+            "{family}: stopped off-family"
+        );
+    }
+}
+
+#[test]
+fn corpus_programs_really_attack_when_unprotected() {
+    for (family, _, source) in generate::corpus() {
+        let unprotected = generate::ground_truth(source);
+        assert!(
+            unprotected.effect,
+            "{family}: no malicious effect without the monitor (verdict {:?})",
+            unprotected.verdict
+        );
+    }
+}

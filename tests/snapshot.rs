@@ -1,0 +1,155 @@
+//! Snapshot/restore contract tests (DESIGN.md §6i): a copy-on-write
+//! checkpoint taken at any point of a deterministic run must be invisible
+//! — the checkpointed world, a world restored from the checkpoint, and a
+//! cold run that never checkpointed all replay step-for-step identically,
+//! on both interpreters. Fork state (the prefilter's per-pid flow
+//! automaton included) must survive the round-trip.
+
+use bastion::chaos::monitor_stats;
+use bastion::kernel::{LegacyInterpGuard, World};
+use bastion::monitor::MonitorStats;
+use bastion::{Deployment, Protection};
+use proptest::prelude::*;
+
+/// A small program with sensitive traps (mmap/mprotect), page-dirtying
+/// writes after the traps, and a nontrivial exit — enough moving state
+/// that a broken snapshot shows up in the trace.
+const TRAPPY: &str = r#"
+    long main() {
+        long a;
+        long i;
+        long acc;
+        a = mmap(0, 8192, 3, 0x21, 0 - 1, 0);
+        acc = 0;
+        i = 0;
+        while (i < 4) {
+            acc = acc + mprotect(a, 4096, 3);
+            a[i] = acc + i;
+            acc = acc + a[i] + getpid();
+            i = i + 1;
+        }
+        return acc > 0;
+    }
+"#;
+
+/// Drives `world` to completion in fixed 100k-cycle slices, recording the
+/// world summary after each slice. Slice boundaries are part of the trace:
+/// two worlds agree iff they agree after *every* slice, not just at exit.
+fn trace(world: &mut World) -> Vec<String> {
+    let mut out = Vec::new();
+    for _ in 0..100 {
+        world.run(100_000);
+        out.push(world.summary());
+        if world.alive_count() == 0 {
+            break;
+        }
+    }
+    out
+}
+
+proptest! {
+    /// snapshot → run → restore → re-run, checkpointed at an arbitrary
+    /// cycle prefix, on either interpreter: the live world after the
+    /// snapshot, a world restored from it, and a cold run are
+    /// step-for-step identical. The restored world is driven under the
+    /// *opposite* thread-local interpreter to pin the documented rule
+    /// that a checkpoint replays on the interpreter it was taken under.
+    #[test]
+    fn snapshot_restore_rerun_matches_cold(prefix in 0u64..3_000_000, legacy in any::<bool>()) {
+        let _g = LegacyInterpGuard::set(legacy);
+        let d = Deployment::from_minic("snap-prop", &[TRAPPY]).expect("compiles");
+
+        // Cold reference: never checkpointed.
+        let mut cold = d.world();
+        d.launch(&mut cold, &Protection::full());
+        cold.run(prefix);
+        let cold_trace = trace(&mut cold);
+
+        // Checkpointed run: same prefix, then snapshot (which also prunes
+        // zero pages in the live world — semantics-preserving by contract).
+        let mut live = d.world();
+        d.launch(&mut live, &Protection::full());
+        live.run(prefix);
+        let snap = live.snapshot();
+        let live_trace = trace(&mut live);
+        prop_assert_eq!(&live_trace, &cold_trace, "live world diverged after snapshot()");
+
+        let restored_trace = {
+            let _flip = LegacyInterpGuard::set(!legacy);
+            let mut restored = World::restore(&snap);
+            trace(&mut restored)
+        };
+        prop_assert_eq!(&restored_trace, &cold_trace, "restored world diverged from cold run");
+    }
+}
+
+/// Normalizes the fields that legitimately differ between a warm and a
+/// cold run: page residency reflects CoW sharing, not monitor behaviour.
+fn behavioral(mut stats: MonitorStats) -> String {
+    stats.resident_pages = 0;
+    stats.snapshot_shared_pages = 0;
+    format!("{stats:?}")
+}
+
+/// Fork inheritance across a restored checkpoint: the checkpoint lands
+/// after the parent's first sensitive trap (so the prefilter's flow
+/// automaton holds per-pid state) but before the fork, and the fork then
+/// happens in the *restored* world — `Prefilter::inherit_state` must seed
+/// the child from flow state that crossed the snapshot. The whole run,
+/// monitor stats included, matches a cold run that never checkpointed.
+#[test]
+fn fork_inherits_prefilter_state_across_a_restored_checkpoint() {
+    let src = r#"
+        long main() {
+            long a;
+            long pid;
+            a = mmap(0, 4096, 3, 0x21, 0 - 1, 0);
+            pid = fork();
+            a = mprotect(a, 4096, 1);
+            if (pid == 0) { return 7; }
+            return 1;
+        }
+    "#;
+    let d = Deployment::from_minic("fork-ckpt", &[src]).expect("compiles");
+
+    let mut cold = d.world();
+    let parent = d.launch(&mut cold, &Protection::full());
+    cold.run(20_000_000);
+    let cold_summary = cold.summary();
+    assert!(
+        matches!(
+            cold.proc(parent).and_then(|p| p.exit.clone()),
+            Some(bastion::kernel::ExitReason::Exited(1))
+        ),
+        "parent did not finish cleanly: {cold_summary}"
+    );
+    let cold_stats = monitor_stats(&mut cold).expect("monitor attached");
+
+    let mut warm = d.world();
+    d.launch(&mut warm, &Protection::full());
+    warm.run_until_traps(1, 20_000_000);
+    assert!(
+        warm.trap_count >= 1,
+        "checkpoint must land after the first sensitive trap"
+    );
+    let snap = warm.snapshot();
+    assert!(snap.shared_pages() > 0, "checkpoint shares no pages");
+    let mut resumed = World::restore(&snap);
+    resumed.run(20_000_000);
+    assert_eq!(
+        resumed.summary(),
+        cold_summary,
+        "restored world finished differently from the cold run"
+    );
+    let warm_stats = monitor_stats(&mut resumed).expect("monitor attached");
+
+    assert!(
+        cold_stats.prefilter_checks > 0,
+        "test never exercised the prefilter"
+    );
+    assert_eq!(
+        behavioral(warm_stats),
+        behavioral(cold_stats),
+        "monitor behaviour diverged across the checkpoint"
+    );
+}

@@ -5,6 +5,13 @@
 //! *virtual* time (deterministic) for the Figure 3 / Table 3 metrics.
 
 use bastion_kernel::{RunStatus, World};
+use bastion_obs as obs;
+
+/// Quantile-sketch lane for end-to-end request latency in virtual cycles:
+/// HTTP per request, TPC-C per transaction, FTP per session. Observed only
+/// when thread-local telemetry is enabled — the generators stay
+/// zero-overhead on plain benchmark runs.
+pub const REQUEST_CYCLES_SKETCH: &str = "loadgen.request_cycles";
 
 /// Scheduler slice between client pumps.
 const SLICE: u64 = 400_000;
@@ -47,6 +54,8 @@ struct HttpConn {
     remaining: u64,
     /// A request is in flight awaiting its response.
     outstanding: bool,
+    /// Virtual time the in-flight request was sent (latency sketch lane).
+    sent_at: u64,
 }
 
 /// Drives `total` HTTP requests against `port` with `concurrency`
@@ -92,6 +101,7 @@ pub fn http_load(world: &mut World, port: u16, concurrency: usize, total: u64) -
                 buf: Vec::new(),
                 remaining: quota - 1,
                 outstanding: true,
+                sent_at: world.now(),
             });
         }
         let status = world.run(SLICE);
@@ -108,6 +118,10 @@ pub fn http_load(world: &mut World, port: u16, concurrency: usize, total: u64) -
             while let Some(len) = complete_response(&conns[i].buf) {
                 conns[i].buf.drain(..len);
                 conns[i].outstanding = false;
+                obs::sketch_observe(
+                    REQUEST_CYCLES_SKETCH,
+                    world.now().saturating_sub(conns[i].sent_at),
+                );
                 stats.requests += 1;
                 stats.bytes += len as u64;
                 progressed = true;
@@ -115,6 +129,7 @@ pub fn http_load(world: &mut World, port: u16, concurrency: usize, total: u64) -
                     world.net_send(conns[i].id, request);
                     conns[i].remaining -= 1;
                     conns[i].outstanding = true;
+                    conns[i].sent_at = world.now();
                     issued += 1;
                 }
             }
@@ -202,18 +217,20 @@ impl TpccStats {
 pub fn tpcc_load(world: &mut World, port: u16, sessions: usize, total: u64) -> TpccStats {
     let start = world.now();
     let mut stats = TpccStats::default();
-    let mut conns: Vec<(bastion_kernel::ExtConnId, u64)> = Vec::new();
+    let mut conns: Vec<(bastion_kernel::ExtConnId, u64, u64)> = Vec::new();
     // Open sessions up front (long-lived, like DBT2 terminals).
     for _ in 0..sessions {
         if let Some(c) = world.net_connect(port) {
-            conns.push((c, 0));
+            conns.push((c, 0, 0));
         }
     }
     assert!(!conns.is_empty(), "dbkv server not listening");
     let mut issued = 0u64;
     // Seed one transaction per session.
-    for (i, (c, _)) in conns.iter().enumerate() {
+    let seeded_at = world.now();
+    for (i, (c, _, sent_at)) in conns.iter_mut().enumerate() {
         world.net_send(*c, order_cmd(issued + i as u64).as_bytes());
+        *sent_at = seeded_at;
     }
     issued += conns.len() as u64;
     let mut stall = 0u32;
@@ -221,7 +238,8 @@ pub fn tpcc_load(world: &mut World, port: u16, sessions: usize, total: u64) -> T
     while stats.transactions < total {
         let status = world.run(SLICE);
         let mut progressed = false;
-        for (c, buffered) in &mut conns {
+        let now = world.now();
+        for (c, buffered, sent_at) in &mut conns {
             let chunk = world.net_recv(*c);
             if chunk.is_empty() {
                 continue;
@@ -230,9 +248,11 @@ pub fn tpcc_load(world: &mut World, port: u16, sessions: usize, total: u64) -> T
             *buffered += chunk.iter().filter(|&&b| b == b'\n').count() as u64;
             while *buffered > 0 && stats.transactions < total {
                 *buffered -= 1;
+                obs::sketch_observe(REQUEST_CYCLES_SKETCH, now.saturating_sub(*sent_at));
                 stats.transactions += 1;
                 if issued < total {
                     world.net_send(*c, order_cmd(issued).as_bytes());
+                    *sent_at = now;
                     issued += 1;
                 }
             }
@@ -295,6 +315,7 @@ pub fn ftp_load(world: &mut World, port: u16, downloads: u64, path: &str) -> Ftp
     let start = world.now();
     let mut stats = FtpStats::default();
     for session in 0..downloads {
+        let session_start = world.now();
         let ctrl = loop {
             match world.net_connect(port) {
                 Some(c) => break c,
@@ -351,6 +372,10 @@ pub fn ftp_load(world: &mut World, port: u16, downloads: u64, path: &str) -> Ftp
         let tail = world.net_recv(data);
         stats.bytes += tail.len() as u64;
         stats.files += 1;
+        obs::sketch_observe(
+            REQUEST_CYCLES_SKETCH,
+            world.now().saturating_sub(session_start),
+        );
         world.net_send(ctrl, b"QUIT\n");
         world.run(SLICE);
         let _ = world.net_recv(ctrl);

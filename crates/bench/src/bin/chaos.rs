@@ -53,4 +53,11 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if outcome.flight_missing > 0 {
+        eprintln!(
+            "FAIL: {} deny record(s) missing a flight-recorder dump of the denied trap",
+            outcome.flight_missing
+        );
+        std::process::exit(1);
+    }
 }

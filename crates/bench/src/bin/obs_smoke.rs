@@ -167,6 +167,22 @@ fn main() {
     if cpt.map_or(0, |h| h.count) != stats.traps {
         fail("kernel.cycles_per_trap histogram count diverges from traps");
     }
+    // Sketch lane: one verify-latency observation per trap served.
+    let verify = metrics.sketch("trap.verify_cycles");
+    if verify.map_or(0, |s| s.count) != stats.traps {
+        fail("trap.verify_cycles sketch count diverges from traps");
+    }
+
+    // Prometheus exposition of the same snapshot must validate: typed
+    // families, cumulative buckets ending at +Inf, summary quantile lanes.
+    let prom = obs::prometheus_text(&metrics, &[("app", "webserve")]);
+    let prom_shape = match obs::validate_prometheus(&prom) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("Prometheus exposition invalid: {e}")),
+    };
+    if prom_shape.summaries == 0 {
+        fail("Prometheus exposition exports no summary (sketch) family");
+    }
 
     std::fs::write(&trace_path, &json).unwrap_or_else(|e| fail(&format!("{trace_path}: {e}")));
     println!(

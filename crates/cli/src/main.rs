@@ -29,6 +29,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "trace" => cmd_trace(rest),
         "stats" => cmd_stats(rest),
+        "top" => cmd_top(rest),
         "attack" => cmd_attack(rest),
         "chaos" => cmd_chaos(rest),
         "fleet" => cmd_fleet(rest),
@@ -69,9 +70,17 @@ USAGE:
         Run with span tracing enabled and export a Chrome trace_event
         JSON document (open at chrome://tracing or in Perfetto).
 
-    bastion stats <file.mc>... [--protect MODE] [--cet] [--json]
+    bastion stats <file.mc>... [--protect MODE] [--cet] [--json] [--prom]
         Run with telemetry enabled and print the monitor statistics and
-        the metrics registry (--json dumps the metrics as JSON).
+        the metrics registry (--json dumps the metrics as JSON, --prom as
+        Prometheus text exposition).
+
+    bastion top [--rounds=N] [--batch=N] [--jsonl=OUT.jsonl]
+        Live serving view: boots the three workload apps under full
+        protection and drives load in rounds, refreshing a per-app table
+        of trap rate, tier-1 hit rate, ladder rung, and p50/p95/p99/p999
+        verify + request latency. --jsonl appends one labelled metrics
+        line per app per round (the periodic snapshot surface).
 
     bastion attack [ID]
         Run the Table 6 security evaluation (one scenario or all 32).
@@ -401,6 +410,11 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     }
     if flags.contains(&"--json") {
         println!("{}", bastion::obs::metrics_json(&metrics));
+    } else if flags.contains(&"--prom") {
+        let text = bastion::obs::prometheus_text(&metrics, &[]);
+        bastion::obs::validate_prometheus(&text)
+            .map_err(|e| format!("generated Prometheus exposition is malformed: {e}"))?;
+        print!("{text}");
     } else {
         println!("metrics:");
         for c in &metrics.counters {
@@ -415,6 +429,188 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
                 h.max,
                 h.mean()
             );
+        }
+        for s in &metrics.sketches {
+            println!(
+                "  {:<28} count={} p50={} p95={} p99={} p999={}",
+                s.name, s.count, s.p50, s.p95, s.p99, s.p999
+            );
+        }
+        println!(
+            "  histogram bounds mismatches: {}",
+            metrics.bounds_mismatches()
+        );
+    }
+    Ok(())
+}
+
+/// One serving lane of `bastion top`: an app world under full protection
+/// plus its accumulated metrics across rounds.
+struct TopLane {
+    app: bastion::apps::App,
+    world: World,
+    acc: bastion::obs::MetricsRegistry,
+    served: u64,
+}
+
+fn boot_lane(app: bastion::apps::App) -> TopLane {
+    let cost = CostModel::default();
+    let protection = bastion::Protection::full();
+    let out = BastionCompiler::new()
+        .compile(app.module().expect("app compiles"))
+        .expect("instrumentation succeeds");
+    let metadata = out.metadata;
+    let image = Arc::new(Image::load(out.module).expect("image loads"));
+    let mut world = World::new(cost);
+    app.setup_vfs(&mut world);
+    let mut machine = Machine::new(image.clone(), cost);
+    protection.hardening.apply(&mut machine);
+    let pid = world.spawn(machine);
+    bastion::monitor::protect(
+        &mut world,
+        pid,
+        &image,
+        &metadata,
+        protection.monitor.expect("full protection has a monitor"),
+    );
+    world.run(1_000_000_000);
+    assert!(world.alive_count() > 0, "{} died during boot", app.id());
+    TopLane {
+        app,
+        world,
+        acc: bastion::obs::MetricsRegistry::new(),
+        served: 0,
+    }
+}
+
+/// Drives one load batch against a lane under a fresh telemetry scope and
+/// folds the scope's metrics into the lane accumulator.
+fn drive_lane(lane: &mut TopLane, batch: u64) {
+    use bastion::apps::{loadgen, App};
+    let guard = bastion::obs::TelemetryGuard::enable(1 << 12);
+    let port = lane.app.port();
+    lane.served += match lane.app {
+        App::Webserve => loadgen::http_load(&mut lane.world, port, 4, batch).requests,
+        App::Dbkv => loadgen::tpcc_load(&mut lane.world, port, 4, batch.max(1)).transactions,
+        App::Ftpd => {
+            loadgen::ftp_load(
+                &mut lane.world,
+                port,
+                (batch / 8).max(1),
+                bastion::apps::ftpd::FILE_PATH,
+            )
+            .files
+        }
+    };
+    let (_events, registry) = guard.finish();
+    lane.acc.merge(registry);
+}
+
+/// Renders one refresh of the `bastion top` table.
+fn render_top(lanes: &[TopLane], round: u64, rounds: u64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bastion top — round {}/{rounds} (virtual-time serving view)",
+        round + 1
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>7} {:>8} {:>7} {:>5}  {:>33}  {:>33}",
+        "app",
+        "served",
+        "traps",
+        "tier1%",
+        "rung",
+        "verify cycles p50/p95/p99/p999",
+        "request cycles p50/p95/p99/p999"
+    );
+    for lane in lanes {
+        let snap = lane.acc.snapshot();
+        let quants = |name: &str| -> String {
+            snap.sketch(name).map_or_else(
+                || "-".into(),
+                |s| format!("{}/{}/{}/{}", s.p50, s.p95, s.p99, s.p999),
+            )
+        };
+        let (hit_pct, rung) = lane.world.tracer_ref().map_or((0.0, 0), |t| {
+            let rung = t.ladder_rung();
+            let hits = t
+                .as_any()
+                .downcast_ref::<bastion::monitor::Monitor>()
+                .map_or(0.0, |m| {
+                    if m.stats.prefilter_checks == 0 {
+                        0.0
+                    } else {
+                        100.0 * m.stats.prefilter_hits as f64 / m.stats.prefilter_checks as f64
+                    }
+                });
+            (hits, rung)
+        });
+        let _ = writeln!(
+            out,
+            "{:<10} {:>7} {:>8} {:>6.1}% {:>5}  {:>33}  {:>33}",
+            lane.app.id(),
+            lane.served,
+            lane.world.trap_count,
+            hit_pct,
+            rung,
+            quants("trap.verify_cycles"),
+            quants(bastion::apps::loadgen::REQUEST_CYCLES_SKETCH),
+        );
+    }
+    out
+}
+
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    use bastion::apps::App;
+    use std::io::IsTerminal as _;
+    let (_files, flags) = split_flags(args);
+    let rounds: u64 = flag_value(&flags, "rounds")
+        .map_or(Ok(6), str::parse)
+        .map_err(|e| format!("--rounds: {e}"))?;
+    let batch: u64 = flag_value(&flags, "batch")
+        .map_or(Ok(32), str::parse)
+        .map_err(|e| format!("--batch: {e}"))?;
+    let jsonl_path = flag_value(&flags, "jsonl");
+    let mut jsonl = match jsonl_path {
+        Some(p) => Some(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(p)
+                .map_err(|e| format!("{p}: {e}"))?,
+        ),
+        None => None,
+    };
+
+    eprintln!("booting webserve, dbkv, ftpd under full protection...");
+    let mut lanes: Vec<TopLane> = [App::Webserve, App::Dbkv, App::Ftpd]
+        .into_iter()
+        .map(boot_lane)
+        .collect();
+
+    let live = std::io::stdout().is_terminal();
+    for round in 0..rounds {
+        for lane in &mut lanes {
+            drive_lane(lane, batch);
+            if let Some(f) = jsonl.as_mut() {
+                use std::io::Write as _;
+                let line = bastion::obs::metrics_jsonl_line(
+                    &lane.acc.snapshot(),
+                    &[("app", lane.app.id()), ("round", &round.to_string())],
+                );
+                writeln!(f, "{line}").map_err(|e| format!("jsonl write: {e}"))?;
+            }
+        }
+        if live {
+            // Clear and redraw in place, like top(1).
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_top(&lanes, round, rounds));
+        if !live && round + 1 < rounds {
+            println!();
         }
     }
     Ok(())

@@ -36,7 +36,7 @@ use bastion_attacks::env::{AttackEnv, RunOutcome};
 use bastion_attacks::scenario::Scenario;
 use bastion_kernel::{FaultKind, FaultSchedule, Trigger, World};
 use bastion_monitor::{ContextConfig, MonitorStats};
-use bastion_obs::DenyRecord;
+use bastion_obs::{flight::verdict as flight_verdict, DenyRecord, FlightDump};
 
 /// Cycle slice between net-poll rounds of the lenient driver.
 const SLICE: u64 = 250_000;
@@ -252,6 +252,9 @@ pub struct AttackChaosReport {
     /// a trap that also produced a deny record — the provenance join the
     /// chaos assertions consume.
     pub fault_deny_joins: Vec<(u64, &'static str)>,
+    /// Flight-recorder dumps the world captured on ladder-rung
+    /// transitions and escalation bursts during the faulted run.
+    pub flight_dumps: Vec<FlightDump>,
 }
 
 impl AttackChaosReport {
@@ -261,6 +264,18 @@ impl AttackChaosReport {
     /// fault must never buy the attacker a success.)
     pub fn attack_contained(&self) -> bool {
         !self.outcome.succeeded
+    }
+
+    /// The flight-recorder join invariant: every deny record carries a
+    /// non-empty ring dump whose newest entry is the denied trap itself,
+    /// still marked in-flight (the ring settles the final verdict only
+    /// after the monitor returns).
+    pub fn denies_carry_flight(&self) -> bool {
+        self.deny_records.iter().all(|d| {
+            d.flight.last().is_some_and(|e| {
+                e.trap == d.trap_seq && e.tier == 2 && e.verdict == flight_verdict::PENDING
+            })
+        })
     }
 }
 
@@ -312,6 +327,7 @@ struct AttackRun {
     stats: Option<MonitorStats>,
     deny_records: Vec<DenyRecord>,
     fault_deny_joins: Vec<(u64, &'static str)>,
+    flight_dumps: Vec<FlightDump>,
 }
 
 /// Runs `scenario` under `cfg` with an optional fault schedule installed
@@ -347,6 +363,7 @@ fn run_attack_in(
     };
     let traps = env.world.fault_trap_count();
     let faults: Vec<_> = env.world.fault_log().to_vec();
+    let flight_dumps = env.world.flight_dumps().to_vec();
     let (stats, deny_records) = match monitor_report(&mut env.world) {
         Some((s, d)) => (Some(s), d),
         None => (None, Vec::new()),
@@ -364,6 +381,7 @@ fn run_attack_in(
         stats,
         deny_records,
         fault_deny_joins,
+        flight_dumps,
     }
 }
 
@@ -441,6 +459,7 @@ pub fn attack_chaos_mode(
                 stats: run.stats,
                 deny_records: run.deny_records,
                 fault_deny_joins: run.fault_deny_joins,
+                flight_dumps: run.flight_dumps,
             });
         }
     }

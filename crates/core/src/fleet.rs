@@ -196,6 +196,9 @@ pub struct ChaosMatrixOutcome {
     /// Generated attack programs whose malicious effect landed under full
     /// protection (must be 0; counted into `flipped` as well).
     pub generated_flipped: u32,
+    /// Deny records *not* carrying a flight-recorder dump of the denied
+    /// trap (must be 0: every deny joins its ring dump).
+    pub flight_missing: u64,
 }
 
 /// Runs the full chaos matrix with warm copy-on-write cell forking (see
@@ -285,6 +288,8 @@ pub fn chaos_matrix_mode(
     let mut faults_fired = 0u64;
     let mut deny_total = 0u64;
     let mut join_total = 0u64;
+    let mut flight_missing = 0u64;
+    let mut flight_dump_total = 0u64;
     let mut joins_by_class: std::collections::BTreeMap<&'static str, u64> =
         std::collections::BTreeMap::new();
     for reports in &per_scenario {
@@ -293,6 +298,18 @@ pub fn chaos_matrix_mode(
         for r in reports {
             deny_total += r.deny_records.len() as u64;
             join_total += r.fault_deny_joins.len() as u64;
+            flight_dump_total += r.flight_dumps.len() as u64;
+            if !r.denies_carry_flight() {
+                flight_missing += r
+                    .deny_records
+                    .iter()
+                    .filter(|d| {
+                        d.flight
+                            .last()
+                            .is_none_or(|e| e.trap != d.trap_seq || e.tier != 2)
+                    })
+                    .count() as u64;
+            }
             for &(_, class) in &r.fault_deny_joins {
                 *joins_by_class.entry(class).or_insert(0) += 1;
             }
@@ -321,6 +338,12 @@ pub fn chaos_matrix_mode(
     let _ = writeln!(
         w,
         "\ndeny provenance: {deny_total} structured deny records, {join_total} fault->deny joins"
+    );
+    let _ = writeln!(
+        w,
+        "flight recorder: {}/{deny_total} deny records carry a ring dump of the denied trap, \
+         {flight_dump_total} triggered dump(s)",
+        deny_total - flight_missing
     );
     for (class, n) in &joins_by_class {
         let _ = writeln!(
@@ -373,6 +396,7 @@ pub fn chaos_matrix_mode(
         deny_total,
         join_total,
         generated_flipped,
+        flight_missing,
     }
 }
 

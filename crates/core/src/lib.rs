@@ -49,6 +49,7 @@
 
 pub mod chaos;
 pub mod fleet;
+pub mod gate;
 pub mod harness;
 pub mod protection;
 
@@ -57,6 +58,7 @@ pub use chaos::{
     BenignChaosReport,
 };
 pub use fleet::{run_ordered, run_ordered_traced, ChaosMatrixOutcome, FleetTelemetry};
+pub use gate::{GateCheck, GateReport};
 pub use harness::{run_app_benchmark, run_extended_scope_pair, AppBenchmark, WorkloadSize};
 pub use protection::Protection;
 

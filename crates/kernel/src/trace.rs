@@ -9,6 +9,7 @@
 
 use crate::faults::{AccessClass, FaultAction, FaultInjector};
 use crate::process::Pid;
+use bastion_obs::{FlightEntry, FlightRecorder};
 use bastion_vm::{Machine, MemIo, OutOfBounds};
 use std::cell::RefCell;
 
@@ -37,6 +38,9 @@ pub struct Tracee<'a> {
     start_charge: u64,
     /// Fault injector, when the world runs under a chaos schedule.
     faults: Option<&'a RefCell<FaultInjector>>,
+    /// The world's always-on flight-recorder ring, so the monitor's deny
+    /// path can join a dump of the run-up to the violation.
+    flight: Option<&'a RefCell<FlightRecorder>>,
 }
 
 impl<'a> Tracee<'a> {
@@ -61,7 +65,23 @@ impl<'a> Tracee<'a> {
             charge,
             start_charge,
             faults,
+            flight: None,
         }
+    }
+
+    /// Attaches the world's flight-recorder ring to this view so
+    /// [`Tracee::flight_dump`] returns the run-up to the current trap.
+    pub fn attach_flight(&mut self, flight: &'a RefCell<FlightRecorder>) {
+        self.flight = Some(flight);
+    }
+
+    /// Flight-ring contents, oldest first — empty when no recorder is
+    /// attached. Unlike every other accessor on this view, reading the
+    /// ring is host-side observability only: **zero virtual cycles** are
+    /// charged, so deny-path dumps never perturb clean-path cycle counts.
+    #[must_use]
+    pub fn flight_dump(&self) -> Vec<FlightEntry> {
+        self.flight.map(|f| f.borrow().dump()).unwrap_or_default()
     }
 
     /// The stopped process's pid.
@@ -500,6 +520,22 @@ pub trait Tracer: std::any::Any + Send {
     /// state so the child's next trap classifies against the parent's
     /// last-trapped position). The default does nothing.
     fn on_fork(&mut self, _parent: Pid, _child: Pid) {}
+
+    /// The prefilter's flow-automaton state word for `pid` (0 when no
+    /// compiled flow digraph tracks the process) — recorded into each
+    /// flight-recorder entry. Host-side observability only: an
+    /// implementation must not charge virtual cycles here.
+    fn flow_word(&self, _pid: Pid) -> u64 {
+        0
+    }
+
+    /// The monitor's resilience-ladder rung as a stable small integer
+    /// (0 = full verification, higher = degraded). The world captures a
+    /// flight dump whenever this changes between traps. Host-side
+    /// observability only: no virtual cycles.
+    fn ladder_rung(&self) -> u8 {
+        0
+    }
 
     /// Downcast support so harnesses can recover concrete monitor
     /// statistics after a run.

@@ -17,8 +17,9 @@ use crate::net::{ConnId, ReadOutcome};
 use crate::process::{ExitReason, FdTable, Pid, ProcState, Process, WaitReason};
 use crate::seccomp::{SeccompAction, SeccompFilter};
 use crate::syscall::{Kernel, SysOutcome};
-use crate::trace::{PrefilterVerdict, TraceVerdict, Tracee, Tracer};
-use bastion_obs::{self as obs, Phase};
+use crate::trace::{EscalateReason, PrefilterVerdict, TraceVerdict, Tracee, Tracer};
+use bastion_obs::flight::verdict as flight_verdict;
+use bastion_obs::{self as obs, FlightDump, FlightEntry, FlightRecorder, FlightTrigger, Phase};
 use bastion_vm::{interp, CostModel, Event, Machine};
 use std::cell::{Cell, RefCell};
 use std::sync::Arc;
@@ -105,6 +106,48 @@ pub struct World {
     /// Fault injector replayed against every monitor substrate access
     /// (chaos testing); `None` on the clean path.
     faults: Option<RefCell<FaultInjector>>,
+    /// Always-on flight recorder: a bounded ring of compact per-trap
+    /// summaries. Recording is host-side memory writes only — zero
+    /// virtual cycles — so clean-path cycle counts are byte-identical
+    /// with and without anyone ever reading the ring.
+    flight: RefCell<FlightRecorder>,
+    /// Dumps captured on ladder-rung transitions and tier-1 escalation
+    /// bursts, oldest first, capped at [`MAX_FLIGHT_DUMPS`].
+    flight_dumps: Vec<FlightDump>,
+    /// Tracer resilience-ladder rung observed after the last trap.
+    last_rung: u8,
+    /// Sliding window over prefiltered traps: one bit each, 1 = the trap
+    /// escalated to tier 2.
+    esc_window: u16,
+    /// How many of `esc_window`'s bits are populated (saturates at 16).
+    esc_window_len: u8,
+    /// Trap ordinal before which no further burst dump is captured
+    /// (cooldown so a sustained burst yields one dump, not one per trap).
+    burst_cooldown: u64,
+}
+
+/// Upper bound on retained [`FlightDump`]s per world.
+const MAX_FLIGHT_DUMPS: usize = 32;
+
+/// Escalation-burst trigger: at least this many of the last 16
+/// prefiltered traps escalated to tier 2.
+const ESC_BURST_THRESHOLD: u32 = 12;
+
+/// Captures the ring into the dump log (host-side only; zero vcycles).
+fn capture_flight_dump(
+    ring: &RefCell<FlightRecorder>,
+    dumps: &mut Vec<FlightDump>,
+    trigger: FlightTrigger,
+    trap: u64,
+) {
+    if dumps.len() >= MAX_FLIGHT_DUMPS {
+        dumps.remove(0);
+    }
+    dumps.push(FlightDump {
+        trigger,
+        trap,
+        entries: ring.borrow().dump(),
+    });
 }
 
 impl World {
@@ -122,6 +165,12 @@ impl World {
             quantum: 512,
             legacy_interp: thread_legacy_interp(),
             faults: None,
+            flight: RefCell::new(FlightRecorder::default()),
+            flight_dumps: Vec::new(),
+            last_rung: 0,
+            esc_window: 0,
+            esc_window_len: 0,
+            burst_cooldown: 0,
         }
     }
 
@@ -184,6 +233,31 @@ impl World {
     /// Detaches and returns the tracer (to read its statistics).
     pub fn take_tracer(&mut self) -> Option<Box<dyn Tracer>> {
         self.tracer.take()
+    }
+
+    /// Read-only view of the attached tracer without detaching it — live
+    /// dashboards (`bastion top`) peek monitor stats mid-run through
+    /// [`Tracer::as_any`] downcasts.
+    pub fn tracer_ref(&self) -> Option<&dyn Tracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Current flight-recorder ring contents, oldest first (the always-on
+    /// run-up to the most recent trap).
+    pub fn flight_dump(&self) -> Vec<FlightEntry> {
+        self.flight.borrow().dump()
+    }
+
+    /// Flight dumps captured on ladder-rung transitions and escalation
+    /// bursts so far, oldest first.
+    pub fn flight_dumps(&self) -> &[FlightDump] {
+        &self.flight_dumps
+    }
+
+    /// Total flight entries ever recorded — equals [`World::trap_count`]
+    /// by construction (every trap records exactly one entry).
+    pub fn flight_total(&self) -> u64 {
+        self.flight.borrow().total_recorded()
     }
 
     /// Installs a seccomp filter on `pid` and marks it traced.
@@ -322,6 +396,7 @@ impl World {
                     // compiled check program at classify time — a hit
                     // skips the monitor stop entirely.
                     let mut tier1_allow = false;
+                    let mut esc_code = EscalateReason::NoPrefilter.code() as u8;
                     if action == SeccompAction::TracePrefiltered {
                         let pf_start = self.trace_cycles;
                         obs::span_begin(Phase::PrefilterCheck, self.trap_count, pf_start);
@@ -347,6 +422,7 @@ impl World {
                         match verdict {
                             PrefilterVerdict::Allow => tier1_allow = true,
                             PrefilterVerdict::Escalate(reason) => {
+                                esc_code = reason.code() as u8;
                                 obs::instant(
                                     Phase::PrefilterEscalate,
                                     self.trap_count,
@@ -356,12 +432,22 @@ impl World {
                             }
                         }
                     }
+                    let mut deny_reason: Option<String> = None;
                     if tier1_allow {
                         obs::span_end(Phase::Trap, self.trap_count, self.trace_cycles, 0);
-                        obs::observe(
-                            "kernel.cycles_per_trap",
-                            self.trace_cycles.saturating_sub(trap_start),
-                        );
+                        let verify = self.trace_cycles.saturating_sub(trap_start);
+                        obs::observe("kernel.cycles_per_trap", verify);
+                        obs::sketch_observe("trap.verify_cycles", verify);
+                        obs::sketch_observe("trap.tier1_cycles", verify);
+                        self.flight.borrow_mut().record(FlightEntry {
+                            trap: self.trap_count,
+                            sysno: nr,
+                            tier: 1,
+                            verdict: flight_verdict::ALLOW,
+                            esc: u8::MAX,
+                            vcycles: verify,
+                            flow: tracer.flow_word(self.procs[idx].pid),
+                        });
                     } else {
                         // Tier 2: the authoritative monitor stop.
                         self.trace_cycles += self.kernel.cost.ptrace_stop;
@@ -381,6 +467,18 @@ impl World {
                                 obs::counter_add(label, 1);
                             }
                         }
+                        // Record the in-flight trap before the stop so a
+                        // deny dump always includes the trap being denied
+                        // (finalized with the real verdict below).
+                        let slot = self.flight.borrow_mut().record(FlightEntry {
+                            trap: self.trap_count,
+                            sysno: nr,
+                            tier: 2,
+                            verdict: flight_verdict::PENDING,
+                            esc: esc_code,
+                            vcycles: 0,
+                            flow: tracer.flow_word(self.procs[idx].pid),
+                        });
                         let verdict = {
                             let p = &self.procs[idx];
                             let mut tracee = Tracee::with_faults(
@@ -389,6 +487,7 @@ impl World {
                                 &mut self.trace_cycles,
                                 self.faults.as_ref(),
                             );
+                            tracee.attach_flight(&self.flight);
                             tracer.on_trap(&mut tracee)
                         };
                         let denied = matches!(verdict, TraceVerdict::Deny(_));
@@ -398,14 +497,54 @@ impl World {
                             self.trace_cycles,
                             u64::from(denied),
                         );
-                        obs::observe(
-                            "kernel.cycles_per_trap",
-                            self.trace_cycles.saturating_sub(trap_start),
+                        let verify = self.trace_cycles.saturating_sub(trap_start);
+                        obs::observe("kernel.cycles_per_trap", verify);
+                        obs::sketch_observe("trap.verify_cycles", verify);
+                        obs::sketch_observe("trap.tier2_cycles", verify);
+                        self.flight.borrow_mut().finalize(
+                            slot,
+                            if denied {
+                                flight_verdict::DENY
+                            } else {
+                                flight_verdict::ALLOW
+                            },
+                            verify,
                         );
                         if let TraceVerdict::Deny(reason) = verdict {
-                            self.procs[idx].kill(ExitReason::MonitorKill { nr, reason });
-                            return;
+                            deny_reason = Some(reason);
                         }
+                    }
+                    // Flight-recorder triggers, checked once per trap
+                    // after the entry settles (host-side; zero vcycles).
+                    let rung = tracer.ladder_rung();
+                    if rung != self.last_rung {
+                        self.last_rung = rung;
+                        capture_flight_dump(
+                            &self.flight,
+                            &mut self.flight_dumps,
+                            FlightTrigger::LadderRung,
+                            self.trap_count,
+                        );
+                    }
+                    if action == SeccompAction::TracePrefiltered {
+                        self.esc_window = (self.esc_window << 1) | u16::from(!tier1_allow);
+                        self.esc_window_len = (self.esc_window_len + 1).min(16);
+                        if self.esc_window_len == 16
+                            && self.esc_window.count_ones() >= ESC_BURST_THRESHOLD
+                            && self.trap_count >= self.burst_cooldown
+                        {
+                            self.burst_cooldown = self.trap_count + 16;
+                            capture_flight_dump(
+                                &self.flight,
+                                &mut self.flight_dumps,
+                                FlightTrigger::EscalationBurst,
+                                self.trap_count,
+                            );
+                        }
+                    }
+                    if let Some(reason) = deny_reason {
+                        self.procs[idx].kill(ExitReason::MonitorKill { nr, reason });
+                        return;
                     }
                 } else {
                     // SECCOMP_RET_TRACE with no tracer attached: Linux
@@ -576,6 +715,12 @@ pub struct WorldSnapshot {
     quantum: u64,
     legacy_interp: bool,
     faults: Option<FaultInjector>,
+    flight: FlightRecorder,
+    flight_dumps: Vec<FlightDump>,
+    last_rung: u8,
+    esc_window: u16,
+    esc_window_len: u8,
+    burst_cooldown: u64,
     shared_pages: u64,
 }
 
@@ -637,6 +782,12 @@ impl World {
             quantum: self.quantum,
             legacy_interp: self.legacy_interp,
             faults: self.faults.as_ref().map(|f| f.borrow().clone()),
+            flight: self.flight.borrow().clone(),
+            flight_dumps: self.flight_dumps.clone(),
+            last_rung: self.last_rung,
+            esc_window: self.esc_window,
+            esc_window_len: self.esc_window_len,
+            burst_cooldown: self.burst_cooldown,
             shared_pages,
         }
     }
@@ -662,6 +813,12 @@ impl World {
             quantum: snap.quantum,
             legacy_interp: snap.legacy_interp,
             faults: snap.faults.clone().map(RefCell::new),
+            flight: RefCell::new(snap.flight.clone()),
+            flight_dumps: snap.flight_dumps.clone(),
+            last_rung: snap.last_rung,
+            esc_window: snap.esc_window,
+            esc_window_len: snap.esc_window_len,
+            burst_cooldown: snap.burst_cooldown,
         }
     }
 

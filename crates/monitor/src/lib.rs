@@ -31,7 +31,7 @@ pub use filter::{build_filter, build_filter_with_mode, build_filter_with_trace};
 
 use bastion_compiler::ContextMetadata;
 use bastion_kernel::{EscalateReason, Pid, PrefilterVerdict, TraceVerdict, Tracee, Tracer};
-use bastion_obs::{self as obs, DenyContext, DenyRecord, FaultCtx, Phase};
+use bastion_obs::{self as obs, DenyContext, DenyRecord, FaultCtx, FlightEntry, Phase};
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -149,6 +149,16 @@ impl MonitorMode {
             MonitorMode::Full => "full",
             MonitorMode::Degraded => "degraded",
             MonitorMode::FailClosed => "fail-closed",
+        }
+    }
+
+    /// Stable small-integer rung for compact surfaces (flight-recorder
+    /// entries, `bastion top`): 0 = full, 1 = degraded, 2 = fail-closed.
+    pub fn rung(self) -> u8 {
+        match self {
+            MonitorMode::Full => 0,
+            MonitorMode::Degraded => 1,
+            MonitorMode::FailClosed => 2,
         }
     }
 }
@@ -720,7 +730,13 @@ impl Monitor {
     /// [`DenyRecord`] to the audit log and streaming it to any installed
     /// sink. The rendered reason is byte-identical to the legacy
     /// `"{label}: {msg}"` string.
-    fn deny(&mut self, nr: u32, v: verify::Violation, vcycles: u64) -> TraceVerdict {
+    fn deny(
+        &mut self,
+        nr: u32,
+        v: verify::Violation,
+        vcycles: u64,
+        flight: Vec<FlightEntry>,
+    ) -> TraceVerdict {
         match v.ctx {
             ContextKind::CallType => self.stats.ct_violations += 1,
             ContextKind::ControlFlow => self.stats.cf_violations += 1,
@@ -750,6 +766,7 @@ impl Monitor {
             fault_ctx,
             ladder_rung,
             message: v.msg,
+            flight,
         };
         obs::instant(Phase::Deny, rec.trap_seq, vcycles, 0);
         obs::counter_add("monitor.denies", 1);
@@ -828,6 +845,14 @@ impl Tracer for Monitor {
         }
     }
 
+    fn flow_word(&self, pid: Pid) -> u64 {
+        self.pf.as_ref().map_or(0, |pf| pf.state_word(pid))
+    }
+
+    fn ladder_rung(&self) -> u8 {
+        self.res.borrow().mode.rung()
+    }
+
     fn prefilter(&mut self, tracee: &mut Tracee<'_>, faults_installed: bool) -> PrefilterVerdict {
         // Every classify counts as a trap, whichever tier settles it —
         // `traps` stays comparable with prefilter off, and the deny log's
@@ -895,6 +920,7 @@ impl Tracer for Monitor {
                     "monitor fail-closed: tracee state untrusted after repeated substrate failures",
                 ),
                 tracee.charged(),
+                tracee.flight_dump(),
             );
             self.sync_counters();
             return v;
@@ -911,7 +937,7 @@ impl Tracer for Monitor {
         let regs = match got {
             Ok(r) => r,
             Err(v) => {
-                let verdict = self.deny(0, v, tracee.charged());
+                let verdict = self.deny(0, v, tracee.charged(), tracee.flight_dump());
                 self.sync_counters();
                 return verdict;
             }
@@ -930,6 +956,7 @@ impl Tracer for Monitor {
                     "monitor degraded: control-flow/argument contexts unverifiable",
                 ),
                 tracee.charged(),
+                tracee.flight_dump(),
             );
             self.sync_counters();
             return v;
@@ -950,7 +977,7 @@ impl Tracer for Monitor {
                 self.log.push((nr, true));
                 TraceVerdict::Allow
             }
-            Err(v) => self.deny(nr, v, tracee.charged()),
+            Err(v) => self.deny(nr, v, tracee.charged(), tracee.flight_dump()),
         };
         self.sync_counters();
         verdict

@@ -304,6 +304,13 @@ impl Prefilter {
         }
     }
 
+    /// The flow-automaton state word for `pid`: 0 = no sensitive trap
+    /// seen yet, `i + 1` = the last trapped nr was `nrs[i]`. Host-side
+    /// observability (flight-recorder entries); charges nothing.
+    pub fn state_word(&self, pid: Pid) -> u64 {
+        self.state.get(&pid).map_or(0, |&s| s as u64)
+    }
+
     fn nr_pos(&self, nr: u32) -> Option<usize> {
         self.nrs.binary_search(&nr).ok()
     }

@@ -235,6 +235,11 @@ pub struct DenyRecord {
     pub ladder_rung: String,
     /// The legacy message body (everything after the "CT: " prefix).
     pub message: String,
+    /// Flight-recorder dump joined at deny time: the per-trap summaries
+    /// leading up to (and including, in-flight) the denied trap, oldest
+    /// first. Empty only for records built before the recorder existed
+    /// (tests) or denies outside a world (none today).
+    pub flight: Vec<crate::flight::FlightEntry>,
 }
 
 impl DenyRecord {
@@ -261,6 +266,7 @@ mod tests {
             fault_ctx: FaultCtx::default(),
             ladder_rung: "full".into(),
             message: "argument 1: 0xdead != shadow value 0x0".into(),
+            flight: Vec::new(),
         };
         assert_eq!(rec.render(), "AI: argument 1: 0xdead != shadow value 0x0");
     }
@@ -291,6 +297,7 @@ mod tests {
             fault_ctx: FaultCtx::default(),
             ladder_rung: "full".into(),
             message: "syscall 59 is not-callable".into(),
+            flight: Vec::new(),
         };
         let json = serde_json::to_string(&rec).unwrap();
         assert!(json.contains("\"trap_seq\""));

@@ -223,6 +223,265 @@ pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
     serde_json::to_string_pretty(snapshot).expect("metrics snapshot serializes")
 }
 
+/// Renders a metrics snapshot as one compact JSON line for the periodic
+/// JSONL snapshot stream (`bastion top --jsonl`, and the `bastiond`
+/// per-tenant lanes to come). `labels` become top-level string fields
+/// (e.g. `world`/`tenant`), so a line is self-describing without a header.
+pub fn metrics_jsonl_line(snapshot: &MetricsSnapshot, labels: &[(&str, &str)]) -> String {
+    let mut fields: Vec<(&str, Value)> = labels
+        .iter()
+        .map(|&(k, v)| (k, Value::Str(v.to_string())))
+        .collect();
+    let counters: Vec<Value> = snapshot
+        .counters
+        .iter()
+        .map(|c| {
+            obj(vec![
+                ("name", Value::Str(c.name.clone())),
+                ("value", Value::UInt(c.value)),
+            ])
+        })
+        .collect();
+    fields.push(("counters", Value::Array(counters)));
+    let sketches: Vec<Value> = snapshot
+        .sketches
+        .iter()
+        .map(|s| {
+            obj(vec![
+                ("name", Value::Str(s.name.clone())),
+                ("count", Value::UInt(s.count)),
+                ("p50", Value::UInt(s.p50)),
+                ("p95", Value::UInt(s.p95)),
+                ("p99", Value::UInt(s.p99)),
+                ("p999", Value::UInt(s.p999)),
+            ])
+        })
+        .collect();
+    fields.push(("sketches", Value::Array(sketches)));
+    let hists: Vec<Value> = snapshot
+        .histograms
+        .iter()
+        .map(|h| {
+            obj(vec![
+                ("name", Value::Str(h.name.clone())),
+                ("count", Value::UInt(h.count)),
+                ("sum", Value::UInt(h.sum)),
+            ])
+        })
+        .collect();
+    fields.push(("histograms", Value::Array(hists)));
+    serde_json::to_string(&RawValue(obj(fields))).expect("jsonl line serializes")
+}
+
+/// Sanitizes a dotted metric name into a Prometheus metric name:
+/// `kernel.cycles_per_trap` → `bastion_kernel_cycles_per_trap`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("bastion_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders a label set (plus an optional extra pair) as `{k="v",...}`,
+/// empty string when there are no labels.
+fn prom_labels(labels: &[(&str, &str)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|&(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// (version 0.0.4): counters as `counter`, histograms as cumulative
+/// `histogram` families (`_bucket`/`_sum`/`_count` with an `+Inf` edge),
+/// and quantile sketches as `summary` families (p50/p95/p99/p999
+/// `quantile` series plus `_sum`/`_count`). `labels` are attached to
+/// every sample — the per-World/tenant lane mechanism `bastiond` reuses.
+pub fn prometheus_text(snapshot: &MetricsSnapshot, labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for c in &snapshot.counters {
+        let name = prom_name(&c.name);
+        out.push_str(&format!("# TYPE {name} counter\n"));
+        out.push_str(&format!(
+            "{name}{} {}\n",
+            prom_labels(labels, None),
+            c.value
+        ));
+    }
+    for h in &snapshot.histograms {
+        let name = prom_name(&h.name);
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for b in &h.buckets {
+            cumulative += b.count;
+            let le = if b.le == u64::MAX {
+                "+Inf".to_string()
+            } else {
+                b.le.to_string()
+            };
+            out.push_str(&format!(
+                "{name}_bucket{} {cumulative}\n",
+                prom_labels(labels, Some(("le", &le)))
+            ));
+        }
+        out.push_str(&format!(
+            "{name}_sum{} {}\n",
+            prom_labels(labels, None),
+            h.sum
+        ));
+        out.push_str(&format!(
+            "{name}_count{} {}\n",
+            prom_labels(labels, None),
+            h.count
+        ));
+    }
+    for s in &snapshot.sketches {
+        let name = prom_name(&s.name);
+        out.push_str(&format!("# TYPE {name} summary\n"));
+        for (q, v) in s.lanes() {
+            out.push_str(&format!(
+                "{name}{} {v}\n",
+                prom_labels(labels, Some(("quantile", q)))
+            ));
+        }
+        out.push_str(&format!(
+            "{name}_sum{} {}\n",
+            prom_labels(labels, None),
+            s.sum
+        ));
+        out.push_str(&format!(
+            "{name}_count{} {}\n",
+            prom_labels(labels, None),
+            s.count
+        ));
+    }
+    out
+}
+
+/// Shape summary of a validated Prometheus exposition document.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PromShape {
+    /// Total samples (non-comment lines).
+    pub samples: usize,
+    /// `# TYPE` families declared.
+    pub families: usize,
+    /// Histogram families (checked for `+Inf` edge and `_sum`/`_count`).
+    pub histograms: usize,
+    /// Summary families (checked for quantile series and `_sum`/`_count`).
+    pub summaries: usize,
+}
+
+/// Validates Prometheus text exposition shape: every sample line parses
+/// as `name[{labels}] value`, every sample's family was declared by a
+/// preceding `# TYPE`, histogram buckets are cumulative and end at
+/// `+Inf`, and histogram/summary families carry `_sum` and `_count`.
+///
+/// # Errors
+/// Returns a description of the first malformed line or family.
+pub fn validate_prometheus(text: &str) -> Result<PromShape, String> {
+    let mut shape = PromShape::default();
+    let mut families: Vec<(String, String)> = Vec::new();
+    let mut seen: Vec<String> = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or(format!("line {ln}: TYPE without name"))?;
+            let kind = it.next().ok_or(format!("line {ln}: TYPE without kind"))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary") {
+                return Err(format!("line {ln}: unknown TYPE kind `{kind}`"));
+            }
+            families.push((name.to_string(), kind.to_string()));
+            shape.families += 1;
+            match kind {
+                "histogram" => shape.histograms += 1,
+                "summary" => shape.summaries += 1,
+                _ => {}
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {ln}: no value: `{line}`"))?;
+        if value.parse::<f64>().is_err() {
+            return Err(format!("line {ln}: non-numeric value `{value}`"));
+        }
+        let name_part = series.split('{').next().unwrap_or(series);
+        if name_part.is_empty()
+            || !name_part
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {ln}: bad metric name `{name_part}`"));
+        }
+        if series.contains('{') && !series.ends_with('}') {
+            return Err(format!("line {ln}: unterminated label set"));
+        }
+        let family = families.iter().find(|(f, _)| {
+            name_part == f
+                || name_part
+                    .strip_prefix(f.as_str())
+                    .is_some_and(|sfx| matches!(sfx, "_bucket" | "_sum" | "_count"))
+        });
+        if family.is_none() {
+            return Err(format!("line {ln}: sample `{name_part}` has no # TYPE"));
+        }
+        shape.samples += 1;
+        seen.push(series.to_string());
+    }
+    // Family completeness: histograms need a +Inf bucket edge, both
+    // histograms and summaries need _sum and _count.
+    for (name, kind) in &families {
+        if kind == "histogram" {
+            let inf = seen
+                .iter()
+                .any(|s| s.starts_with(&format!("{name}_bucket")) && s.contains("le=\"+Inf\""));
+            if !inf {
+                return Err(format!("histogram `{name}` missing +Inf bucket"));
+            }
+        }
+        if kind == "histogram" || kind == "summary" {
+            for sfx in ["_sum", "_count"] {
+                if !seen
+                    .iter()
+                    .any(|s| s.split('{').next().unwrap_or(s) == format!("{name}{sfx}").as_str())
+                {
+                    return Err(format!("family `{name}` missing {name}{sfx}"));
+                }
+            }
+        }
+        if kind == "summary" {
+            let q = seen
+                .iter()
+                .any(|s| s.starts_with(name.as_str()) && s.contains("quantile=\""));
+            if !q {
+                return Err(format!("summary `{name}` has no quantile series"));
+            }
+        }
+    }
+    Ok(shape)
+}
+
 /// Per-phase aggregation of an event stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhaseTotal {
@@ -365,6 +624,70 @@ mod tests {
             {"name":"trap","ph":"E","ts":100,"pid":1,"tid":1}
         ]}"#;
         assert!(validate_chrome_trace(json).is_err());
+    }
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut r = crate::metrics::MetricsRegistry::new();
+        r.counter_add("monitor.denies", 3);
+        r.observe("kernel.cycles_per_trap", 120);
+        r.observe("kernel.cycles_per_trap", 7000);
+        for v in [100u64, 200, 300, 5000] {
+            r.sketch_observe("trap.verify_cycles", v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn prometheus_exposition_validates() {
+        let snap = sample_snapshot();
+        let text = prometheus_text(&snap, &[("world", "webserve")]);
+        let shape = validate_prometheus(&text).expect("valid exposition");
+        assert_eq!(shape.families, 3);
+        assert_eq!(shape.histograms, 1);
+        assert_eq!(shape.summaries, 1);
+        assert!(text.contains("bastion_monitor_denies{world=\"webserve\"} 3"));
+        assert!(text.contains("le=\"+Inf\""));
+        assert!(text.contains("quantile=\"0.99\""));
+        assert!(text.contains("bastion_trap_verify_cycles_count{world=\"webserve\"} 4"));
+        // Histogram buckets are cumulative: the +Inf bucket equals _count.
+        let inf = text
+            .lines()
+            .find(|l| l.contains("le=\"+Inf\""))
+            .and_then(|l| l.rsplit_once(' '))
+            .map(|(_, v)| v)
+            .unwrap();
+        assert_eq!(inf, "2");
+        // Unlabelled exposition also validates.
+        validate_prometheus(&prometheus_text(&snap, &[])).expect("unlabelled validates");
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_malformed() {
+        assert!(validate_prometheus("bastion_x 1\n").is_err(), "no # TYPE");
+        assert!(validate_prometheus("# TYPE bastion_x counter\nbastion_x notanumber\n").is_err());
+        assert!(validate_prometheus("# TYPE bastion_x widget\n").is_err());
+        assert!(
+            validate_prometheus("# TYPE bastion_x histogram\nbastion_x_bucket{le=\"1\"} 1\n")
+                .is_err(),
+            "histogram without +Inf/_sum/_count must fail"
+        );
+        assert!(
+            validate_prometheus("# TYPE bastion_x counter\nbastion_x{world=\"w\" 1\n").is_err(),
+            "unterminated label set must fail"
+        );
+    }
+
+    #[test]
+    fn jsonl_line_is_single_line_with_labels() {
+        let snap = sample_snapshot();
+        let line = metrics_jsonl_line(&snap, &[("world", "dbkv"), ("tenant", "7")]);
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("{\"world\":\"dbkv\",\"tenant\":\"7\""));
+        assert!(line.contains("\"sketches\""));
+        assert!(line.contains("\"p999\""));
+        // And it parses back as JSON.
+        let v: super::RawValue = serde_json::from_str(&line).expect("parses");
+        assert!(matches!(v.0, Value::Object(_)));
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! # bastion-obs
 //!
 //! End-to-end telemetry for the BASTION stack: per-trap span tracing, a
-//! metrics registry, the deny-provenance audit log, and exporters (Chrome
-//! `trace_event` JSON, metrics JSON). Zero external dependencies beyond the
-//! in-repo serde shims.
+//! metrics registry with mergeable quantile sketches, the deny-provenance
+//! audit log, an always-on flight recorder, and exporters (Chrome
+//! `trace_event` JSON, metrics JSON/JSONL, Prometheus text exposition).
+//! Zero external dependencies beyond the in-repo serde shims.
 //!
 //! ## Overhead policy
 //!
@@ -32,17 +33,22 @@
 
 pub mod deny;
 pub mod export;
+pub mod flight;
 pub mod metrics;
+pub mod sketch;
 pub mod span;
 
 pub use deny::{DenyContext, DenyRecord, DenyRule, FaultCtx};
 pub use export::{
-    chrome_trace_json, chrome_trace_json_parts, metrics_json, phase_totals, validate_chrome_trace,
-    PhaseTotal, TraceShape,
+    chrome_trace_json, chrome_trace_json_parts, metrics_json, metrics_jsonl_line, phase_totals,
+    prometheus_text, validate_chrome_trace, validate_prometheus, PhaseTotal, PromShape, TraceShape,
 };
+pub use flight::{FlightDump, FlightEntry, FlightRecorder, FlightTrigger};
 pub use metrics::{
     BucketSnapshot, CounterSnapshot, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    BOUNDS_MISMATCH_COUNTER,
 };
+pub use sketch::{QuantileSketch, SketchBucket, SketchSnapshot};
 pub use span::{EventKind, Phase, SpanTracer, TraceEvent};
 
 use std::cell::{Cell, RefCell};
@@ -217,6 +223,20 @@ pub fn observe(name: &'static str, value: u64) {
     });
 }
 
+/// Records `value` into the named quantile sketch (log-bucketed, see
+/// [`sketch::QuantileSketch`]). A no-op when telemetry is disabled.
+#[inline]
+pub fn sketch_observe(name: &'static str, value: u64) {
+    if !ENABLED.with(Cell::get) {
+        return;
+    }
+    METRICS.with(|m| {
+        if let Some(r) = m.borrow_mut().as_mut() {
+            r.sketch_observe(name, value);
+        }
+    });
+}
+
 /// Registers a histogram with explicit bucket bounds (ascending upper
 /// edges; an overflow bucket is implicit). A no-op when disabled.
 pub fn register_histogram(name: &'static str, bounds: &[u64]) {
@@ -275,9 +295,11 @@ mod tests {
         instant(Phase::Retry, 1, 150, 1);
         counter_add("x", 1);
         observe("y", 5);
+        sketch_observe("z", 9);
         assert_eq!(event_count(), 0);
         assert!(take_events().is_empty());
         assert!(metrics_snapshot().counters.is_empty());
+        assert!(metrics_snapshot().sketches.is_empty());
     }
 
     #[test]
@@ -349,6 +371,7 @@ mod tests {
             fault_ctx: FaultCtx::default(),
             ladder_rung: "full".to_string(),
             message: "syscall 59 is not-callable".to_string(),
+            flight: Vec::new(),
         };
         emit_deny(&rec);
         clear_deny_sink();

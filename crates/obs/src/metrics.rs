@@ -7,6 +7,7 @@
 //! depth). All storage is owned by the registry; recording allocates only
 //! on first use of a name.
 
+use crate::sketch::{QuantileSketch, SketchSnapshot};
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -14,6 +15,12 @@ use std::collections::BTreeMap;
 pub const DEFAULT_BOUNDS: &[u64] = &[
     1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
 ];
+
+/// Counter bumped by [`MetricsRegistry::merge`] whenever two same-named
+/// histograms carried different bucket bounds — the merged distribution
+/// credited the foreign observations to the overflow slot, so per-bucket
+/// shape is no longer trustworthy for that name.
+pub const BOUNDS_MISMATCH_COUNTER: &str = "obs.histogram_bounds_mismatch";
 
 /// A fixed-bucket histogram.
 #[derive(Debug, Clone)]
@@ -43,22 +50,26 @@ impl Histogram {
     /// elementwise when the bounds agree (the fleet case: every worker
     /// registers the same bounds). With mismatched bounds the per-bucket
     /// placement is unrecoverable, so the other side's observations are
-    /// folded into the aggregate stats and credited to the overflow slot.
-    fn absorb(&mut self, other: &Histogram) {
+    /// folded into the aggregate stats and credited to the overflow slot
+    /// — and the mismatch is reported back (`true`) so the registry can
+    /// record it instead of silently corrupting the distribution.
+    fn absorb(&mut self, other: &Histogram) -> bool {
         if other.count == 0 {
-            return;
+            return false;
         }
-        if self.bounds == other.bounds {
+        let mismatched = self.bounds != other.bounds;
+        if mismatched {
+            *self.counts.last_mut().expect("overflow slot") += other.count;
+        } else {
             for (slot, n) in self.counts.iter_mut().zip(other.counts.iter()) {
                 *slot += n;
             }
-        } else {
-            *self.counts.last_mut().expect("overflow slot") += other.count;
         }
         self.count += other.count;
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        mismatched
     }
 
     fn observe(&mut self, value: u64) {
@@ -75,11 +86,12 @@ impl Histogram {
     }
 }
 
-/// Counters + histograms for one thread of execution.
+/// Counters + histograms + quantile sketches for one thread of execution.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<&'static str, u64>,
     hists: BTreeMap<&'static str, Histogram>,
+    sketches: BTreeMap<&'static str, QuantileSketch>,
 }
 
 impl MetricsRegistry {
@@ -111,22 +123,52 @@ impl MetricsRegistry {
             .observe(value);
     }
 
+    /// Records `value` into the named quantile sketch, creating it on
+    /// first use (sketches have no bounds to declare).
+    pub fn sketch_observe(&mut self, name: &'static str, value: u64) {
+        self.sketches.entry(name).or_default().observe(value);
+    }
+
+    /// Read access to a named sketch (percentile queries mid-run).
+    pub fn sketch(&self, name: &str) -> Option<&QuantileSketch> {
+        self.sketches.get(name)
+    }
+
     /// Merges another registry into this one: counters add, histograms
-    /// fold elementwise when their bounds agree (see `Histogram::absorb`).
-    /// The fleet runner uses this to stitch per-worker registries into one
-    /// deterministic aggregate — merging in task order yields the same
-    /// registry regardless of how tasks were scheduled across threads,
-    /// because both maps are name-keyed and every operation commutes.
+    /// fold elementwise when their bounds agree (see `Histogram::absorb`),
+    /// sketches fold per log-bucket (always safe — the bucket mapping is
+    /// global, not per-instance). The fleet runner uses this to stitch
+    /// per-worker registries into one deterministic aggregate — merging in
+    /// task order yields the same registry regardless of how tasks were
+    /// scheduled across threads, because all maps are name-keyed and every
+    /// operation commutes. A histogram pair with mismatched bounds bumps
+    /// [`BOUNDS_MISMATCH_COUNTER`] instead of corrupting silently.
     pub fn merge(&mut self, other: MetricsRegistry) {
         for (name, value) in other.counters {
             *self.counters.entry(name).or_insert(0) += value;
         }
+        let mut mismatches = 0u64;
         for (name, h) in other.hists {
             match self.hists.entry(name) {
                 std::collections::btree_map::Entry::Vacant(e) => {
                     e.insert(h);
                 }
-                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().absorb(&h),
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    if e.get_mut().absorb(&h) {
+                        mismatches += 1;
+                    }
+                }
+            }
+        }
+        if mismatches > 0 {
+            *self.counters.entry(BOUNDS_MISMATCH_COUNTER).or_insert(0) += mismatches;
+        }
+        for (name, s) in other.sketches {
+            match self.sketches.entry(name) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(s);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(&s),
             }
         }
     }
@@ -160,6 +202,11 @@ impl MetricsRegistry {
                         .map(|(le, count)| BucketSnapshot { le, count })
                         .collect(),
                 })
+                .collect(),
+            sketches: self
+                .sketches
+                .iter()
+                .map(|(&name, s)| s.snapshot(name))
                 .collect(),
         }
     }
@@ -218,6 +265,8 @@ pub struct MetricsSnapshot {
     pub counters: Vec<CounterSnapshot>,
     /// All histograms, name-sorted.
     pub histograms: Vec<HistogramSnapshot>,
+    /// All quantile sketches, name-sorted.
+    pub sketches: Vec<SketchSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -232,6 +281,17 @@ impl MetricsSnapshot {
     /// Looks a histogram up by name.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Looks a quantile sketch up by name.
+    pub fn sketch(&self, name: &str) -> Option<&SketchSnapshot> {
+        self.sketches.iter().find(|s| s.name == name)
+    }
+
+    /// Histogram merges that crossed mismatched bucket bounds (0 when the
+    /// counter was never bumped) — surfaced in `bastion stats`.
+    pub fn bounds_mismatches(&self) -> u64 {
+        self.counter(BOUNDS_MISMATCH_COUNTER).unwrap_or(0)
     }
 }
 
@@ -320,6 +380,70 @@ mod tests {
     }
 
     #[test]
+    fn merge_mismatched_bounds_is_counted() {
+        let mut a = MetricsRegistry::new();
+        a.register_histogram("h", &[10]);
+        a.observe("h", 5);
+        a.register_histogram("k", &[10]);
+        a.observe("k", 5);
+        let mut b = MetricsRegistry::new();
+        b.register_histogram("h", &[1, 2]);
+        b.observe("h", 9);
+        b.register_histogram("k", &[10]);
+        b.observe("k", 9);
+        a.merge(b);
+        let s = a.snapshot();
+        // One of the two merges crossed bounds; exactly one is recorded.
+        assert_eq!(s.bounds_mismatches(), 1);
+        assert_eq!(s.counter(BOUNDS_MISMATCH_COUNTER), Some(1));
+        // A clean merge leaves the counter untouched (no counter at all).
+        let mut c = MetricsRegistry::new();
+        c.register_histogram("k", &[10]);
+        c.observe("k", 1);
+        let mut d = MetricsRegistry::new();
+        d.register_histogram("k", &[10]);
+        d.observe("k", 2);
+        c.merge(d);
+        assert_eq!(c.snapshot().bounds_mismatches(), 0);
+        // Empty-on-mismatched-bounds is also clean: nothing was credited
+        // to the overflow slot, so nothing is reported.
+        let mut e = MetricsRegistry::new();
+        e.register_histogram("h", &[10]);
+        let mut f = MetricsRegistry::new();
+        f.register_histogram("h", &[1, 2]);
+        e.merge(f);
+        assert_eq!(e.snapshot().bounds_mismatches(), 0);
+    }
+
+    #[test]
+    fn sketches_register_merge_and_snapshot() {
+        let mut a = MetricsRegistry::new();
+        for v in [10u64, 20, 3000] {
+            a.sketch_observe("lat", v);
+        }
+        let mut b = MetricsRegistry::new();
+        b.sketch_observe("lat", 40);
+        b.sketch_observe("other", 7);
+        a.merge(b);
+        let s = a.snapshot();
+        let lat = s.sketch("lat").unwrap();
+        assert_eq!(lat.count, 4);
+        assert_eq!(lat.min, 10);
+        assert!(lat.p999 >= lat.p50);
+        assert_eq!(s.sketch("other").unwrap().count, 1);
+        assert!(a.sketch("lat").is_some());
+        // Single-stream equivalence of the merged registry sketch.
+        let mut single = MetricsRegistry::new();
+        for v in [10u64, 20, 3000, 40] {
+            single.sketch_observe("lat", v);
+        }
+        assert_eq!(
+            serde_json::to_string(lat).unwrap(),
+            serde_json::to_string(single.snapshot().sketch("lat").unwrap()).unwrap()
+        );
+    }
+
+    #[test]
     fn merge_order_is_immaterial() {
         let build = |vals: &[u64]| {
             let mut r = MetricsRegistry::new();
@@ -355,6 +479,19 @@ mod tests {
         r.register_histogram("e", &[1]);
         let s = r.snapshot();
         assert_eq!(s.histogram("e").unwrap().min, 0);
+        // The sentinel must not escape through serialization either (the
+        // overflow bucket's `le` is the only legitimate u64::MAX).
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(
+            json.contains("\"min\":0"),
+            "serialized min must be normalized to 0: {json}"
+        );
+        assert!(!json.contains(&format!("\"min\":{}", u64::MAX)));
+        // ...nor through a merge chain of empty histograms.
+        let mut other = MetricsRegistry::new();
+        other.register_histogram("e", &[1]);
+        r.merge(other);
+        assert_eq!(r.snapshot().histogram("e").unwrap().min, 0);
     }
 
     #[test]

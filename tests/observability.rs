@@ -1,0 +1,178 @@
+//! Serving-observability contract tests (DESIGN.md §6j):
+//!
+//! * quantile-sketch merges are **shard- and interpreter-invariant** —
+//!   the fleet-merged sketch state is byte-identical for any worker
+//!   count, on either interpreter;
+//! * every deny carries a **flight-recorder dump** whose last entry is
+//!   the denied trap itself (tier 2, still in flight when the verdict
+//!   landed);
+//! * the flight ring is part of the world's deterministic state: it
+//!   survives snapshot/restore bit-for-bit.
+
+use bastion::apps::App;
+use bastion::chaos::attack_chaos;
+use bastion::compiler::BastionCompiler;
+use bastion::harness::{run_app_benchmark, WorkloadSize};
+use bastion::kernel::{FaultKind, FaultSchedule, LegacyInterpGuard, Trigger};
+use bastion::monitor::{ContextConfig, Resilience};
+use bastion::obs::flight::verdict;
+use bastion::obs::FlightTrigger;
+use bastion::vm::CostModel;
+use bastion::{fleet, obs, Deployment, Protection};
+
+/// Runs the three workload apps sharded over `jobs` fleet workers, one
+/// telemetry scope per app, and returns the merged sketch state
+/// serialized (percentile lanes *and* raw buckets).
+fn merged_sketches(jobs: usize, legacy: bool) -> String {
+    let regs = fleet::run_ordered(
+        jobs,
+        vec![App::Webserve, App::Dbkv, App::Ftpd],
+        |_, &app| {
+            let _engine = LegacyInterpGuard::set(legacy);
+            let guard = obs::TelemetryGuard::enable(1 << 15);
+            run_app_benchmark(
+                app,
+                &Protection::full(),
+                &WorkloadSize::quick(),
+                &BastionCompiler::new(),
+                CostModel::default(),
+            );
+            let (_events, registry) = guard.finish();
+            registry
+        },
+    );
+    let mut merged = obs::MetricsRegistry::new();
+    for r in regs {
+        merged.merge(r);
+    }
+    serde_json::to_string(&merged.snapshot().sketches).expect("sketches serialize")
+}
+
+#[test]
+fn sketch_merge_is_shard_and_interpreter_invariant() {
+    let serial = merged_sketches(1, false);
+    assert!(
+        serial.contains("trap.verify_cycles") && serial.contains("loadgen.request_cycles"),
+        "expected trap + loadgen sketch lanes, got: {serial}"
+    );
+    assert_eq!(serial, merged_sketches(2, false), "2 workers diverged");
+    assert_eq!(serial, merged_sketches(4, false), "4 workers diverged");
+    assert_eq!(
+        serial,
+        merged_sketches(1, true),
+        "legacy interpreter diverged"
+    );
+}
+
+#[test]
+fn every_chaos_deny_joins_a_flight_dump() {
+    let catalog = bastion_attacks::catalog();
+    let scenario = catalog.iter().find(|s| s.id == 1).expect("row 1 exists");
+    let reports = attack_chaos(scenario, ContextConfig::full(), &[0xA77C_0001]);
+    assert!(!reports.is_empty());
+    let mut denies = 0usize;
+    for report in &reports {
+        assert!(
+            report.denies_carry_flight(),
+            "#{} `{}`: a deny record lost its flight dump",
+            report.id,
+            report.schedule
+        );
+        for d in &report.deny_records {
+            denies += 1;
+            let last = d.flight.last().expect("deny carries ring entries");
+            // The denied trap is the newest ring entry, recorded at
+            // tier-2 entry and still PENDING when the monitor's verdict
+            // (and with it the DenyRecord) was produced.
+            assert_eq!(last.trap, d.trap_seq);
+            assert_eq!(last.tier, 2);
+            assert_eq!(last.verdict, verdict::PENDING);
+            // Everything older in the ring was finalized.
+            for e in &d.flight[..d.flight.len() - 1] {
+                assert!(e.trap < last.trap, "ring out of order: {e:?}");
+                assert_ne!(e.verdict, verdict::PENDING, "unfinalized entry {e:?}");
+            }
+        }
+    }
+    assert!(denies > 0, "attack #1 never produced a deny under chaos");
+}
+
+/// Enough sensitive traps (mmap + mprotect in a loop) to wrap nothing
+/// but populate the ring with finalized entries.
+const TRAPPY: &str = r#"
+    long main() {
+        long a;
+        long i;
+        a = mmap(0, 8192, 3, 0x21, 0 - 1, 0);
+        i = 0;
+        while (i < 6) {
+            a = a + 0 * mprotect(a, 4096, 3);
+            i = i + 1;
+        }
+        return a > 0;
+    }
+"#;
+
+#[test]
+fn ladder_transition_captures_a_triggered_flight_dump() {
+    let d = Deployment::from_minic("flight-rung", &[TRAPPY]).expect("compiles");
+    let mut protection = Protection::full();
+    protection.monitor = Some(ContextConfig::full().with_resilience(Resilience {
+        degrade_after: 1,
+        fail_closed_after: 100,
+        ..Resilience::default()
+    }));
+    let mut world = d.world();
+    d.launch(&mut world, &protection);
+    // One fully-faulted trap exhausts retries, strikes once, and pushes
+    // the monitor onto the Degraded rung at that same trap — the rung
+    // check runs after the verdict settles, so the dump is captured even
+    // though the fail-closed deny then kills the process.
+    world.install_faults(
+        FaultSchedule::new(0xF116_0001)
+            .with(FaultKind::ReadError, Trigger::TrapRange { from: 1, to: 2 }),
+    );
+    world.run(10_000_000);
+
+    let dumps = world.flight_dumps();
+    let rung_dump = dumps
+        .iter()
+        .find(|dump| matches!(dump.trigger, FlightTrigger::LadderRung))
+        .unwrap_or_else(|| panic!("no ladder-rung dump captured: {dumps:?}"));
+    assert!(
+        !rung_dump.entries.is_empty(),
+        "triggered dump carries ring context"
+    );
+    // The dump was taken at the transitioning trap, with the ring holding
+    // the traps that led up to it.
+    assert!(rung_dump.entries.iter().any(|e| e.trap == rung_dump.trap));
+}
+
+#[test]
+fn flight_ring_survives_snapshot_restore() {
+    let d = Deployment::from_minic("flight-snap", &[TRAPPY]).expect("compiles");
+    let mut live = d.world();
+    d.launch(&mut live, &Protection::full());
+    // Stop mid-run so the ring holds a partial history.
+    live.run(40_000);
+    assert!(live.flight_total() > 0, "no traps recorded before snapshot");
+    let snap = live.snapshot();
+
+    let mut restored = bastion::kernel::World::restore(&snap);
+    assert_eq!(restored.flight_total(), live.flight_total());
+    assert_eq!(restored.flight_dump(), live.flight_dump());
+
+    // Replaying both to completion keeps the rings bit-identical.
+    live.run(10_000_000);
+    restored.run(10_000_000);
+    assert_eq!(live.alive_count(), 0, "program should have exited");
+    assert_eq!(restored.flight_total(), live.flight_total());
+    assert_eq!(restored.flight_dump(), live.flight_dump());
+    let final_dump = live.flight_dump();
+    assert!(
+        final_dump
+            .iter()
+            .all(|e| e.verdict == verdict::ALLOW && e.vcycles > 0),
+        "clean-path entries must be finalized allows: {final_dump:?}"
+    );
+}

@@ -17,6 +17,7 @@
 pub mod dbkv;
 pub mod ftpd;
 pub mod loadgen;
+pub mod traffic;
 pub mod webserve;
 
 use bastion_ir::Module;

@@ -174,8 +174,9 @@ pub fn http_load(world: &mut World, port: u16, concurrency: usize, total: u64) -
 }
 
 /// If `buf` starts with a complete HTTP response (headers + body per
-/// `Content-Length`), returns its total length.
-fn complete_response(buf: &[u8]) -> Option<usize> {
+/// `Content-Length`), returns its total length. Shared with the stepped
+/// [`crate::traffic`] drivers so both frame responses identically.
+pub(crate) fn complete_response(buf: &[u8]) -> Option<usize> {
     let hdr_end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
     let headers = &buf[..hdr_end];
     let text = std::str::from_utf8(headers).ok()?;
@@ -273,7 +274,7 @@ pub fn tpcc_load(world: &mut World, port: u16, sessions: usize, total: u64) -> T
     stats
 }
 
-fn order_cmd(seq: u64) -> String {
+pub(crate) fn order_cmd(seq: u64) -> String {
     format!(
         "NEWORDER {} {} {}\n",
         1 + seq % 4,

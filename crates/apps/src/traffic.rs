@@ -1,0 +1,496 @@
+//! Stepped (non-blocking) traffic drivers for the `bastion serve`
+//! supervisor.
+//!
+//! The [`loadgen`](crate::loadgen) generators own the scheduler: they call
+//! `world.run` in a loop until the workload completes, which is right for
+//! one world run to completion but wrong for a supervisor multiplexing
+//! hundreds of tenant worlds under a round-robin quantum. These drivers
+//! invert control: [`Traffic::pump`] plays one slice of the client side —
+//! open connections, send what can be sent, consume what arrived — and
+//! returns, leaving every `world.run` call to the supervisor's scheduler.
+//!
+//! Protocol framing, keep-alive quotas, and the latency sketch lane
+//! ([`loadgen::REQUEST_CYCLES_SKETCH`]) are shared with the blocking
+//! generators, so per-request latency distributions are comparable between
+//! `bastion bench` and `bastion serve`.
+
+use crate::loadgen::{complete_response, order_cmd, KEEPALIVE_REQUESTS, REQUEST_CYCLES_SKETCH};
+use crate::App;
+use bastion_kernel::{ExtConnId, World};
+use bastion_obs as obs;
+
+/// A resumable client-side workload for one tenant world.
+#[derive(Debug)]
+pub enum Traffic {
+    /// wrk-style keep-alive HTTP load (webserve).
+    Http(HttpTraffic),
+    /// DBT2-style transaction sessions (dbkv).
+    Tpcc(TpccTraffic),
+    /// dkftpbench-style sequential download sessions (ftpd).
+    Ftp(FtpTraffic),
+}
+
+impl Traffic {
+    /// The standard driver for `app`: `requests` total requests /
+    /// transactions / downloads over `concurrency` client connections
+    /// (FTP sessions are sequential by construction, like dkftpbench).
+    pub fn for_app(app: App, requests: u64, concurrency: usize) -> Traffic {
+        match app {
+            App::Webserve => Traffic::Http(HttpTraffic::new(app.port(), concurrency, requests)),
+            App::Dbkv => Traffic::Tpcc(TpccTraffic::new(app.port(), concurrency, requests)),
+            App::Ftpd => Traffic::Ftp(FtpTraffic::new(
+                app.port(),
+                requests,
+                crate::ftpd::FILE_PATH,
+            )),
+        }
+    }
+
+    /// Plays one client slice against `world` without running the
+    /// scheduler. Returns whether any externally visible progress happened
+    /// (a connection opened, bytes moved, a request completed) — the
+    /// supervisor's stall detector keys off this.
+    pub fn pump(&mut self, world: &mut World) -> bool {
+        match self {
+            Traffic::Http(t) => t.pump(world),
+            Traffic::Tpcc(t) => t.pump(world),
+            Traffic::Ftp(t) => t.pump(world),
+        }
+    }
+
+    /// Whether the workload has fully completed (all requests served and
+    /// every client connection closed).
+    pub fn done(&self) -> bool {
+        match self {
+            Traffic::Http(t) => t.requests >= t.total && t.conns.is_empty(),
+            Traffic::Tpcc(t) => t.transactions >= t.total && t.closed,
+            Traffic::Ftp(t) => t.files >= t.downloads && t.state == FtpState::Between,
+        }
+    }
+
+    /// Requests / transactions / downloads completed so far.
+    pub fn served(&self) -> u64 {
+        match self {
+            Traffic::Http(t) => t.requests,
+            Traffic::Tpcc(t) => t.transactions,
+            Traffic::Ftp(t) => t.files,
+        }
+    }
+
+    /// Total requests this driver will issue.
+    pub fn target(&self) -> u64 {
+        match self {
+            Traffic::Http(t) => t.total,
+            Traffic::Tpcc(t) => t.total,
+            Traffic::Ftp(t) => t.downloads,
+        }
+    }
+
+    /// Payload bytes received so far (HTTP responses, FTP data).
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Traffic::Http(t) => t.bytes,
+            Traffic::Tpcc(_) => 0,
+            Traffic::Ftp(t) => t.bytes,
+        }
+    }
+}
+
+struct HttpConn {
+    id: ExtConnId,
+    buf: Vec<u8>,
+    remaining: u64,
+    outstanding: bool,
+    sent_at: u64,
+}
+
+impl std::fmt::Debug for HttpConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpConn")
+            .field("id", &self.id)
+            .field("remaining", &self.remaining)
+            .finish()
+    }
+}
+
+/// Stepped analogue of [`crate::loadgen::http_load`]: the same
+/// deterministic connection plan ([`KEEPALIVE_REQUESTS`] per keep-alive
+/// connection), one outstanding request per connection.
+#[derive(Debug)]
+pub struct HttpTraffic {
+    port: u16,
+    concurrency: usize,
+    total: u64,
+    plan: Vec<u64>,
+    next_conn: usize,
+    issued: u64,
+    conns: Vec<HttpConn>,
+    /// Completed requests.
+    pub requests: u64,
+    /// Response bytes received.
+    pub bytes: u64,
+}
+
+impl HttpTraffic {
+    /// A driver for `total` requests over `concurrency` connections.
+    pub fn new(port: u16, concurrency: usize, total: u64) -> Self {
+        let mut plan = Vec::new();
+        let mut left = total;
+        while left > 0 {
+            let q = KEEPALIVE_REQUESTS.min(left);
+            plan.push(q);
+            left -= q;
+        }
+        HttpTraffic {
+            port,
+            concurrency: concurrency.max(1),
+            total,
+            plan,
+            next_conn: 0,
+            issued: 0,
+            conns: Vec::new(),
+            requests: 0,
+            bytes: 0,
+        }
+    }
+
+    fn pump(&mut self, world: &mut World) -> bool {
+        const REQUEST: &[u8] = b"GET /index.html HTTP/1.1\r\nHost: bench\r\n\r\n";
+        let mut progressed = false;
+        while self.conns.len() < self.concurrency && self.next_conn < self.plan.len() {
+            let Some(id) = world.net_connect(self.port) else {
+                break; // backlog full; let the server drain first
+            };
+            let quota = self.plan[self.next_conn];
+            self.next_conn += 1;
+            world.net_send(id, REQUEST);
+            self.issued += 1;
+            progressed = true;
+            self.conns.push(HttpConn {
+                id,
+                buf: Vec::new(),
+                remaining: quota - 1,
+                outstanding: true,
+                sent_at: world.now(),
+            });
+        }
+        let mut i = 0;
+        while i < self.conns.len() {
+            let chunk = world.net_recv(self.conns[i].id);
+            if !chunk.is_empty() {
+                self.conns[i].buf.extend_from_slice(&chunk);
+                progressed = true;
+            }
+            while let Some(len) = complete_response(&self.conns[i].buf) {
+                self.conns[i].buf.drain(..len);
+                self.conns[i].outstanding = false;
+                obs::sketch_observe(
+                    REQUEST_CYCLES_SKETCH,
+                    world.now().saturating_sub(self.conns[i].sent_at),
+                );
+                self.requests += 1;
+                self.bytes += len as u64;
+                progressed = true;
+                if self.conns[i].remaining > 0 && self.issued < self.total {
+                    world.net_send(self.conns[i].id, REQUEST);
+                    self.conns[i].remaining -= 1;
+                    self.conns[i].outstanding = true;
+                    self.conns[i].sent_at = world.now();
+                    self.issued += 1;
+                }
+            }
+            let c = &self.conns[i];
+            let exhausted = !c.outstanding && (c.remaining == 0 || self.issued >= self.total);
+            if exhausted || world.net_server_closed(c.id) {
+                world.net_close(c.id);
+                self.conns.swap_remove(i);
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+        progressed
+    }
+}
+
+/// Stepped analogue of [`crate::loadgen::tpcc_load`]: long-lived terminal
+/// sessions, one outstanding NEWORDER per session.
+#[derive(Debug)]
+pub struct TpccTraffic {
+    port: u16,
+    sessions: usize,
+    total: u64,
+    /// `(conn, buffered_replies, sent_at)` per open session.
+    conns: Vec<(ExtConnId, u64, u64)>,
+    issued: u64,
+    started: bool,
+    closed: bool,
+    /// Committed transactions.
+    pub transactions: u64,
+}
+
+impl TpccTraffic {
+    /// A driver for `total` transactions over `sessions` terminals.
+    pub fn new(port: u16, sessions: usize, total: u64) -> Self {
+        TpccTraffic {
+            port,
+            sessions: sessions.max(1),
+            total,
+            conns: Vec::new(),
+            issued: 0,
+            started: false,
+            closed: false,
+            transactions: 0,
+        }
+    }
+
+    fn pump(&mut self, world: &mut World) -> bool {
+        if !self.started {
+            // Terminals connect up front and each seeds one transaction.
+            for _ in 0..self.sessions {
+                let Some(c) = world.net_connect(self.port) else {
+                    break;
+                };
+                world.net_send(c, order_cmd(self.issued).as_bytes());
+                self.conns.push((c, 0, world.now()));
+                self.issued += 1;
+            }
+            if self.conns.is_empty() {
+                return false; // server not parked in accept yet; retry
+            }
+            self.started = true;
+            return true;
+        }
+        let mut progressed = false;
+        let now = world.now();
+        for (c, buffered, sent_at) in &mut self.conns {
+            let chunk = world.net_recv(*c);
+            if chunk.is_empty() {
+                continue;
+            }
+            progressed = true;
+            *buffered += chunk.iter().filter(|&&b| b == b'\n').count() as u64;
+            while *buffered > 0 && self.transactions < self.total {
+                *buffered -= 1;
+                obs::sketch_observe(REQUEST_CYCLES_SKETCH, now.saturating_sub(*sent_at));
+                self.transactions += 1;
+                if self.issued < self.total {
+                    world.net_send(*c, order_cmd(self.issued).as_bytes());
+                    *sent_at = now;
+                    self.issued += 1;
+                }
+            }
+        }
+        if self.transactions >= self.total && !self.closed {
+            for (c, _, _) in self.conns.drain(..) {
+                world.net_close(c);
+            }
+            self.closed = true;
+            progressed = true;
+        }
+        progressed
+    }
+}
+
+/// Where the FTP session state machine stands (one transition per pump).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FtpState {
+    /// No session in flight (next pump opens one if downloads remain).
+    Between,
+    /// Awaiting the `220` greeting.
+    Greeting,
+    /// Sent `USER`, awaiting `331`.
+    User,
+    /// Sent `PASS`, awaiting `230`.
+    Pass,
+    /// Sent `RETR`, awaiting the `227 <port>` passive announcement.
+    Pasv { retr_sent: bool },
+    /// Data channel open; draining until the control channel says `226`.
+    Transfer { data: ExtConnId },
+    /// Sent `QUIT`; next pump tears the session down.
+    Quit { data: ExtConnId },
+}
+
+/// Stepped analogue of [`crate::loadgen::ftp_load`]: sequential RETR
+/// sessions, advanced one protocol transition per pump.
+#[derive(Debug)]
+pub struct FtpTraffic {
+    port: u16,
+    downloads: u64,
+    path: &'static str,
+    state: FtpState,
+    ctrl: Option<ExtConnId>,
+    ctrl_buf: Vec<u8>,
+    pasv_port: u16,
+    session_start: u64,
+    /// Files fully downloaded.
+    pub files: u64,
+    /// Data-channel payload bytes received.
+    pub bytes: u64,
+}
+
+impl FtpTraffic {
+    /// A driver for `downloads` sequential sessions fetching `path`.
+    pub fn new(port: u16, downloads: u64, path: &'static str) -> Self {
+        FtpTraffic {
+            port,
+            downloads,
+            path,
+            state: FtpState::Between,
+            ctrl: None,
+            ctrl_buf: Vec::new(),
+            pasv_port: 0,
+            session_start: 0,
+            files: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Scans buffered control-channel lines for a reply starting with
+    /// `code`; on a match consumes the buffer through that line and
+    /// returns the line.
+    fn take_reply(&mut self, code: &[u8]) -> Option<Vec<u8>> {
+        let mut consumed = 0usize;
+        for line in self.ctrl_buf.split_inclusive(|&b| b == b'\n') {
+            consumed += line.len();
+            if line.starts_with(code) {
+                let reply = line.to_vec();
+                self.ctrl_buf.drain(..consumed);
+                return Some(reply);
+            }
+        }
+        None
+    }
+
+    fn pump(&mut self, world: &mut World) -> bool {
+        if let Some(c) = self.ctrl {
+            let chunk = world.net_recv(c);
+            self.ctrl_buf.extend_from_slice(&chunk);
+        }
+        match self.state {
+            FtpState::Between => {
+                if self.files >= self.downloads {
+                    return false;
+                }
+                let Some(ctrl) = world.net_connect(self.port) else {
+                    return false; // server still booting or backlog full
+                };
+                self.ctrl = Some(ctrl);
+                self.ctrl_buf.clear();
+                self.session_start = world.now();
+                self.state = FtpState::Greeting;
+                true
+            }
+            FtpState::Greeting => {
+                if self.take_reply(b"220").is_some() {
+                    world.net_send(self.ctrl.unwrap(), b"USER bench\n");
+                    self.state = FtpState::User;
+                    return true;
+                }
+                false
+            }
+            FtpState::User => {
+                if self.take_reply(b"331").is_some() {
+                    world.net_send(self.ctrl.unwrap(), b"PASS bench\n");
+                    self.state = FtpState::Pass;
+                    return true;
+                }
+                false
+            }
+            FtpState::Pass => {
+                if self.take_reply(b"230").is_some() {
+                    world.net_send(
+                        self.ctrl.unwrap(),
+                        format!("RETR {}\n", self.path).as_bytes(),
+                    );
+                    self.state = FtpState::Pasv { retr_sent: true };
+                    return true;
+                }
+                false
+            }
+            FtpState::Pasv { .. } => {
+                if self.pasv_port == 0 {
+                    let Some(reply) = self.take_reply(b"227") else {
+                        return false;
+                    };
+                    self.pasv_port = String::from_utf8_lossy(&reply[4..])
+                        .trim()
+                        .parse()
+                        .expect("pasv port");
+                }
+                // The passive connect can race the server's listen; keep
+                // retrying on subsequent pumps.
+                let Some(data) = world.net_connect(self.pasv_port) else {
+                    return false;
+                };
+                self.pasv_port = 0;
+                self.state = FtpState::Transfer { data };
+                true
+            }
+            FtpState::Transfer { data } => {
+                let mut progressed = false;
+                let chunk = world.net_recv(data);
+                if !chunk.is_empty() {
+                    self.bytes += chunk.len() as u64;
+                    progressed = true;
+                }
+                if self.take_reply(b"226").is_some() {
+                    // Drain trailing data bytes that landed with the 226.
+                    let tail = world.net_recv(data);
+                    self.bytes += tail.len() as u64;
+                    self.files += 1;
+                    obs::sketch_observe(
+                        REQUEST_CYCLES_SKETCH,
+                        world.now().saturating_sub(self.session_start),
+                    );
+                    world.net_send(self.ctrl.unwrap(), b"QUIT\n");
+                    self.state = FtpState::Quit { data };
+                    progressed = true;
+                }
+                progressed
+            }
+            FtpState::Quit { data } => {
+                self.ctrl_buf.clear();
+                world.net_close(data);
+                world.net_close(self.ctrl.take().unwrap());
+                self.state = FtpState::Between;
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn http_plan_matches_blocking_generator() {
+        let t = HttpTraffic::new(8080, 4, 100);
+        // 100 requests = 3 full keep-alive connections of 29 + one of 13.
+        assert_eq!(t.plan, vec![29, 29, 29, 13]);
+        let empty = HttpTraffic::new(8080, 4, 0);
+        assert!(empty.plan.is_empty());
+        assert!(Traffic::Http(empty).done());
+    }
+
+    #[test]
+    fn ftp_reply_scan_consumes_through_match() {
+        let mut t = FtpTraffic::new(2100, 1, "/f");
+        t.ctrl_buf = b"220 hello\n331 pw\nxx".to_vec();
+        assert_eq!(t.take_reply(b"220").unwrap(), b"220 hello\n");
+        assert!(t.take_reply(b"226").is_none(), "no 226 buffered yet");
+        assert_eq!(t.take_reply(b"331").unwrap(), b"331 pw\n");
+        assert_eq!(t.ctrl_buf, b"xx");
+    }
+
+    #[test]
+    fn traffic_reports_targets() {
+        for app in crate::ALL_APPS {
+            let t = Traffic::for_app(app, 12, 2);
+            assert_eq!(t.target(), 12, "{}", app.id());
+            assert_eq!(t.served(), 0);
+            assert!(!t.done() || t.target() == 0);
+        }
+    }
+}

@@ -30,6 +30,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(rest),
         "stats" => cmd_stats(rest),
         "top" => cmd_top(rest),
+        "serve" => cmd_serve(rest),
         "attack" => cmd_attack(rest),
         "chaos" => cmd_chaos(rest),
         "fleet" => cmd_fleet(rest),
@@ -81,6 +82,17 @@ USAGE:
         of trap rate, tier-1 hit rate, ladder rung, and p50/p95/p99/p999
         verify + request latency. --jsonl appends one labelled metrics
         line per app per round (the periodic snapshot surface).
+
+    bastion serve [--tenants=N] [--seed=S] [--requests=R] [--quantum=C]
+                  [--capacity=N] [--jobs=N] [--json=OUT.json]
+                  [--jsonl=OUT.jsonl] [--prom]
+        bastiond: the persistent multi-tenant supervisor. Admits N
+        tenants (seeded http/tpcc/ftp mix) through a bounded queue and
+        drives their protected worlds round-robin, one C-cycle quantum at
+        a time, merging per-tenant telemetry into a live fleet view.
+        Prints the per-tenant table; --json writes the BENCH_serve-shaped
+        report, --jsonl appends one fleet metrics line, --prom prints the
+        (validated) Prometheus exposition. Byte-identical for any --jobs.
 
     bastion attack [ID]
         Run the Table 6 security evaluation (one scenario or all 32).
@@ -647,6 +659,61 @@ fn cmd_attack(args: &[String]) -> Result<(), String> {
     } else {
         Err("some scenarios diverged from the paper's Table 6".into())
     }
+}
+
+/// `bastion serve` — run the bastiond supervisor over a seeded tenant
+/// mix and print the per-tenant table plus the requested export surfaces.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use std::io::Write as _;
+
+    let (_, flags) = split_flags(args);
+    let num = |name: &str, default: u64| -> Result<u64, String> {
+        match flag_value(&flags, name) {
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| format!("--{name}={v}: not a non-negative integer")),
+            None => Ok(default),
+        }
+    };
+    let tenants = num("tenants", 256)? as usize;
+    let seed = num("seed", 0)?;
+    let mut cfg = bastion::serve::ServeConfig::new(tenants, seed);
+    cfg.requests_per_tenant = num("requests", cfg.requests_per_tenant)?;
+    cfg.quantum = num("quantum", cfg.quantum)?.max(1);
+    cfg.admission_capacity = num("capacity", cfg.admission_capacity as u64)? as usize;
+    cfg.jobs = match flag_value(&flags, "jobs") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--jobs={v}: not a positive integer"))?,
+        None => bastion::fleet::default_jobs(),
+    };
+
+    let run = bastion::serve::run_serve(&cfg);
+    print!("{}", run.report.render());
+
+    if let Some(path) = flag_value(&flags, "json") {
+        let json = serde_json::to_string_pretty(&run.report)
+            .map_err(|e| format!("report serialization: {e:?}"))?;
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        println!("report written to {path}");
+    }
+    if let Some(path) = flag_value(&flags, "jsonl") {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("{path}: {e}"))?;
+        let line = bastion::obs::metrics_jsonl_line(&run.fleet, &[("surface", "serve")]);
+        writeln!(f, "{line}").map_err(|e| format!("jsonl write: {e}"))?;
+        println!("fleet metrics line appended to {path}");
+    }
+    if flags.contains(&"--prom") {
+        let text = bastion::obs::prometheus_text(&run.fleet, &[("surface", "serve")]);
+        bastion::obs::validate_prometheus(&text)
+            .map_err(|e| format!("prometheus self-check: {e}"))?;
+        print!("{text}");
+    }
+    Ok(())
 }
 
 /// Shared chaos-matrix driver for `bastion chaos` and the fleet's chaos

@@ -202,6 +202,43 @@ pub struct FleetBaseline {
     pub all_byte_identical: bool,
 }
 
+/// The subset of `BENCH_serve.json` the gate reads. The serve schedule is
+/// fully deterministic (seeded mix, virtual clocks, jobs-invariant
+/// sharding), so *every* gated quantity is exact — including the latency
+/// quartet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBaseline {
+    /// Tenants admitted by the queue.
+    pub admitted: u64,
+    /// Tenants that completed their whole workload.
+    pub completed: u64,
+    /// Tenants evicted early.
+    pub evicted: u64,
+    /// Requests served across the fleet.
+    pub total_requests: u64,
+    /// Traps across the fleet.
+    pub total_traps: u64,
+    /// Sum of tenant world clocks.
+    pub fleet_cycles: u64,
+    /// Fleet request-latency quartet.
+    pub request_latency: ServeLatencyBaseline,
+}
+
+/// The latency quartet of a serve baseline lane.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeLatencyBaseline {
+    /// Observations.
+    pub count: u64,
+    /// Median (cycles).
+    pub p50: u64,
+    /// 95th percentile (cycles).
+    pub p95: u64,
+    /// 99th percentile (cycles).
+    pub p99: u64,
+    /// 99.9th percentile (cycles).
+    pub p999: u64,
+}
+
 /// Parses the checked-in `BENCH_interp.json`.
 ///
 /// # Errors
@@ -217,6 +254,14 @@ pub fn parse_interp_baseline(json: &str) -> Result<InterpBaseline, String> {
 /// Fails with the parse/shape error message on a malformed file.
 pub fn parse_fleet_baseline(json: &str) -> Result<FleetBaseline, String> {
     serde_json::from_str(json).map_err(|e| format!("BENCH_fleet.json: {e:?}"))
+}
+
+/// Parses the checked-in `BENCH_serve.json`.
+///
+/// # Errors
+/// Fails with the parse/shape error message on a malformed file.
+pub fn parse_serve_baseline(json: &str) -> Result<ServeBaseline, String> {
+    serde_json::from_str(json).map_err(|e| format!("BENCH_serve.json: {e:?}"))
 }
 
 #[cfg(test)]
@@ -243,6 +288,16 @@ mod tests {
         assert!(f.all_byte_identical);
         assert!(parse_interp_baseline("{").is_err());
         assert!(parse_fleet_baseline("[]").is_err());
+        let s = parse_serve_baseline(
+            r#"{"bench":"serve","tenants":16,"admitted":16,"completed":15,
+                "evicted":1,"total_requests":384,"total_traps":9000,
+                "fleet_cycles":123456,
+                "request_latency":{"count":384,"p50":10,"p95":20,"p99":30,"p999":40}}"#,
+        )
+        .unwrap();
+        assert_eq!(s.admitted, 16);
+        assert_eq!(s.request_latency.p999, 40);
+        assert!(parse_serve_baseline("nope").is_err());
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`fleet`] — deterministic parallel runner sharding the chaos matrix,
 //!   Table 6, and the benchmarks across OS threads with byte-identical
 //!   aggregate reports for any worker count;
+//! * [`serve`] — `bastiond`, the persistent supervisor multiplexing
+//!   hundreds of protected tenant worlds under a round-robin quantum
+//!   scheduler with live fleet-level telemetry;
 //! * re-exports of every layer (`ir`, `minic`, `analysis`, `compiler`,
 //!   `vm`, `kernel`, `monitor`, `defenses`, `apps`, `attacks`).
 //!
@@ -52,6 +55,7 @@ pub mod fleet;
 pub mod gate;
 pub mod harness;
 pub mod protection;
+pub mod serve;
 
 pub use chaos::{
     attack_chaos, attack_chaos_mode, benign_chaos, benign_chaos_suite, AttackChaosReport,
@@ -61,6 +65,7 @@ pub use fleet::{run_ordered, run_ordered_traced, ChaosMatrixOutcome, FleetTeleme
 pub use gate::{GateCheck, GateReport};
 pub use harness::{run_app_benchmark, run_extended_scope_pair, AppBenchmark, WorkloadSize};
 pub use protection::Protection;
+pub use serve::{run_serve, serve_with_specs, ServeConfig, ServeReport, ServeRun, TenantKind};
 
 /// Re-export: static analyses.
 pub use bastion_analysis as analysis;

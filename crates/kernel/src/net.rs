@@ -147,6 +147,35 @@ impl Net {
         ReadOutcome::Data(n)
     }
 
+    /// Server-side peek into `buf`: like [`Net::server_read`] but leaves
+    /// the bytes queued. Callers that must validate a destination (a guest
+    /// buffer mapping) before committing the read peek first and
+    /// [`Net::server_consume`] only once delivery is guaranteed, so a
+    /// faulting destination does not silently drop stream bytes.
+    pub fn server_peek(&self, cid: ConnId, buf: &mut [u8]) -> ReadOutcome {
+        let c = &self.conns[cid];
+        if c.to_server.is_empty() {
+            return if c.client_closed {
+                ReadOutcome::Eof
+            } else {
+                ReadOutcome::WouldBlock
+            };
+        }
+        let n = buf.len().min(c.to_server.len());
+        for (b, q) in buf.iter_mut().zip(c.to_server.iter()).take(n) {
+            *b = *q;
+        }
+        ReadOutcome::Data(n)
+    }
+
+    /// Discards the first `n` queued server-side bytes (pairs with
+    /// [`Net::server_peek`] to commit a peeked read).
+    pub fn server_consume(&mut self, cid: ConnId, n: usize) {
+        let c = &mut self.conns[cid];
+        let n = n.min(c.to_server.len());
+        c.to_server.drain(..n);
+    }
+
     /// Server-side write (always succeeds; queues are unbounded).
     pub fn server_write(&mut self, cid: ConnId, bytes: &[u8]) -> usize {
         let c = &mut self.conns[cid];
@@ -260,6 +289,32 @@ mod tests {
         assert_eq!(&buf, b"GET");
         n.server_write(c, b"200 OK");
         assert_eq!(n.client_recv(c), b"200 OK");
+    }
+
+    #[test]
+    fn peek_leaves_bytes_queued_until_consumed() {
+        let mut n = Net::new();
+        let l = n.listen(80, 4).unwrap();
+        let c = n.external_connect(80).unwrap();
+        n.accept(l).unwrap();
+        n.client_send(c, b"GET /index");
+        let mut buf = [0u8; 5];
+        // Peeking any number of times returns the same prefix.
+        assert_eq!(n.server_peek(c, &mut buf), ReadOutcome::Data(5));
+        assert_eq!(&buf, b"GET /");
+        assert_eq!(n.server_peek(c, &mut buf), ReadOutcome::Data(5));
+        assert_eq!(&buf, b"GET /");
+        // Consuming commits the peeked prefix; the rest stays readable.
+        n.server_consume(c, 5);
+        let mut rest = [0u8; 8];
+        assert_eq!(n.server_read(c, &mut rest), ReadOutcome::Data(5));
+        assert_eq!(&rest[..5], b"index");
+        // Peek mirrors read's EOF/WouldBlock outcomes.
+        assert_eq!(n.server_peek(c, &mut rest), ReadOutcome::WouldBlock);
+        n.client_close(c);
+        assert_eq!(n.server_peek(c, &mut rest), ReadOutcome::Eof);
+        // Over-long consume saturates instead of panicking.
+        n.server_consume(c, 99);
     }
 
     #[test]

@@ -424,12 +424,16 @@ impl Kernel {
                 SysOutcome::Done(n as u64)
             }
             OfdKind::Conn(cid) => {
+                // Peek-validate-consume: the stream bytes are only dequeued
+                // once the destination mapping accepted them, so an EFAULT
+                // leaves the data readable by a later, correctly-mapped read.
                 let mut tmp = vec![0u8; len as usize];
-                match self.net.server_read(cid, &mut tmp) {
+                match self.net.server_peek(cid, &mut tmp) {
                     ReadOutcome::Data(n) => {
                         if p.machine.mem.write(buf, &tmp[..n]).is_err() {
                             return SysOutcome::Done(err(errno::EFAULT));
                         }
+                        self.net.server_consume(cid, n);
                         self.charge_io(n as u64);
                         SysOutcome::Done(n as u64)
                     }

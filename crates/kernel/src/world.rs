@@ -100,6 +100,10 @@ pub struct World {
     clock: u64,
     next_pid: Pid,
     quantum: u64,
+    /// Round-robin resume point: the index the next scheduling pass starts
+    /// scanning from (one past the process scheduled last), so budget
+    /// expiry mid-round cannot starve high-index processes.
+    cursor: usize,
     /// Drive processes with the legacy tree-walking interpreter instead of
     /// the predecoded fast path (differential testing / ablation).
     legacy_interp: bool,
@@ -163,6 +167,7 @@ impl World {
             clock: 0,
             next_pid: 1,
             quantum: 512,
+            cursor: 0,
             legacy_interp: thread_legacy_interp(),
             faults: None,
             flight: RefCell::new(FlightRecorder::default()),
@@ -288,8 +293,43 @@ impl World {
         self.procs.iter().filter(|p| p.alive()).count()
     }
 
-    /// Runs until everything exits, everything blocks, or `max_cycles`
-    /// elapse.
+    /// Earliest virtual time at which a sleeping process wakes, if any
+    /// live process is blocked on a deadline. `None` means every blocked
+    /// process waits on external input (net bytes, a pending accept, a
+    /// child exit) — the caller must deliver something before another
+    /// [`World::run`] can make progress. Supervisors use this to park an
+    /// [`RunStatus::Idle`] tenant until its wake instead of spinning.
+    pub fn next_wake(&self) -> Option<u64> {
+        self.procs
+            .iter()
+            .filter_map(|p| match p.state {
+                ProcState::Blocked(WaitReason::Sleep { until }) => Some(until),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Advances the idle clock to absolute virtual time `t` (no-op if `t`
+    /// is in the past). Models the CPU sitting idle until a timer fires.
+    fn advance_clock_to(&mut self, t: u64) {
+        let now = self.now();
+        if t > now {
+            self.clock += t - now;
+        }
+    }
+
+    /// Runs until everything exits, everything blocks on external input,
+    /// or `max_cycles` elapse.
+    ///
+    /// Scheduling is round-robin with a persistent cursor: each pass picks
+    /// the next runnable process *after* the last one scheduled, so a
+    /// budget expiring mid-round does not systematically favor low-index
+    /// processes across calls. The final quantum is clamped to the
+    /// remaining budget (exact for unit-cost instructions; a trapping
+    /// syscall still completes verification atomically), and a world whose
+    /// every live process sleeps on a future deadline advances the clock
+    /// to the earliest wake instead of reporting a spurious
+    /// [`RunStatus::Idle`].
     pub fn run(&mut self, max_cycles: u64) -> RunStatus {
         let deadline = self.now().saturating_add(max_cycles);
         loop {
@@ -297,55 +337,81 @@ impl World {
             if self.alive_count() == 0 {
                 return RunStatus::AllExited;
             }
-            let mut ran_any = false;
-            for idx in 0..self.procs.len() {
-                if self.procs[idx].state != ProcState::Runnable {
-                    continue;
-                }
-                ran_any = true;
-                self.run_quantum(idx);
-                if self.now() >= deadline {
-                    return RunStatus::Budget;
-                }
-            }
-            if !ran_any {
-                // Nothing runnable; see if a wake changes that.
-                self.wake_blocked();
-                let still_stuck = self.procs.iter().all(|p| p.state != ProcState::Runnable);
-                if still_stuck {
-                    return if self.alive_count() == 0 {
-                        RunStatus::AllExited
-                    } else {
-                        RunStatus::Idle
-                    };
-                }
-            }
             if self.now() >= deadline {
                 return RunStatus::Budget;
             }
+            let n = self.procs.len();
+            let first = self.cursor % n;
+            let mut picked = None;
+            for k in 0..n {
+                let idx = (first + k) % n;
+                if self.procs[idx].state == ProcState::Runnable {
+                    picked = Some(idx);
+                    break;
+                }
+            }
+            let Some(idx) = picked else {
+                // Nothing runnable. Sleeping processes make progress by
+                // letting virtual time pass; anything else needs external
+                // input and the world is genuinely idle.
+                match self.next_wake() {
+                    Some(until) if until <= deadline => {
+                        self.advance_clock_to(until);
+                        continue; // the next wake_blocked pass unparks it
+                    }
+                    Some(_) => {
+                        self.advance_clock_to(deadline);
+                        return RunStatus::Budget;
+                    }
+                    None => return RunStatus::Idle,
+                }
+            };
+            self.cursor = idx + 1;
+            self.run_quantum(idx, deadline);
         }
     }
 
-    fn run_quantum(&mut self, idx: usize) {
+    /// Runs `idx` for up to one quantum, never scheduling a burst past
+    /// `deadline`. Burst boundaries are computed identically for both
+    /// interpreter engines (a step cap fixed at burst entry), so the fast
+    /// and legacy paths execute byte-identical instruction sequences.
+    fn run_quantum(&mut self, idx: usize, deadline: u64) {
         let start = self.procs[idx].machine.cycles;
         let mut left = self.quantum;
         while left > 0 && self.procs[idx].state == ProcState::Runnable {
+            // Clamp the burst to the cycles left in the budget. Machine
+            // cycles accrued this quantum are not yet folded into `clock`,
+            // so add them to `now()` by hand. Each step costs at least one
+            // cycle, so a step cap of `cycles_left` can never overshoot a
+            // unit-cost stretch.
+            let live_now = self.now() + (self.procs[idx].machine.cycles - start);
+            if live_now >= deadline {
+                break;
+            }
+            let cap = left.min(deadline - live_now);
             // The fast path runs whole bursts inside the fused interpreter
-            // loop; `None` means the quantum budget ran out mid-burst. The
-            // legacy path steps one instruction at a time.
-            let ev = if self.legacy_interp {
-                left -= 1;
-                self.steps += 1;
-                match interp::step(&mut self.procs[idx].machine) {
-                    Event::Continue => None,
-                    e => Some(e),
+            // loop; `None` means the burst cap ran out mid-burst. The
+            // legacy path emulates the same burst by stepping one
+            // instruction at a time up to the same cap.
+            let (n, ev) = if self.legacy_interp {
+                let mut taken = 0u64;
+                let mut ev = None;
+                while taken < cap {
+                    taken += 1;
+                    match interp::step(&mut self.procs[idx].machine) {
+                        Event::Continue => {}
+                        e => {
+                            ev = Some(e);
+                            break;
+                        }
+                    }
                 }
+                (taken, ev)
             } else {
-                let (n, ev) = interp::run_bounded(&mut self.procs[idx].machine, left);
-                left -= n;
-                self.steps += n;
-                ev
+                interp::run_bounded(&mut self.procs[idx].machine, cap)
             };
+            left -= n;
+            self.steps += n;
             match ev {
                 None | Some(Event::Continue) => {}
                 Some(Event::Syscall { nr, args }) => {
@@ -615,12 +681,19 @@ impl World {
                 }
                 WaitReason::ConnRead { cid, buf, len } => {
                     if self.kernel.net.server_readable(cid) {
+                        // Peek-validate-consume: only dequeue the stream
+                        // bytes once the destination mapping accepted them.
+                        // An unmapped buffer returns EFAULT but leaves the
+                        // data queued for a later, correctly-mapped read.
                         let mut tmp = vec![0u8; len.min(1 << 20) as usize];
-                        let ret = match self.kernel.net.server_read(cid, &mut tmp) {
+                        let ret = match self.kernel.net.server_peek(cid, &mut tmp) {
                             ReadOutcome::Data(n) => {
                                 use bastion_vm::MemIo;
                                 match self.procs[idx].machine.mem.write(buf, &tmp[..n]) {
-                                    Ok(()) => n as u64,
+                                    Ok(()) => {
+                                        self.kernel.net.server_consume(cid, n);
+                                        n as u64
+                                    }
                                     Err(_) => crate::errno::err(crate::errno::EFAULT),
                                 }
                             }
@@ -713,6 +786,7 @@ pub struct WorldSnapshot {
     clock: u64,
     next_pid: Pid,
     quantum: u64,
+    cursor: usize,
     legacy_interp: bool,
     faults: Option<FaultInjector>,
     flight: FlightRecorder,
@@ -780,6 +854,7 @@ impl World {
             clock: self.clock,
             next_pid: self.next_pid,
             quantum: self.quantum,
+            cursor: self.cursor,
             legacy_interp: self.legacy_interp,
             faults: self.faults.as_ref().map(|f| f.borrow().clone()),
             flight: self.flight.borrow().clone(),
@@ -811,6 +886,7 @@ impl World {
             clock: snap.clock,
             next_pid: snap.next_pid,
             quantum: snap.quantum,
+            cursor: snap.cursor,
             legacy_interp: snap.legacy_interp,
             faults: snap.faults.clone().map(RefCell::new),
             flight: RefCell::new(snap.flight.clone()),

@@ -1,0 +1,223 @@
+//! Scheduler regression tests for the bugs the `bastion serve` supervisor
+//! flushed out of `World::run`: sleep livelock, scan-order starvation,
+//! budget overshoot, and `ConnRead` wake data loss. Each test fails on the
+//! pre-fix scheduler.
+
+use bastion_ir::build::ModuleBuilder;
+use bastion_ir::{sysno, Operand, Ty};
+use bastion_kernel::{ExitReason, RunStatus, World};
+use bastion_vm::{CostModel, Image, Machine};
+use std::sync::Arc;
+
+fn spawn(world: &mut World, mb: ModuleBuilder) -> bastion_kernel::Pid {
+    let img = Image::load(mb.finish()).unwrap();
+    let machine = Machine::new(Arc::new(img), CostModel::default());
+    world.spawn(machine)
+}
+
+/// A module whose `main` sleeps `cycles` of virtual time, then exits 0.
+fn sleeper(cycles: i64) -> ModuleBuilder {
+    let mut mb = ModuleBuilder::new("sleeper");
+    let nanosleep = mb.declare_syscall_stub("nanosleep", sysno::NANOSLEEP, 2);
+    let mut f = mb.function("main", &[], Ty::I64);
+    let _ = f.call_direct(nanosleep, &[cycles.into(), 0i64.into()]);
+    f.ret(Some(Operand::Imm(0)));
+    f.finish();
+    mb
+}
+
+/// A module whose `main` spins forever (pure unit-cost control flow).
+fn spinner() -> ModuleBuilder {
+    let mut mb = ModuleBuilder::new("spin");
+    let mut f = mb.function("main", &[], Ty::I64);
+    let header = f.new_block();
+    f.jmp(header);
+    f.switch_to(header);
+    f.jmp(header);
+    f.finish();
+    mb
+}
+
+/// Bugfix 1 — sleep livelock: a world where *every* live process is
+/// blocked on a future sleep deadline must advance the clock to the
+/// earliest wake instead of reporting Idle forever. Pre-fix, `run`
+/// returned `Idle` with both sleepers parked and `now()` frozen, so no
+/// number of calls made progress.
+#[test]
+fn all_sleeping_world_advances_to_wake_instead_of_idling() {
+    let mut world = World::new(CostModel::default());
+    let a = spawn(&mut world, sleeper(100_000));
+    let b = spawn(&mut world, sleeper(250_000));
+    let status = world.run(50_000_000);
+    assert_eq!(status, RunStatus::AllExited, "{}", world.summary());
+    assert_eq!(world.proc(a).unwrap().exit, Some(ExitReason::Exited(0)));
+    assert_eq!(world.proc(b).unwrap().exit, Some(ExitReason::Exited(0)));
+    // Virtual time covered the longest sleep.
+    assert!(world.now() >= 250_000, "now={}", world.now());
+}
+
+/// The `next_wake()` hint: a budget too small to reach the deadline
+/// returns `Budget` (idle time burned against the budget) and exposes the
+/// earliest sleep deadline so a supervisor can park the world.
+#[test]
+fn next_wake_exposes_earliest_sleep_deadline() {
+    let mut world = World::new(CostModel::default());
+    spawn(&mut world, sleeper(500_000));
+    spawn(&mut world, sleeper(900_000));
+    // Run just far enough for both to park in nanosleep.
+    assert_eq!(world.run(10_000), RunStatus::Budget);
+    let wake = world.next_wake().expect("two sleepers must expose a wake");
+    assert!(
+        wake > world.now() && wake < 600_000,
+        "earliest wake {wake} should be the 500k sleeper (now={})",
+        world.now()
+    );
+    // An idle-but-sleeping world burns budget, never more than asked.
+    let t0 = world.now();
+    assert_eq!(world.run(1_000), RunStatus::Budget);
+    assert_eq!(world.now() - t0, 1_000);
+    // A world blocked on external input only has no wake hint.
+    let mut idle = World::new(CostModel::default());
+    let mut mb = ModuleBuilder::new("reader");
+    let read = mb.declare_syscall_stub("read", sysno::READ, 3);
+    let mut f = mb.function("main", &[], Ty::I64);
+    let buf = f.local("buf", Ty::Array(Box::new(Ty::I8), 8));
+    let ba = f.frame_addr(buf);
+    let _ = f.call_direct(read, &[0i64.into(), ba.into(), 8i64.into()]);
+    f.ret(Some(Operand::Imm(0)));
+    f.finish();
+    spawn(&mut idle, mb);
+    let _ = idle.run(1_000_000);
+    assert_eq!(idle.next_wake(), None);
+}
+
+/// Bugfix 2 — scan-order starvation: with a budget that expires mid-round
+/// the pre-fix scheduler restarted its scan at index 0 every `run` call,
+/// so process 0 got every quantum and the others never ran. The cursor
+/// must resume round-robin where the last call left off.
+#[test]
+fn tight_budget_shares_quanta_round_robin() {
+    let mut world = World::new(CostModel::default());
+    let pids: Vec<_> = (0..3).map(|_| spawn(&mut world, spinner())).collect();
+    // Each call's budget (600) is below quantum (512) + a second quantum,
+    // so every call expires mid-round. 30 calls = 18_000 cycles total.
+    for _ in 0..30 {
+        assert_eq!(world.run(600), RunStatus::Budget);
+    }
+    let cycles: Vec<u64> = pids
+        .iter()
+        .map(|&p| world.proc(p).unwrap().machine.cycles)
+        .collect();
+    let total: u64 = cycles.iter().sum();
+    let fair = total / 3;
+    for (i, &c) in cycles.iter().enumerate() {
+        // Pre-fix: procs 1 and 2 sit at exactly 0 while proc 0 hoards
+        // everything. Post-fix each stays within one quantum of fair.
+        assert!(
+            c + 512 >= fair && c <= fair + 512,
+            "proc {i} got {c} of {total} cycles (fair share {fair}): {:?}",
+            cycles
+        );
+    }
+}
+
+/// Bugfix 3 — budget overshoot: `run(n)` on unit-cost instructions must
+/// consume *exactly* min(n, work) cycles — the last quantum is clamped to
+/// the remaining budget. Pre-fix the final 512-step quantum ran to
+/// completion past the deadline (overshoot up to a full quantum).
+#[test]
+fn run_budget_is_never_overshot() {
+    let mut world = World::new(CostModel::default());
+    spawn(&mut world, spinner());
+    let t0 = world.now();
+    // 10_000 is deliberately not a multiple of the 512-cycle quantum.
+    assert_eq!(world.run(10_000), RunStatus::Budget);
+    let used = world.now() - t0;
+    assert!(used <= 10_000, "run(10_000) consumed {used} cycles");
+    assert_eq!(used, 10_000, "a spinner must use the whole budget");
+    // And again, from a mid-quantum resume point.
+    let t1 = world.now();
+    assert_eq!(world.run(777), RunStatus::Budget);
+    assert_eq!(world.now() - t1, 777);
+}
+
+/// Serves one request with the given read destinations: the server reads
+/// twice (first into `bad_addr`, then into its real buffer) and echoes
+/// what the second read received.
+fn echo_with_bad_first_read() -> ModuleBuilder {
+    let mut mb = ModuleBuilder::new("echo2");
+    let socket = mb.declare_syscall_stub("socket", sysno::SOCKET, 3);
+    let bind = mb.declare_syscall_stub("bind", sysno::BIND, 3);
+    let listen = mb.declare_syscall_stub("listen", sysno::LISTEN, 2);
+    let accept = mb.declare_syscall_stub("accept", sysno::ACCEPT, 3);
+    let read = mb.declare_syscall_stub("read", sysno::READ, 3);
+    let write = mb.declare_syscall_stub("write", sysno::WRITE, 3);
+
+    let mut f = mb.function("main", &[], Ty::I64);
+    let sa_slot = f.local("sa", Ty::Array(Box::new(Ty::I8), 16));
+    let buf = f.local("buf", Ty::Array(Box::new(Ty::I8), 64));
+    let sfd = f.call_direct(socket, &[2i64.into(), 1i64.into(), 0i64.into()]);
+    let sa = f.frame_addr(sa_slot);
+    f.store(sa, 2i64 | (8080i64 << 16));
+    let sa2 = f.frame_addr(sa_slot);
+    let _ = f.call_direct(bind, &[sfd.into(), sa2.into(), 16i64.into()]);
+    let _ = f.call_direct(listen, &[sfd.into(), 8i64.into()]);
+    let cfd = f.call_direct(accept, &[sfd.into(), 0i64.into(), 0i64.into()]);
+    // First read lands on an unmapped destination: EFAULT, but the stream
+    // bytes must survive for the retry.
+    let _ = f.call_direct(read, &[cfd.into(), 8i64.into(), 64i64.into()]);
+    let ba = f.frame_addr(buf);
+    let n = f.call_direct(read, &[cfd.into(), ba.into(), 64i64.into()]);
+    let ba2 = f.frame_addr(buf);
+    let _ = f.call_direct(write, &[cfd.into(), ba2.into(), n.into()]);
+    f.ret(Some(Operand::Imm(0)));
+    f.finish();
+    mb
+}
+
+/// Bugfix 4a — `ConnRead` wake data loss, blocked-read path: the server
+/// parks in `read` with an unmapped buffer *before* the client sends.
+/// The wake delivers EFAULT, but must leave the bytes queued so the
+/// retry with a valid buffer still sees them. Pre-fix the wake consumed
+/// the bytes, the retry blocked forever, and the world went Idle.
+#[test]
+fn efault_on_blocked_read_preserves_stream_bytes() {
+    let mut world = World::new(CostModel::default());
+    let pid = spawn(&mut world, echo_with_bad_first_read());
+    // Server blocks in accept; client connects; server then blocks in the
+    // bad read (no data yet).
+    assert_eq!(world.run(10_000_000), RunStatus::Idle);
+    let c = world.net_connect(8080).expect("listener bound");
+    assert_eq!(world.run(10_000_000), RunStatus::Idle);
+    // Client sends: the wake path hits the unmapped buffer.
+    world.net_send(c, b"ping!");
+    assert_eq!(
+        world.run(10_000_000),
+        RunStatus::AllExited,
+        "{}",
+        world.summary()
+    );
+    assert_eq!(world.net_recv(c), b"ping!");
+    assert_eq!(world.proc(pid).unwrap().exit, Some(ExitReason::Exited(0)));
+}
+
+/// Bugfix 4b — same bug on the direct `sys_read` path: data is already
+/// queued when the faulting read executes, so no blocking is involved.
+#[test]
+fn efault_on_direct_read_preserves_stream_bytes() {
+    let mut world = World::new(CostModel::default());
+    let pid = spawn(&mut world, echo_with_bad_first_read());
+    assert_eq!(world.run(10_000_000), RunStatus::Idle);
+    // Bytes are queued before accept completes: both reads execute
+    // synchronously inside sys_read.
+    let c = world.net_connect(8080).expect("listener bound");
+    world.net_send(c, b"ping!");
+    assert_eq!(
+        world.run(10_000_000),
+        RunStatus::AllExited,
+        "{}",
+        world.summary()
+    );
+    assert_eq!(world.net_recv(c), b"ping!");
+    assert_eq!(world.proc(pid).unwrap().exit, Some(ExitReason::Exited(0)));
+}

@@ -247,21 +247,15 @@ fn nanosleep_advances_virtual_time() {
 
     let mut world = World::new(CostModel::default());
     spawn(&mut world, mb);
-    // The sleeper parks; nothing else can run, so the world goes idle.
-    let status = world.run(50_000_000);
-    // Sleep wake-ups depend on the clock advancing; with a single sleeping
-    // process the world reports Idle (time cannot pass without work).
-    // Drive it by injecting idle time: re-run until exit.
-    let mut guard = 0;
-    let mut status = status;
-    while status == RunStatus::Idle && guard < 100 {
-        // Idle worlds advance over the sleep deadline via kernel cycles in
-        // subsequent runs; emulate a timer tick by charging the clock.
-        world.kernel.cycles += 10_000;
-        status = world.run(50_000_000);
-        guard += 1;
-    }
-    assert_eq!(status, RunStatus::AllExited);
+    // A world whose only live process sleeps advances the clock to the
+    // wake deadline by itself: one run call carries it over the sleep and
+    // to exit, and virtual time reflects the full sleep duration.
+    assert_eq!(world.run(50_000_000), RunStatus::AllExited);
+    assert!(
+        world.now() >= 100_000,
+        "sleep must advance virtual time: now={}",
+        world.now()
+    );
 }
 
 #[test]

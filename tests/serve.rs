@@ -1,0 +1,130 @@
+//! `bastiond` supervisor contract tests (DESIGN.md §6k): the multi-tenant
+//! schedule must be byte-reproducible at any worker count, the bounded
+//! admission queue must reject overflow cleanly, and a tenant the monitor
+//! denies must be evicted without perturbing any neighbor's report.
+
+use bastion::apps::App;
+use bastion::attacks::generate::{Generator, FAMILIES};
+use bastion::serve::{self, ServeConfig, TenantKind};
+use bastion::serve::{serve_with_specs, TenantSpec};
+
+fn small_cfg(tenants: usize) -> ServeConfig {
+    let mut cfg = ServeConfig::new(tenants, 11);
+    cfg.requests_per_tenant = 6;
+    cfg
+}
+
+/// The headline determinism contract: the same config at `jobs = 1` and
+/// `jobs = 4` yields byte-identical rendered tables *and* byte-identical
+/// serialized reports — per-tenant worlds are independent and the shard
+/// layout never leaks into the results.
+#[test]
+fn serve_report_is_byte_identical_across_worker_counts() {
+    let cfg = small_cfg(8);
+    let serial = serve::run_serve(&cfg.clone().with_jobs(1));
+    let parallel = serve::run_serve(&cfg.with_jobs(4));
+    assert_eq!(
+        serial.report.render(),
+        parallel.report.render(),
+        "rendered tables diverged between jobs=1 and jobs=4"
+    );
+    assert_eq!(
+        serde_json::to_string_pretty(&serial.report).unwrap(),
+        serde_json::to_string_pretty(&parallel.report).unwrap(),
+        "serialized reports diverged between jobs=1 and jobs=4"
+    );
+    // The fleet merge (tenant registries in id order) is jobs-invariant
+    // too: same request-latency lane either way.
+    assert_eq!(
+        serial.report.request_latency,
+        parallel.report.request_latency
+    );
+    assert!(serial.report.completed > 0);
+    assert!(serial.report.request_latency.count > 0);
+}
+
+/// The admission queue is bounded: submissions past capacity are rejected
+/// by id, never booted (no turns, no traps), and the admitted tenants
+/// still complete their whole workload.
+#[test]
+fn admission_overflow_rejects_cleanly() {
+    let mut cfg = small_cfg(6);
+    cfg.admission_capacity = 4;
+    let run = serve::run_serve(&cfg);
+    let r = &run.report;
+    assert_eq!(r.admitted, 4);
+    assert_eq!(
+        r.rejected,
+        vec![4, 5],
+        "overflow rejected in submission order"
+    );
+    assert_eq!(r.rows.len(), 4, "rejected tenants get no row");
+    assert!(
+        r.rows.iter().all(|row| row.status == "completed"),
+        "admitted tenants must be unaffected by the overflow:\n{}",
+        r.render()
+    );
+}
+
+/// A rogue tenant (a generated CT-violation attack program) is denied by
+/// the monitor and evicted — and every neighbor's report row is
+/// byte-identical to a run without the rogue present.
+#[test]
+fn denied_tenant_is_evicted_without_perturbing_neighbors() {
+    let neighbors = vec![
+        TenantSpec {
+            id: 0,
+            kind: TenantKind::App(App::Webserve),
+            requests: 4,
+        },
+        TenantSpec {
+            id: 1,
+            kind: TenantKind::App(App::Dbkv),
+            requests: 4,
+        },
+        TenantSpec {
+            id: 2,
+            kind: TenantKind::App(App::Ftpd),
+            requests: 1,
+        },
+    ];
+    let family = FAMILIES
+        .iter()
+        .find(|f| f.name == "ct-indirect-execve")
+        .expect("family table");
+    let rogue = Generator::new(5).program(family);
+    let mut with_rogue = neighbors.clone();
+    with_rogue.push(TenantSpec {
+        id: 3,
+        kind: TenantKind::Custom {
+            name: "rogue".to_string(),
+            source: rogue.source.clone(),
+        },
+        requests: 0,
+    });
+
+    let cfg = small_cfg(4);
+    let clean = serve_with_specs(&cfg, neighbors);
+    let attacked = serve_with_specs(&cfg, with_rogue);
+
+    let rogue_row = &attacked.report.rows[3];
+    assert!(
+        rogue_row.status.starts_with("denied["),
+        "rogue must be monitor-denied, got `{}`",
+        rogue_row.status
+    );
+    assert_eq!(attacked.report.evicted, 1);
+    assert_eq!(attacked.report.completed, 3);
+    for (a, b) in clean.report.rows.iter().zip(&attacked.report.rows) {
+        assert_eq!(a, b, "neighbor {} perturbed by the rogue tenant", a.id);
+    }
+}
+
+/// The seeded mix covers all three applications and draws different mixes
+/// from different seeds, so multi-tenant runs exercise every protocol.
+#[test]
+fn seeded_mix_covers_every_app() {
+    let specs = serve::tenant_mix(&ServeConfig::new(16, 3));
+    assert_eq!(specs.len(), 16);
+    assert!(serve::mix_covers_all_apps(&specs));
+}
